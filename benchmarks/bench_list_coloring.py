@@ -1,0 +1,99 @@
+"""E12 — list colourings: Corollary 3.4 with heterogeneous degrees/lists.
+
+Corollary 3.4: if every vertex has ``q_v >= (2 + delta) d_v`` then the
+LubyGlauber chain for list colourings mixes in ``O(Delta log(n/eps))``.
+The interesting content is *per-vertex* slack: a caterpillar mixes spine
+vertices of degree ``2 + legs`` with leaves of degree 1, and each vertex
+only needs a list proportional to *its own* degree.
+
+We verify exactly (small instance: stationarity + Dobrushin alpha from the
+closed form max_v d_v/(q_v - d_v)) and at medium scale (coalescence of the
+maximal coupling with per-vertex lists just above the 2x threshold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.chains.coupling import CoupledLubyGlauber, coalescence_time
+from repro.chains.transition import (
+    is_reversible,
+    luby_glauber_transition_matrix,
+    stationary_distribution,
+)
+from repro.graphs import caterpillar_graph, path_graph
+from repro.mrf import (
+    coloring_total_influence,
+    exact_gibbs_distribution,
+    list_coloring_mrf,
+)
+
+
+def exact_rows() -> list[str]:
+    """Exact stationarity for a heterogeneous list-colouring instance."""
+    graph = path_graph(3)
+    q = 5
+    lists = {0: [0, 1, 2], 1: [0, 1, 2, 3, 4], 2: [1, 2, 3]}
+    mrf = list_coloring_mrf(graph, q, lists)
+    gibbs = exact_gibbs_distribution(mrf)
+    matrix = luby_glauber_transition_matrix(mrf)
+    pi = stationary_distribution(matrix)
+    tv = gibbs.tv_distance(pi)
+    reversible = is_reversible(matrix, gibbs.probs, atol=1e-9)
+    assert tv < 1e-9 and reversible
+    degrees = [mrf.degree(v) for v in range(mrf.n)]
+    sizes = [len(lists[v]) for v in range(mrf.n)]
+    alpha = coloring_total_influence(degrees, sizes)
+    return [
+        f"P3 lists {sizes}: TV(pi, mu) = {tv:.2e}, reversible = {reversible}",
+        f"closed-form alpha = max d_v/(q_v - d_v) = {alpha:.4f} (< 1: Dobrushin)",
+    ]
+
+
+def coalescence_rows() -> list[str]:
+    """Coalescence with per-vertex lists sized (2 + delta) * d_v."""
+    lines = [
+        f"{'spine':>6} {'n':>5} {'Delta':>6} {'median coalescence rounds':>26}"
+    ]
+    slack = 2.5
+    for spine, legs in ((10, 3), (20, 3), (40, 3), (40, 6)):
+        graph = caterpillar_graph(spine, legs)
+        n = graph.number_of_nodes()
+        degrees = [graph.degree(v) for v in range(n)]
+        delta = max(degrees)
+        q = int(slack * delta) + 1
+        lists = {
+            v: list(range(max(3, int(slack * degrees[v]) + 1))) for v in range(n)
+        }
+        mrf = list_coloring_mrf(graph, q, lists)
+        alpha = coloring_total_influence(degrees, [len(lists[v]) for v in range(n)])
+        assert alpha < 1.0
+        times = []
+        for trial in range(5):
+            x = np.array([lists[v][0] for v in range(n)], dtype=np.int64)
+            y = np.array([lists[v][-1] for v in range(n)], dtype=np.int64)
+            coupled = CoupledLubyGlauber(mrf, x, y, seed=trial)
+            times.append(coalescence_time(coupled, max_steps=100_000))
+        median = sorted(times)[len(times) // 2]
+        lines.append(f"{spine:>6} {n:>5} {delta:>6} {median:>26}")
+    return lines
+
+
+def test_e12_list_coloring(benchmark):
+    exact = exact_rows()
+    scaling = benchmark.pedantic(coalescence_rows, rounds=1, iterations=1)
+    report(
+        "E12",
+        "list colourings (Corollary 3.4)",
+        exact
+        + [""]
+        + scaling
+        + [
+            "",
+            "paper claim: q_v >= (2 + delta) d_v for every vertex suffices for",
+            "tau(eps) = O(Delta log(n/eps)) — per-vertex slack, not a global q.",
+            "measured: exact stationarity on heterogeneous lists; coalescence in",
+            "tens of rounds with lists proportional to each vertex's own degree.",
+        ],
+    )

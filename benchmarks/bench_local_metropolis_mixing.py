@@ -1,0 +1,71 @@
+"""E3 — LocalMetropolis mixing: tau(eps) = O(log(n/eps)) (Thm 1.2 / 4.2).
+
+* **exact**: tau(eps) from the full transition matrix on tiny paths, across
+  q — crossing the 2+sqrt(2) ratio shrinks tau dramatically;
+* **scaling**: coalescence rounds of the identical-proposal coupling on
+  cycles as n grows at q/Delta = 4.5 > 2+sqrt(2): the growth is ~ log n and
+  the constant is small.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.chains.coupling import CoupledLocalMetropolis, coalescence_time
+from repro.chains.transition import exact_mixing_time, local_metropolis_transition_matrix
+from repro.graphs import cycle_graph, path_graph
+from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf
+
+
+def exact_rows() -> list[str]:
+    lines = [f"{'model':<18} {'q/Delta':>8} {'tau(0.01)':>10}"]
+    taus = {}
+    for q in (3, 5, 7, 9):
+        mrf = proper_coloring_mrf(path_graph(3), q)
+        gibbs = exact_gibbs_distribution(mrf)
+        matrix = local_metropolis_transition_matrix(mrf)
+        tau = exact_mixing_time(matrix, gibbs, 0.01, max_steps=5000)
+        taus[q] = tau
+        lines.append(f"{'P3 coloring':<18} {q / 2:>8.1f} {tau:>10}")
+    assert taus[9] < taus[3]
+    return lines
+
+
+def coalescence_rows() -> list[str]:
+    lines = [f"{'n (cycle, q=9)':>14} {'median coalescence rounds':>26} {'/log2(n)':>9}"]
+    for n in (16, 32, 64, 128, 256, 512):
+        mrf = proper_coloring_mrf(cycle_graph(n), 9)
+        times = []
+        for trial in range(5):
+            coupled = CoupledLocalMetropolis(
+                mrf,
+                initial_x=np.arange(n) % 2,
+                initial_y=(np.arange(n) % 2) + 2,
+                seed=100 + trial,
+            )
+            times.append(coalescence_time(coupled, max_steps=100_000))
+        median = sorted(times)[len(times) // 2]
+        lines.append(f"{n:>14} {median:>26} {median / math.log2(n):>9.2f}")
+    return lines
+
+
+def test_e3_local_metropolis_mixing(benchmark):
+    exact = exact_rows()
+    scaling = benchmark.pedantic(coalescence_rows, rounds=1, iterations=1)
+    report(
+        "E3",
+        "LocalMetropolis mixing rate (Thm 1.2 / Thm 4.2)",
+        exact
+        + [""]
+        + scaling
+        + [
+            "",
+            "paper claim: tau(eps) = O(log(n/eps)) once q > (2+sqrt2) Delta, with",
+            "the constant independent of Delta.  shape check: exact tau collapses",
+            "as q/Delta crosses ~3.4; coupling rounds grow ~ log n with a small",
+            "constant (last column roughly flat).",
+        ],
+    )

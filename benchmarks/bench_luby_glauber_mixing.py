@@ -1,0 +1,78 @@
+"""E2 — LubyGlauber mixing: tau(eps) = O(Delta log(n/eps)) (Thm 1.1 / 3.2).
+
+Two views:
+
+* **exact**: on tiny paths the full transition matrix gives tau(eps)
+  exactly; it grows logarithmically in 1/eps and stays far below the
+  Theorem 3.2 budget.
+* **scaling**: on cycles of growing n (Delta fixed) the coalescence time of
+  the maximal coupling grows ~ log n; per-round behaviour is Delta-bounded,
+  matching O(Delta log n).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.chains.coupling import CoupledLubyGlauber, coalescence_time
+from repro.chains.transition import exact_mixing_time, luby_glauber_transition_matrix
+from repro.graphs import cycle_graph, path_graph
+from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf
+from repro.mrf.influence import dobrushin_alpha
+
+
+def exact_rows() -> list[str]:
+    lines = [f"{'model':<18} {'eps':>6} {'tau(eps)':>9} {'Thm3.2 budget':>14}"]
+    mrf = proper_coloring_mrf(path_graph(3), 5)
+    gibbs = exact_gibbs_distribution(mrf)
+    matrix = luby_glauber_transition_matrix(mrf)
+    alpha = dobrushin_alpha(mrf)
+    from repro.chains import LubyGlauberChain
+
+    chain = LubyGlauberChain(mrf, seed=0)
+    for eps in (0.2, 0.05, 0.01, 0.001):
+        tau = exact_mixing_time(matrix, gibbs, eps)
+        budget = chain.rounds_bound(alpha, eps)
+        lines.append(f"{'P3 coloring q=5':<18} {eps:>6} {tau:>9} {budget:>14}")
+        assert tau <= budget
+    return lines
+
+
+def coalescence_rows() -> list[str]:
+    lines = [f"{'n (cycle, q=5)':>14} {'median coalescence rounds':>26} {'/log2(n)':>9}"]
+    rng_seed = 0
+    for n in (16, 32, 64, 128, 256):
+        mrf = proper_coloring_mrf(cycle_graph(n), 5)
+        times = []
+        for trial in range(5):
+            coupled = CoupledLubyGlauber(
+                mrf,
+                initial_x=np.arange(n) % 2,
+                initial_y=(np.arange(n) % 2) + 2,
+                seed=rng_seed + trial,
+            )
+            times.append(coalescence_time(coupled, max_steps=100_000))
+        median = sorted(times)[len(times) // 2]
+        lines.append(f"{n:>14} {median:>26} {median / math.log2(n):>9.2f}")
+    return lines
+
+
+def test_e2_luby_glauber_mixing(benchmark):
+    exact = exact_rows()
+    scaling = benchmark.pedantic(coalescence_rows, rounds=1, iterations=1)
+    report(
+        "E2",
+        "LubyGlauber mixing rate (Thm 1.1 / Thm 3.2)",
+        exact
+        + [""]
+        + scaling
+        + [
+            "",
+            "paper claim: tau(eps) = O(Delta/(1-alpha) log(n/eps)) under Dobrushin;",
+            "shape check: exact tau within the Thm 3.2 budget at every eps; coupling",
+            "time grows ~ log n at fixed Delta (last column roughly constant).",
+        ],
+    )

@@ -1,0 +1,25 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md's per-experiment
+index (E1-E10) and *prints the paper-style rows* in addition to timing a
+representative kernel with pytest-benchmark.  The printed tables are also
+written to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can be
+refreshed from a plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(experiment: str, title: str, lines: list[str]) -> None:
+    """Print an experiment table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = f"== {experiment}: {title} =="
+    body = "\n".join([header, *lines, ""])
+    print("\n" + body)
+    with open(RESULTS_DIR / f"{experiment}.txt", "w") as handle:
+        handle.write(body)

@@ -1,0 +1,81 @@
+"""Sampling from weighted local CSPs beyond MRFs: dominating sets.
+
+Paper Section 2.2 names dominating sets as a local CSP that is *not* an MRF
+(its "cover" constraints span whole inclusive neighbourhoods, arity up to
+Delta + 1).  Both distributed chains extend: LubyGlauber schedules strongly
+independent sets of the constraint hypergraph, LocalMetropolis filters each
+constraint with the product of 2^k - 1 normalised factors.
+
+This example samples weighted dominating sets of a grid and uses the weight
+knob to trade set size against uniformity.
+
+Run:  python examples/csp_dominating_set.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chains.csp_chains import LocalMetropolisCSP, LubyGlauberCSP
+from repro.csp import dominating_set_csp
+from repro.graphs import grid_graph
+
+
+def render(config: np.ndarray, rows: int, cols: int) -> str:
+    lines = []
+    for r in range(rows):
+        lines.append(
+            "  " + " ".join("#" if config[r * cols + c] else "." for c in range(cols))
+        )
+    return "\n".join(lines)
+
+
+def is_dominating(graph, config) -> bool:
+    return all(
+        config[v] == 1 or any(config[u] == 1 for u in graph.neighbors(v))
+        for v in graph.nodes()
+    )
+
+
+def main() -> None:
+    rows = cols = 8
+    graph = grid_graph(rows, cols)
+
+    print("unweighted (uniform over dominating sets), via LubyGlauberCSP:")
+    csp = dominating_set_csp(graph)
+    chain = LubyGlauberCSP(csp, seed=11)
+    chain.run(400)
+    config = chain.config
+    print(render(config, rows, cols))
+    print(
+        f"  dominating: {is_dominating(graph, config)}   size: {int(config.sum())}\n"
+    )
+
+    print("weight 0.25 per pick (biased towards small sets), LocalMetropolisCSP:")
+    sparse_csp = dominating_set_csp(graph, weight=0.25)
+    sizes = []
+    chain = LocalMetropolisCSP(sparse_csp, seed=13)
+    chain.run(400)
+    for _ in range(50):
+        chain.run(10)
+        sizes.append(int(chain.config.sum()))
+    config = chain.config
+    print(render(config, rows, cols))
+    print(f"  dominating: {is_dominating(graph, config)}   size: {int(config.sum())}")
+    print(f"  mean sampled size over 50 draws: {np.mean(sizes):.1f}")
+
+    print("\nweight 4.0 per pick (biased towards large sets):")
+    dense_csp = dominating_set_csp(graph, weight=4.0)
+    chain = LocalMetropolisCSP(dense_csp, seed=17)
+    chain.run(400)
+    dense_sizes = []
+    for _ in range(50):
+        chain.run(10)
+        dense_sizes.append(int(chain.config.sum()))
+    print(f"  mean sampled size over 50 draws: {np.mean(dense_sizes):.1f}")
+    print("\nthe weight parameter tilts the Gibbs distribution over covers,")
+    print("all sampled with purely local communication.")
+
+
+if __name__ == "__main__":
+    main()

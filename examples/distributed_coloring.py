@@ -1,0 +1,53 @@
+"""Run Algorithms 1 and 2 as genuine message-passing LOCAL protocols.
+
+Unlike the chain API (which advances a global configuration), this example
+executes the paper's pseudocode node-by-node on the LOCAL-model simulator:
+every node sees only its private input (its activity slice), its private
+randomness, and its neighbours' messages.  The runtime counts rounds and
+messages, so you can see the communication profile the paper reasons about
+— one chain iteration per round, two messages per edge per round, and
+payloads of O(log n) bits.
+
+Run:  python examples/distributed_coloring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed import (
+    run_local_metropolis_protocol,
+    run_luby_glauber_protocol,
+)
+from repro.graphs import grid_graph
+from repro.mrf import proper_coloring_mrf
+
+
+def main() -> None:
+    graph = grid_graph(8, 8)
+    mrf = proper_coloring_mrf(graph, q=16)
+    print(f"network: 8x8 grid, n={mrf.n}, Delta={mrf.max_degree}, q=16\n")
+
+    for name, runner, rounds in (
+        ("LubyGlauber (Algorithm 1)", run_luby_glauber_protocol, 120),
+        ("LocalMetropolis (Algorithm 2)", run_local_metropolis_protocol, 40),
+    ):
+        config, stats = runner(mrf, rounds=rounds, seed=42)
+        violations = sum(1 for u, v in mrf.edges if config[u] == config[v])
+        print(name)
+        print(f"  rounds executed      : {stats.rounds}")
+        print(f"  messages delivered   : {stats.messages}")
+        print(f"  messages per round   : {stats.messages_per_round[0]} (= 2|E|)")
+        print(f"  monochromatic edges  : {violations}")
+        print(f"  proper colouring     : {mrf.is_feasible(config)}\n")
+
+    # The locality guarantee in action: with the same seed, the output of a
+    # node depends only on its t-ball, so re-running with more rounds only
+    # extends the trajectory deterministically.
+    short, _ = run_local_metropolis_protocol(mrf, rounds=10, seed=7)
+    long, _ = run_local_metropolis_protocol(mrf, rounds=10, seed=7)
+    print(f"determinism check (same seed, same rounds): {np.array_equal(short, long)}")
+
+
+if __name__ == "__main__":
+    main()

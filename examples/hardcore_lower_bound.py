@@ -1,0 +1,83 @@
+"""Why sampling independent sets is global: the Section 5 construction, live.
+
+Constructing an independent set locally is trivial (output the empty set);
+*sampling* one is Omega(diam)-hard when Delta >= 6.  This example builds the
+paper's gadget-lifted cycle, shows the two max-cut phase patterns are stable
+long-range-ordered states of the hardcore measure, and contrasts that with
+what any local (t-round) protocol can produce — independent phases, which
+almost never alternate around the cycle.
+
+Run:  python examples/hardcore_lower_bound.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chains import LubyGlauberChain
+from repro.lowerbound import (
+    build_cycle_lift,
+    hardcore_tree_occupancies,
+    lambda_critical,
+    phase_vector,
+)
+from repro.lowerbound.phases import cut_size, is_max_cut_phase
+from repro.mrf import hardcore_mrf
+
+DELTA, FUGACITY = 6, 2.0
+M = 6
+
+
+def render(phases) -> str:
+    return " ".join({1: "+", -1: "-", 0: "o"}[p] for p in phases)
+
+
+def main() -> None:
+    print(f"uniqueness threshold lambda_c({DELTA}) = {lambda_critical(DELTA):.4f}")
+    q_minus, q_plus = hardcore_tree_occupancies(DELTA, FUGACITY)
+    print(
+        f"at lambda = {FUGACITY}: two phases with densities q- = {q_minus:.3f}, "
+        f"q+ = {q_plus:.3f}\n"
+    )
+
+    lift = build_cycle_lift(M, n_side=80, k=3, delta=DELTA, rng=1)
+    mrf = hardcore_mrf(lift.graph, FUGACITY)
+    print(
+        f"lifted cycle: m = {M} gadget copies, |V| = {lift.n_vertices}, "
+        f"Delta = {DELTA}"
+    )
+
+    # Start on one of the two maximum cuts and watch it persist.
+    initial = np.zeros(mrf.n, dtype=np.int64)
+    for x in range(M):
+        side = lift.copy_plus[x] if x % 2 == 0 else lift.copy_minus[x]
+        initial[side] = 1
+    chain = LubyGlauberChain(mrf, initial=initial, seed=2)
+    print("\nGibbs dynamics started on a maximum-cut phase vector:")
+    for step in range(5):
+        chain.run(60)
+        phases = phase_vector(chain.config, lift)
+        print(
+            f"  after {60 * (step + 1):>4} rounds: phases = {render(phases)}   "
+            f"cut = {cut_size(phases)}/{M}  max-cut: {is_max_cut_phase(phases)}"
+        )
+
+    # What a local protocol produces: independent per-copy phases.
+    print("\nany o(diam)-round protocol yields independent phases; 12 draws:")
+    rng = np.random.default_rng(3)
+    hits = 0
+    for _ in range(12):
+        phases = rng.choice([1, -1], size=M).tolist()
+        hit = is_max_cut_phase(phases)
+        hits += hit
+        print(f"  {render(phases)}   cut = {cut_size(phases)}/{M}  max-cut: {hit}")
+    print(
+        f"\nindependent draws alternate with probability 2^(1-m) = "
+        f"{2.0 ** (1 - M):.3f} — the Gibbs measure does so with probability "
+        "1 - o(1) (Theorem 5.4).  Reproducing that correlation requires "
+        "Omega(diam) rounds (Theorem 5.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Distributed Gibbs sampling for inference — the paper's ML motivation.
+
+The introduction motivates local sampling by distributed machine learning:
+the description of a joint distribution (an MRF) is spread across servers,
+and we want samples without centralising the data.  This example treats a
+2-d Ising model on a torus as the "data", samples it with LocalMetropolis,
+and estimates the magnetisation curve across the coupling strength —
+crossing the (infinite-volume) critical point the curve steepens sharply.
+
+Run:  python examples/ising_inference.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chains import LocalMetropolisChain
+from repro.graphs import torus_graph
+from repro.mrf import ising_mrf
+
+
+def magnetisation(config: np.ndarray) -> float:
+    """|fraction of +1 spins - fraction of 0 spins| in [0, 1]."""
+    up = config.mean()
+    return abs(2.0 * up - 1.0)
+
+
+def estimate(beta_activity: float, side: int, rounds: int, samples: int, seed: int) -> float:
+    """Average absolute magnetisation from a LocalMetropolis trajectory.
+
+    The chain starts from the all-zero ordered state: below the critical
+    coupling it disorders within the burn-in; above it the order parameter
+    persists.  (A disordered start at strong coupling would instead probe
+    slow domain coarsening — a physics effect, not a sampler property.)
+    """
+    mrf = ising_mrf(torus_graph(side, side), beta=beta_activity)
+    chain = LocalMetropolisChain(
+        mrf, initial=np.zeros(side * side, dtype=np.int64), seed=seed
+    )
+    chain.run(rounds)  # burn-in
+    total = 0.0
+    for _ in range(samples):
+        chain.run(5)
+        total += magnetisation(chain.config)
+    return total / samples
+
+
+def main() -> None:
+    side = 12
+    # The paper's multiplicative convention: A(i, i) = beta, off-diagonal 1;
+    # beta = exp(2 J) in the physics convention.  The 2-d Ising critical
+    # point J_c = ln(1 + sqrt 2)/2 corresponds to beta_c = 1 + sqrt 2.
+    beta_c = 1.0 + math.sqrt(2.0)
+    print(f"2-d Ising on a {side}x{side} torus; critical activity ~ {beta_c:.3f}\n")
+    print(f"{'activity beta':>14} {'<|m|>':>8}")
+    for beta in (1.2, 1.6, 2.0, beta_c, 2.8, 3.4, 4.0):
+        m = estimate(beta, side, rounds=300, samples=60, seed=int(beta * 100))
+        bar = "#" * int(40 * m)
+        print(f"{beta:>14.3f} {m:>8.3f}  {bar}")
+    print(
+        "\nThe magnetisation rises from ~0 (disordered) to ~1 (ordered) around"
+        "\nthe critical activity — inference on a distributed MRF without ever"
+        "\ncentralising it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Standard MCMC diagnostics for chain trajectories.
+
+The exact machinery (transition matrices, CFTP) certifies correctness on
+small models; at experiment scale we monitor chains with the usual
+statistics:
+
+* :func:`autocorrelation` / :func:`integrated_autocorrelation_time` — how
+  correlated successive rounds are; effective thinning factor;
+* :func:`effective_sample_size` — how many independent samples a
+  trajectory is worth;
+* :func:`gelman_rubin` — the potential scale-reduction factor across
+  independent chains (≈ 1 once they have forgotten their starts).
+
+All functions work on scalar summary series (e.g. the number of occupied
+vertices, the spin sum, a vertex's indicator) extracted from trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "autocorrelation",
+    "integrated_autocorrelation_time",
+    "effective_sample_size",
+    "gelman_rubin",
+]
+
+
+def autocorrelation(series: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Normalised autocorrelation function of a scalar series.
+
+    ``result[k]`` estimates ``corr(X_t, X_{t+k})``; ``result[0] = 1``.
+    Constant series (zero variance) return all-zero correlations beyond
+    lag 0, by convention.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 1 or series.size < 2:
+        raise ModelError("autocorrelation needs a 1-d series of length >= 2")
+    n = series.size
+    if max_lag is None:
+        max_lag = n // 2
+    max_lag = min(max_lag, n - 1)
+    centred = series - series.mean()
+    variance = float(np.dot(centred, centred)) / n
+    result = np.zeros(max_lag + 1)
+    result[0] = 1.0
+    if variance <= 1e-300:
+        return result
+    for lag in range(1, max_lag + 1):
+        result[lag] = float(np.dot(centred[:-lag], centred[lag:])) / (n * variance)
+    return result
+
+
+def integrated_autocorrelation_time(series: np.ndarray, window: int | None = None) -> float:
+    """``tau_int = 1 + 2 * sum_k rho(k)`` with an initial-positive-sequence cut.
+
+    Summation stops at the first non-positive autocorrelation (Geyer's
+    initial positive sequence rule, adequate for the reversible chains
+    here).  A value of 1 means effectively independent rounds.
+    """
+    rho = autocorrelation(series, max_lag=window)
+    total = 1.0
+    for k in range(1, len(rho)):
+        if rho[k] <= 0.0:
+            break
+        total += 2.0 * rho[k]
+    return float(total)
+
+
+def effective_sample_size(series: np.ndarray) -> float:
+    """``ESS = N / tau_int`` for a scalar trajectory of length N."""
+    series = np.asarray(series, dtype=float)
+    return series.size / integrated_autocorrelation_time(series)
+
+
+def gelman_rubin(chains: np.ndarray) -> float:
+    """Potential scale-reduction factor ``R-hat`` across chains.
+
+    ``chains`` has shape ``(m, n)``: m independent chains, n recorded
+    values each.  Values near 1 indicate the chains have mixed; the usual
+    rule of thumb flags ``R-hat > 1.1``.
+    """
+    chains = np.asarray(chains, dtype=float)
+    if chains.ndim != 2 or chains.shape[0] < 2 or chains.shape[1] < 2:
+        raise ModelError("gelman_rubin needs shape (m >= 2, n >= 2)")
+    m, n = chains.shape
+    means = chains.mean(axis=1)
+    variances = chains.var(axis=1, ddof=1)
+    within = variances.mean()
+    between = n * means.var(ddof=1)
+    if within <= 1e-300:
+        return 1.0
+    pooled = (n - 1) / n * within + between / n
+    return float(np.sqrt(pooled / within))

@@ -1,0 +1,55 @@
+"""Empirical distributions built from chain samples."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mrf.distribution import GibbsDistribution, config_index
+
+__all__ = ["empirical_distribution", "marginal_from_samples", "pair_counts"]
+
+
+def empirical_distribution(
+    samples: Iterable[Sequence[int]], n: int, q: int
+) -> GibbsDistribution:
+    """Build the empirical distribution over ``[q]^n`` from samples.
+
+    Only sensible when ``q**n`` is small enough to materialise; intended for
+    the exact-versus-empirical TV convergence experiments.
+    """
+    probs = np.zeros(q**n)
+    count = 0
+    for sample in samples:
+        probs[config_index(sample, q)] += 1.0
+        count += 1
+    if count == 0:
+        raise ModelError("empirical_distribution needs at least one sample")
+    return GibbsDistribution(n, q, probs)
+
+
+def marginal_from_samples(
+    samples: Iterable[Sequence[int]], v: int, q: int
+) -> np.ndarray:
+    """Return the empirical marginal of vertex ``v`` as a length-q vector."""
+    counts = np.zeros(q)
+    total = 0
+    for sample in samples:
+        counts[int(sample[v])] += 1.0
+        total += 1
+    if total == 0:
+        raise ModelError("marginal_from_samples needs at least one sample")
+    return counts / total
+
+
+def pair_counts(
+    samples: Iterable[Sequence[int]], u: int, v: int, q: int
+) -> np.ndarray:
+    """Return the empirical joint counts of ``(sigma_u, sigma_v)`` as a (q, q) matrix."""
+    counts = np.zeros((q, q))
+    for sample in samples:
+        counts[int(sample[u]), int(sample[v])] += 1.0
+    return counts

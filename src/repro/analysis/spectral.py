@@ -1,0 +1,44 @@
+"""Spectral relations between gap and mixing time.
+
+Standard facts (Levin–Peres–Wilmer [39], the paper's Markov-chain
+reference) used to sanity-check the exact experiments:
+
+    (t_rel - 1) * log(1 / (2 eps))  <=  tau(eps)  <=  t_rel * log(1 / (eps pi_min))
+
+where ``t_rel = 1 / gap`` is the relaxation time of a reversible chain and
+``pi_min`` the smallest stationary mass.  The benchmarks report both sides
+next to the exactly computed ``tau(eps)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["relaxation_time", "mixing_time_upper_bound", "mixing_time_lower_bound"]
+
+
+def relaxation_time(gap: float) -> float:
+    """``t_rel = 1 / gap`` for a chain with absolute spectral gap ``gap``."""
+    if not 0.0 < gap <= 1.0:
+        raise ModelError(f"spectral gap must be in (0, 1], got {gap}")
+    return 1.0 / gap
+
+
+def mixing_time_upper_bound(gap: float, pi_min: float, eps: float) -> float:
+    """``tau(eps) <= t_rel * log(1 / (eps * pi_min))`` (reversible chains)."""
+    if not 0.0 < pi_min <= 1.0:
+        raise ModelError(f"pi_min must be in (0, 1], got {pi_min}")
+    if not 0.0 < eps < 1.0:
+        raise ModelError(f"eps must be in (0, 1), got {eps}")
+    return relaxation_time(gap) * math.log(1.0 / (eps * pi_min))
+
+
+def mixing_time_lower_bound(gap: float, eps: float) -> float:
+    """``tau(eps) >= (t_rel - 1) * log(1 / (2 eps))`` (reversible chains)."""
+    if not 0.0 < eps < 0.5:
+        raise ModelError(f"eps must be in (0, 0.5), got {eps}")
+    return (relaxation_time(gap) - 1.0) * math.log(1.0 / (2.0 * eps))

@@ -1,0 +1,54 @@
+"""Total-variation distance (paper Section 2.3).
+
+``dTV(mu, nu) = (1/2) * sum_sigma |mu(sigma) - nu(sigma)| = max_A |mu(A) - nu(A)|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["tv_distance", "tv_distance_counts"]
+
+
+def tv_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """TV distance between two probability vectors on the same index set.
+
+    Inputs are validated to be non-negative and to sum to ~1; exact
+    normalisation drift below 1e-8 is tolerated and renormalised.
+    """
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ModelError(f"tv_distance shapes differ: {p.shape} vs {q.shape}")
+    for name, vec in (("p", p), ("q", q)):
+        if np.any(vec < -1e-12):
+            raise ModelError(f"tv_distance: {name} has negative entries")
+        total = vec.sum()
+        if abs(total - 1.0) > 1e-6:
+            raise ModelError(f"tv_distance: {name} sums to {total}, expected 1")
+    p = np.clip(p, 0.0, None)
+    q = np.clip(q, 0.0, None)
+    return float(0.5 * np.abs(p / p.sum() - q / q.sum()).sum())
+
+
+def tv_distance_counts(counts: dict, target, total: int | None = None) -> float:
+    """TV distance between empirical counts over configurations and a target.
+
+    ``counts`` maps configurations (tuples) to observed counts; ``target``
+    is a :class:`repro.mrf.distribution.GibbsDistribution`.  Configurations
+    never observed contribute their full target mass.
+    """
+    if total is None:
+        total = sum(counts.values())
+    if total <= 0:
+        raise ModelError("tv_distance_counts needs a positive sample count")
+    distance = 0.0
+    seen_mass = 0.0
+    for config, count in counts.items():
+        p_target = target.prob(config)
+        distance += abs(count / total - p_target)
+        seen_mass += p_target
+    distance += 1.0 - seen_mass  # unobserved configurations
+    return 0.5 * distance

@@ -1,0 +1,47 @@
+"""Markov chains for sampling from Gibbs distributions.
+
+Sequential baselines:
+
+* :class:`repro.chains.glauber.GlauberDynamics` — single-site heat-bath
+  (paper Section 3 preamble);
+* :class:`repro.chains.metropolis.MetropolisChain` — single-site Metropolis.
+
+The paper's two distributed chains:
+
+* :class:`repro.chains.luby_glauber.LubyGlauberChain` — Algorithm 1, with a
+  pluggable independent-set scheduler (Luby step by default);
+* :class:`repro.chains.local_metropolis.LocalMetropolisChain` — Algorithm 2.
+
+Verification machinery:
+
+* :mod:`repro.chains.transition` — exact transition matrices, stationary
+  distributions, reversibility and spectral gaps (experiment E1);
+* :mod:`repro.chains.coupling` — coupled runs, coalescence times and
+  path-coupling contraction estimates (experiments E2-E5).
+"""
+
+from repro.chains.base import Chain, greedy_feasible_config, random_config
+from repro.chains.glauber import GlauberDynamics
+from repro.chains.local_metropolis import LocalMetropolisChain
+from repro.chains.luby_glauber import LubyGlauberChain
+from repro.chains.metropolis import MetropolisChain
+from repro.chains.schedulers import (
+    ChromaticScheduler,
+    IndependentSetScheduler,
+    LubyScheduler,
+    SingleSiteScheduler,
+)
+
+__all__ = [
+    "Chain",
+    "ChromaticScheduler",
+    "GlauberDynamics",
+    "IndependentSetScheduler",
+    "LocalMetropolisChain",
+    "LubyGlauberChain",
+    "LubyScheduler",
+    "MetropolisChain",
+    "SingleSiteScheduler",
+    "greedy_feasible_config",
+    "random_config",
+]

@@ -1,0 +1,128 @@
+"""Common infrastructure for Markov chains over ``[q]^V``.
+
+A :class:`Chain` owns an MRF, a current configuration (numpy int array) and a
+private RNG; ``step()`` advances one transition.  Chains are deliberately
+*mutable and cheap*: mixing experiments run ensembles of thousands of chains.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mrf.model import MRF, Config, as_config
+
+__all__ = ["Chain", "greedy_feasible_config", "random_config"]
+
+
+def random_config(mrf: MRF, rng: np.random.Generator) -> np.ndarray:
+    """Return a uniformly random (not necessarily feasible) configuration."""
+    return rng.integers(0, mrf.q, size=mrf.n, dtype=np.int64)
+
+
+def greedy_feasible_config(mrf: MRF, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Construct a configuration greedily, preferring feasibility.
+
+    Vertices are assigned in order; each vertex picks a spin with positive
+    vertex activity that is compatible (positive edge activity) with all
+    already-assigned neighbours, chosen at random among such spins when an
+    RNG is supplied, else the smallest.  If no compatible spin exists the
+    vertex falls back to its highest-activity spin — the chains of this paper
+    tolerate infeasible starts (they are absorbing towards feasible
+    configurations), so a best-effort start is fine.
+
+    For proper colourings with ``q >= Delta + 1`` and for occupancy models
+    (hardcore, vertex cover) the result is always feasible.
+    """
+    config = np.zeros(mrf.n, dtype=np.int64)
+    assigned = np.zeros(mrf.n, dtype=bool)
+    for v in range(mrf.n):
+        weights = mrf.vertex_activity[v].copy()
+        for u in mrf.neighbors(v):
+            if assigned[u]:
+                weights = weights * (mrf.edge_activity(u, v)[:, config[u]] > 0)
+        candidates = np.nonzero(weights > 0)[0]
+        if candidates.size == 0:
+            config[v] = int(np.argmax(mrf.vertex_activity[v]))
+        elif rng is None:
+            config[v] = int(candidates[0])
+        else:
+            config[v] = int(rng.choice(candidates))
+        assigned[v] = True
+    return config
+
+
+class Chain(ABC):
+    """A Markov chain over configurations of an MRF.
+
+    Parameters
+    ----------
+    mrf:
+        The target model; the stationary distribution should be its Gibbs
+        distribution (verified exactly in the test-suite via transition
+        matrices).
+    initial:
+        Starting configuration; ``None`` uses :func:`greedy_feasible_config`.
+    seed:
+        Seed (or Generator) for the chain's private randomness.
+    """
+
+    def __init__(
+        self,
+        mrf: MRF,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.mrf = mrf
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+        if initial is None:
+            self.config = greedy_feasible_config(mrf, self.rng)
+        else:
+            config = np.asarray(initial, dtype=np.int64)
+            if config.shape != (mrf.n,):
+                raise ModelError(
+                    f"initial configuration must have shape ({mrf.n},), got {config.shape}"
+                )
+            if np.any(config < 0) or np.any(config >= mrf.q):
+                raise ModelError(f"initial spins must lie in 0..{mrf.q - 1}")
+            self.config = config.copy()
+        self.steps_taken = 0
+
+    @abstractmethod
+    def step(self) -> None:
+        """Advance the chain by one transition."""
+
+    def run(self, steps: int) -> np.ndarray:
+        """Advance ``steps`` transitions and return the current configuration."""
+        for _ in range(steps):
+            self.step()
+        return self.config
+
+    def trajectory(self, steps: int, record_every: int = 1) -> list[Config]:
+        """Run ``steps`` transitions, recording the state every ``record_every``.
+
+        The initial state is included as the first entry.
+        """
+        if record_every < 1:
+            raise ModelError("record_every must be >= 1")
+        states: list[Config] = [as_config(self.config)]
+        for t in range(1, steps + 1):
+            self.step()
+            if t % record_every == 0:
+                states.append(as_config(self.config))
+        return states
+
+    @property
+    def current(self) -> Config:
+        """Return the current configuration as an immutable tuple."""
+        return as_config(self.config)
+
+    def is_feasible(self) -> bool:
+        """Return True iff the current configuration has positive Gibbs mass."""
+        return self.mrf.is_feasible(self.config)

@@ -1,0 +1,188 @@
+"""The ideal coupling on the Δ-regular tree (paper Section 4.2.1).
+
+The ``2 + sqrt(2)`` threshold of Theorem 1.2 comes from an *ideal* coupling
+analysed on a rooted Δ-regular tree: the two chains disagree only at the
+root, every other vertex carries a common colour outside
+``{X_root, Y_root}``, and proposals are coupled in a breadth-first fashion —
+children of the root always couple through the transposition of
+``{X_root, Y_root}``; deeper vertices couple identically unless their
+parent's proposals split, in which case they switch to the transposition.
+
+This module materialises that scenario and runs the coupled LocalMetropolis
+step, so the paper's closed-form bounds
+
+    Pr[X'_root != Y'_root] <= 1 - (1 - Δ/q)(1 - 2/q)^Δ
+    Pr[X'_u   != Y'_u  ]  <= (1/2) (1 - 2/q)^(Δ-1) (2/q)^ℓ     (depth ℓ)
+
+can be checked against simulation (experiment E5's tree table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["IdealTree", "build_ideal_tree", "ideal_coupling_step", "ideal_coupling_trial_means"]
+
+
+@dataclass
+class IdealTree:
+    """A rooted Δ-regular tree with the Section 4.2.1 initial pair.
+
+    Attributes
+    ----------
+    graph:
+        The tree; vertex 0 is the root.  The root has ``delta`` children,
+        every other internal vertex ``delta - 1``, so all internal degrees
+        equal ``delta``.
+    depth_of:
+        Vertex depth (root = 0).
+    parent_of:
+        Parent index (root maps to -1).
+    x, y:
+        The initial configurations: ``x`` and ``y`` agree everywhere except
+        the root (colours 0 vs 1); other vertices alternate colours 2/3 by
+        depth parity, giving proper colourings avoiding ``{0, 1}``.
+    q, delta, depth:
+        Model parameters.
+    """
+
+    graph: nx.Graph
+    depth_of: list[int]
+    parent_of: list[int]
+    x: np.ndarray
+    y: np.ndarray
+    q: int
+    delta: int
+    depth: int
+    children_of: list[list[int]] = field(default_factory=list)
+
+
+def build_ideal_tree(delta: int, depth: int, q: int) -> IdealTree:
+    """Construct the Section 4.2.1 scenario.
+
+    Requires ``q >= 4`` (colours 0, 1 for the root disagreement plus the
+    alternating 2/3 background).
+    """
+    if delta < 2:
+        raise ModelError(f"ideal tree needs delta >= 2, got {delta}")
+    if depth < 1:
+        raise ModelError(f"ideal tree needs depth >= 1, got {depth}")
+    if q < 4:
+        raise ModelError(f"ideal tree scenario needs q >= 4, got {q}")
+    graph = nx.Graph()
+    graph.add_node(0)
+    depth_of = [0]
+    parent_of = [-1]
+    frontier = [0]
+    next_label = 1
+    for level in range(1, depth + 1):
+        new_frontier = []
+        for vertex in frontier:
+            fanout = delta if vertex == 0 else delta - 1
+            for _ in range(fanout):
+                graph.add_edge(vertex, next_label)
+                depth_of.append(level)
+                parent_of.append(vertex)
+                new_frontier.append(next_label)
+                next_label += 1
+        frontier = new_frontier
+    n = next_label
+    x = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        x[v] = 2 + (depth_of[v] % 2)
+    x[0] = 0
+    y = x.copy()
+    y[0] = 1
+    children_of: list[list[int]] = [[] for _ in range(n)]
+    for v in range(1, n):
+        children_of[parent_of[v]].append(v)
+    return IdealTree(
+        graph=graph,
+        depth_of=depth_of,
+        parent_of=parent_of,
+        x=x,
+        y=y,
+        q=q,
+        delta=delta,
+        depth=depth,
+        children_of=children_of,
+    )
+
+
+def _accepts(tree: IdealTree, config: np.ndarray, proposals: np.ndarray, v: int) -> bool:
+    """Colouring filter of Algorithm 2 at ``v`` (rules 1-3 over all edges)."""
+    cv = proposals[v]
+    for u in tree.graph.neighbors(v):
+        if cv == proposals[u] or cv == config[u] or config[v] == proposals[u]:
+            return False
+    return True
+
+
+def ideal_coupling_step(tree: IdealTree, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """One coupled LocalMetropolis step under the ideal coupling.
+
+    Returns the pair ``(X', Y')``.  Proposals are coupled breadth-first:
+    the root consistently; the root's children through the transposition
+    ``phi`` of ``{X_root, Y_root}``; deeper vertices consistently unless
+    their parent's proposals differ, in which case through ``phi``.
+    """
+    n = tree.x.shape[0]
+    a, b = int(tree.x[0]), int(tree.y[0])
+
+    def phi(color: int) -> int:
+        if color == a:
+            return b
+        if color == b:
+            return a
+        return color
+
+    proposals_x = rng.integers(0, tree.q, size=n)
+    proposals_y = proposals_x.copy()
+    # Breadth-first is vertex order by construction (labels grow with depth).
+    for v in range(1, n):
+        parent = tree.parent_of[v]
+        permuted = parent == 0 or proposals_x[parent] != proposals_y[parent]
+        if permuted:
+            proposals_y[v] = phi(int(proposals_x[v]))
+    new_x = tree.x.copy()
+    new_y = tree.y.copy()
+    for v in range(n):
+        if _accepts(tree, tree.x, proposals_x, v):
+            new_x[v] = proposals_x[v]
+        if _accepts(tree, tree.y, proposals_y, v):
+            new_y[v] = proposals_y[v]
+    return new_x, new_y
+
+
+def ideal_coupling_trial_means(
+    tree: IdealTree, trials: int, seed: int | None = 0
+) -> dict[str, float | dict[int, float]]:
+    """Monte-Carlo estimates of the Section 4.2.1 quantities.
+
+    Returns a dict with the root disagreement probability, the per-depth
+    disagreement rates (averaged over vertices at each depth), and the
+    expected total number of disagreeing vertices after one coupled step.
+    """
+    if trials < 1:
+        raise ModelError("trials must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = tree.x.shape[0]
+    disagree_counts = np.zeros(n)
+    for _ in range(trials):
+        new_x, new_y = ideal_coupling_step(tree, rng)
+        disagree_counts += new_x != new_y
+    rates = disagree_counts / trials
+    per_depth: dict[int, float] = {}
+    for level in range(tree.depth + 1):
+        members = [v for v in range(n) if tree.depth_of[v] == level]
+        per_depth[level] = float(np.mean([rates[v] for v in members]))
+    return {
+        "root_disagreement": float(rates[0]),
+        "per_depth": per_depth,
+        "expected_total": float(rates.sum()),
+    }

@@ -1,0 +1,62 @@
+"""Single-site Metropolis chain.
+
+The sequential ancestor of LocalMetropolis: pick a uniformly random vertex,
+propose a spin from the vertex-activity distribution ``b_v / |b_v|_1``, and
+accept with the Metropolis filter applied to the incident edge activities.
+The paper (footnote 2) treats its irreducibility interchangeably with the
+Glauber dynamics'; we implement it both as a baseline and because its
+single-proposal acceptance rule is exactly the ``k = 1`` slice of the
+LocalMetropolis edge filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chains.base import Chain
+from repro.chains.glauber import sample_spin
+
+__all__ = ["MetropolisChain"]
+
+
+class MetropolisChain(Chain):
+    """Single-site Metropolis with proposals drawn from vertex activities."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        totals = self.mrf.vertex_activity.sum(axis=1, keepdims=True)
+        self._proposal = self.mrf.vertex_activity / totals
+
+    def step(self) -> None:
+        """Propose at one random vertex; accept with the edge-activity ratio.
+
+        With the current spin ``x = X_v`` and proposal ``c``, acceptance is
+
+            min(1, prod_u A_uv(c, X_u) / A_uv(x, X_u))
+
+        computed with the convention that a zero denominator together with a
+        positive numerator accepts (the chain escapes infeasible states), and
+        zero numerator rejects.
+        """
+        v = int(self.rng.integers(self.mrf.n))
+        proposal = sample_spin(self._proposal[v], self.rng)
+        current = int(self.config[v])
+        if proposal == current:
+            self.steps_taken += 1
+            return
+        numerator = 1.0
+        denominator = 1.0
+        for u in self.mrf.neighbors(v):
+            matrix = self.mrf.edge_activity(u, v)
+            numerator *= matrix[proposal, self.config[u]]
+            denominator *= matrix[current, self.config[u]]
+        if numerator == 0.0:
+            accept = False
+        elif denominator == 0.0:
+            accept = True
+        else:
+            ratio = numerator / denominator
+            accept = ratio >= 1.0 or self.rng.random() < ratio
+        if accept:
+            self.config[v] = proposal
+        self.steps_taken += 1

@@ -1,0 +1,93 @@
+"""Systematic scan Glauber dynamics (Dyer–Goldberg–Jerrum [17, 18]).
+
+The paper positions LubyGlauber relative to *systematic scans*: updating
+vertices in a fixed order (sequentially, or colour class by colour class —
+the chromatic scheduler of Gonzalez et al. [28] is "a special case of
+systematic scan").  This module provides the sequential scan as a chain
+object; the exact one-sweep matrix lives in
+:func:`repro.chains.transition.chromatic_sweep_matrix` for the parallel
+variant.
+
+A scan sweep is *not* a reversible Markov chain (the update order breaks
+detailed balance), but each single-site update preserves mu, hence so does
+the sweep — the property tests verify both facts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.chains.base import Chain
+from repro.chains.glauber import sample_spin
+from repro.errors import ModelError
+from repro.mrf.marginals import conditional_marginal
+from repro.mrf.model import MRF
+
+__all__ = ["SystematicScanChain", "scan_sweep_matrix"]
+
+
+class SystematicScanChain(Chain):
+    """Glauber updates in a fixed vertex order; one ``step()`` = one sweep.
+
+    Parameters
+    ----------
+    order:
+        Vertex ordering for the sweep; defaults to ``0..n-1``.
+    """
+
+    def __init__(
+        self,
+        mrf: MRF,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+        order: Sequence[int] | None = None,
+    ) -> None:
+        super().__init__(mrf, initial=initial, seed=seed)
+        if order is None:
+            order = list(range(mrf.n))
+        order = [int(v) for v in order]
+        if sorted(order) != list(range(mrf.n)):
+            raise ModelError("scan order must be a permutation of 0..n-1")
+        self.order = order
+
+    def step(self) -> None:
+        """One full sweep: heat-bath update every vertex, in order."""
+        for v in self.order:
+            distribution = conditional_marginal(self.mrf, self.config, v)
+            self.config[v] = sample_spin(distribution, self.rng)
+        self.steps_taken += 1
+
+
+def scan_sweep_matrix(mrf: MRF, order: Sequence[int] | None = None, max_states: int = 4096) -> np.ndarray:
+    """Exact transition matrix of one systematic-scan sweep.
+
+    The product of single-site update matrices in scan order.  Preserves mu
+    (each factor does) but is generally non-reversible — the contrast with
+    Proposition 3.1's reversible LubyGlauber.
+    """
+    import itertools
+
+    from repro.errors import StateSpaceTooLargeError
+    from repro.mrf.distribution import config_index
+
+    size = mrf.q ** mrf.n
+    if size > max_states:
+        raise StateSpaceTooLargeError(
+            f"state space {mrf.q}**{mrf.n} = {size} exceeds max_states={max_states}"
+        )
+    if order is None:
+        order = list(range(mrf.n))
+    configs = list(itertools.product(range(mrf.q), repeat=mrf.n))
+    sweep = np.eye(size)
+    for v in order:
+        single = np.zeros((size, size))
+        for row, config in enumerate(configs):
+            distribution = conditional_marginal(mrf, config, v)
+            mutable = list(config)
+            for spin in range(mrf.q):
+                mutable[v] = spin
+                single[row, config_index(mutable, mrf.q)] += distribution[spin]
+        sweep = sweep @ single
+    return sweep

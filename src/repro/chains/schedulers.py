@@ -1,0 +1,172 @@
+"""Independent-set schedulers for the LubyGlauber chain.
+
+Paper Section 3 proves Proposition 3.1 and Theorem 3.2 for *any* subroutine
+that independently samples a random independent set ``I`` with
+``Pr[v in I] > 0`` for every vertex; the mixing rate is
+``O(1/((1-alpha) * gamma) * log(n/eps))`` where ``gamma`` lower-bounds the
+selection probabilities.  Three schedulers are provided:
+
+* :class:`LubyScheduler` — the "Luby step": every vertex draws an i.i.d.
+  uniform rank; local maxima over inclusive neighbourhoods enter ``I``.
+  ``Pr[v in I] = 1 / (deg(v) + 1)``, hence ``gamma = 1/(Delta+1)``.
+* :class:`ChromaticScheduler` — the chromatic parallelisation of Gonzalez et
+  al. [28]: cycle deterministically through the colour classes of a proper
+  colouring.  (Not i.i.d. across steps; the paper treats it as the
+  systematic-scan special case.)
+* :class:`SingleSiteScheduler` — one uniform vertex per step; recovers the
+  sequential Glauber dynamics inside the LubyGlauber machinery
+  (``gamma = 1/n``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError, StateSpaceTooLargeError
+from repro.graphs.structure import greedy_coloring_schedule, is_independent_set
+
+__all__ = [
+    "IndependentSetScheduler",
+    "LubyScheduler",
+    "ChromaticScheduler",
+    "SingleSiteScheduler",
+]
+
+
+class IndependentSetScheduler(ABC):
+    """Produces a random independent set each step."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Return a boolean mask (length ``n``) of the selected vertices."""
+
+    @abstractmethod
+    def selection_probabilities(self) -> np.ndarray:
+        """Return ``gamma_v = Pr[v in I]`` for each vertex.
+
+        For time-varying schedulers this is the per-step average over one
+        period.
+        """
+
+    def distribution(self) -> list[tuple[frozenset[int], float]]:
+        """Return the exact distribution over independent sets, if tractable.
+
+        Used by the exact transition-matrix builder (experiment E1).
+        Schedulers without a step-i.i.d. distribution raise
+        :class:`ModelError`.
+        """
+        raise ModelError(f"{type(self).__name__} has no step-i.i.d. distribution")
+
+
+class LubyScheduler(IndependentSetScheduler):
+    """The Luby step (paper Algorithm 1, lines 3-4).
+
+    Every vertex samples an independent uniform ``beta_v in [0, 1]``; vertex
+    ``v`` is selected iff ``beta_v > max{beta_u : u in Gamma(v)}`` — i.e. it
+    is the strict local maximum of its inclusive neighbourhood.  Ties have
+    probability zero and isolated vertices are always selected.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self.n = graph.number_of_nodes()
+        self.neighbors: list[tuple[int, ...]] = [
+            tuple(sorted(graph.neighbors(v))) for v in range(self.n)
+        ]
+        self.graph = graph
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        betas = rng.random(self.n)
+        selected = np.zeros(self.n, dtype=bool)
+        for v in range(self.n):
+            nbrs = self.neighbors[v]
+            if not nbrs:
+                selected[v] = True
+            else:
+                selected[v] = all(betas[v] > betas[u] for u in nbrs)
+        return selected
+
+    def selection_probabilities(self) -> np.ndarray:
+        """``Pr[v in I] = 1 / (deg(v) + 1)`` — v's rank beats its inclusive ball."""
+        return np.array([1.0 / (len(nbrs) + 1) for nbrs in self.neighbors])
+
+    def distribution(self, max_permutations: int = 400_000) -> list[tuple[frozenset[int], float]]:
+        """Exact Luby-step distribution via rank-order enumeration.
+
+        The selected set depends only on the relative order of the ``beta``
+        values, and all ``n!`` orders are equally likely; we enumerate them.
+        Guarded for small ``n`` (``n <= 9`` within the default budget).
+        """
+        if math.factorial(self.n) > max_permutations:
+            raise StateSpaceTooLargeError(
+                f"Luby distribution enumerates {self.n}! rank orders"
+            )
+        counts: dict[frozenset[int], int] = {}
+        for order in itertools.permutations(range(self.n)):
+            rank = {v: r for r, v in enumerate(order)}
+            selected = frozenset(
+                v
+                for v in range(self.n)
+                if all(rank[v] > rank[u] for u in self.neighbors[v])
+            )
+            counts[selected] = counts.get(selected, 0) + 1
+        total = math.factorial(self.n)
+        return [(subset, count / total) for subset, count in sorted(
+            counts.items(), key=lambda item: sorted(item[0])
+        )]
+
+
+class ChromaticScheduler(IndependentSetScheduler):
+    """Deterministic cycling through colour classes (Gonzalez et al. [28]).
+
+    ``classes`` defaults to a greedy proper colouring of the graph.  The
+    scheduler is *stateful*: each :meth:`sample` returns the next class.
+    """
+
+    def __init__(self, graph: nx.Graph, classes: list[list[int]] | None = None) -> None:
+        self.n = graph.number_of_nodes()
+        if classes is None:
+            classes = greedy_coloring_schedule(graph)
+        covered: set[int] = set()
+        for cls in classes:
+            if not is_independent_set(graph, cls):
+                raise ModelError(f"colour class {cls} is not an independent set")
+            covered.update(cls)
+        if covered != set(range(self.n)):
+            raise ModelError("colour classes must cover every vertex exactly")
+        self.classes = [sorted(cls) for cls in classes]
+        self._cursor = 0
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        selected = np.zeros(self.n, dtype=bool)
+        selected[self.classes[self._cursor]] = True
+        self._cursor = (self._cursor + 1) % len(self.classes)
+        return selected
+
+    def selection_probabilities(self) -> np.ndarray:
+        """Average selection frequency over one full sweep: ``1 / #classes``."""
+        return np.full(self.n, 1.0 / len(self.classes))
+
+
+class SingleSiteScheduler(IndependentSetScheduler):
+    """One uniformly random vertex per step — recovers Glauber dynamics."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self.n = graph.number_of_nodes()
+        if self.n == 0:
+            raise ModelError("SingleSiteScheduler needs a non-empty graph")
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        selected = np.zeros(self.n, dtype=bool)
+        selected[int(rng.integers(self.n))] = True
+        return selected
+
+    def selection_probabilities(self) -> np.ndarray:
+        return np.full(self.n, 1.0 / self.n)
+
+    def distribution(self) -> list[tuple[frozenset[int], float]]:
+        return [(frozenset({v}), 1.0 / self.n) for v in range(self.n)]

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sample``
+    Draw one approximate Gibbs sample of a named model on a named topology
+    and print it (plus feasibility and the round budget used).
+``budget``
+    Print the default round budgets of all three methods for a model.
+``info``
+    Print the library's headline constants (thresholds, uniqueness
+    boundary) and version.
+
+The CLI covers the models the paper's theorems address (colourings,
+hardcore, Ising) on the standard experiment topologies; anything richer
+should use the Python API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+from repro.errors import ReproError
+from repro.graphs import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.mrf import hardcore_mrf, ising_mrf, proper_coloring_mrf
+from repro.mrf.model import MRF
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_graph(args: argparse.Namespace):
+    kind = args.graph
+    size = args.size
+    if kind == "path":
+        return path_graph(size)
+    if kind == "cycle":
+        return cycle_graph(size)
+    if kind == "grid":
+        return grid_graph(size, size)
+    if kind == "torus":
+        return torus_graph(size, size)
+    if kind == "regular":
+        return random_regular_graph(args.degree, size, seed=args.seed)
+    raise ReproError(f"unknown graph kind {kind!r}")
+
+
+def _build_model(args: argparse.Namespace) -> MRF:
+    graph = _build_graph(args)
+    if args.model == "coloring":
+        return proper_coloring_mrf(graph, args.q)
+    if args.model == "hardcore":
+        return hardcore_mrf(graph, args.fugacity)
+    if args.model == "ising":
+        return ising_mrf(graph, args.beta)
+    raise ReproError(f"unknown model {args.model!r}")
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", choices=("coloring", "hardcore", "ising"), default="coloring"
+    )
+    parser.add_argument(
+        "--graph",
+        choices=("path", "cycle", "grid", "torus", "regular"),
+        default="cycle",
+    )
+    parser.add_argument(
+        "--size", type=int, default=16, help="vertices (side length for grid/torus)"
+    )
+    parser.add_argument("--degree", type=int, default=4, help="degree for regular graphs")
+    parser.add_argument("--q", type=int, default=8, help="colours for colouring models")
+    parser.add_argument("--fugacity", type=float, default=1.0, help="hardcore lambda")
+    parser.add_argument("--beta", type=float, default=1.5, help="Ising edge activity")
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed sampling in the LOCAL model (Feng-Sun-Yin, PODC 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sample = sub.add_parser("sample", help="draw one approximate Gibbs sample")
+    _add_model_arguments(sample)
+    sample.add_argument("--method", choices=repro.METHODS, default="local-metropolis")
+    sample.add_argument("--eps", type=float, default=0.05)
+    sample.add_argument("--rounds", type=int, default=None)
+
+    budget = sub.add_parser("budget", help="print default round budgets")
+    _add_model_arguments(budget)
+    budget.add_argument("--eps", type=float, default=0.05)
+
+    sub.add_parser("info", help="print headline constants and version")
+    return parser
+
+
+def _command_sample(args: argparse.Namespace) -> int:
+    mrf = _build_model(args)
+    rounds = args.rounds
+    if rounds is None:
+        rounds = repro.default_round_budget(mrf, args.method, args.eps)
+    config = repro.sample(
+        mrf, method=args.method, eps=args.eps, rounds=args.rounds, seed=args.seed
+    )
+    print(f"model   : {mrf.name} on {args.graph} (n={mrf.n}, Delta={mrf.max_degree})")
+    print(f"method  : {args.method}   rounds: {rounds}")
+    print(f"feasible: {mrf.is_feasible(config)}")
+    print("sample  :", " ".join(str(int(s)) for s in config))
+    return 0
+
+
+def _command_budget(args: argparse.Namespace) -> int:
+    mrf = _build_model(args)
+    print(f"model: {mrf.name} (n={mrf.n}, Delta={mrf.max_degree}), eps={args.eps}")
+    for method in repro.METHODS:
+        budget = repro.default_round_budget(mrf, method, args.eps)
+        print(f"  {method:<17} {budget:>8} rounds")
+    return 0
+
+
+def _command_info() -> int:
+    from repro.analysis.theory import alpha_star, two_plus_sqrt2
+    from repro.lowerbound import lambda_critical
+
+    print(f"repro {repro.__version__} — 'What can be sampled locally?' (PODC 2017)")
+    print(f"  LocalMetropolis colouring threshold (Thm 1.2): q > (2+sqrt2) Delta "
+          f"= {two_plus_sqrt2():.6f} Delta")
+    print(f"  easy local-coupling threshold (Lem 4.4): alpha* = {alpha_star():.6f}")
+    print(f"  hardcore uniqueness threshold lambda_c(6) = {lambda_critical(6):.6f}"
+          " (< 1: Thm 1.3 applies at Delta >= 6)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "sample":
+            return _command_sample(args)
+        if args.command == "budget":
+            return _command_budget(args)
+        if args.command == "info":
+            return _command_info()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - unreachable with required=True
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Weighted local CSPs (factor graphs) — the paper's general model.
+
+An MRF is the special case of a weighted CSP whose constraints are unary and
+binary-symmetric (paper Section 2.2).  This package provides the general
+object — a collection of constraints ``c = (f_c, S_c)`` with non-negative
+constraint functions over scopes — together with the hypergraph neighbourhood
+structure both distributed chains need for their CSP extensions
+(the remarks after Algorithm 1 and Algorithm 2).
+"""
+
+from repro.csp.builders import (
+    coloring_csp,
+    dominating_set_csp,
+    maximal_independent_set_csp,
+    mrf_as_csp,
+    not_all_equal_csp,
+)
+from repro.csp.hypergraph import conflict_graph, csp_neighbors, is_strongly_independent
+from repro.csp.model import Constraint, LocalCSP, exact_csp_gibbs_distribution
+
+__all__ = [
+    "Constraint",
+    "LocalCSP",
+    "coloring_csp",
+    "conflict_graph",
+    "csp_neighbors",
+    "dominating_set_csp",
+    "exact_csp_gibbs_distribution",
+    "is_strongly_independent",
+    "maximal_independent_set_csp",
+    "mrf_as_csp",
+    "not_all_equal_csp",
+]

@@ -1,0 +1,136 @@
+"""Constructors for local CSPs named in the paper.
+
+Paper Section 2.2 calls out dominating sets ("a cover constraint on each
+inclusive neighbourhood") and maximal independent sets ("a dominating
+independent set") as examples of local CSPs beyond MRFs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.csp.model import Constraint, LocalCSP
+from repro.errors import ModelError
+from repro.graphs.structure import check_vertex_labels
+from repro.mrf.model import MRF
+
+__all__ = [
+    "dominating_set_csp",
+    "maximal_independent_set_csp",
+    "mrf_as_csp",
+    "coloring_csp",
+    "not_all_equal_csp",
+]
+
+
+def _cover_table(arity: int, weight_per_pick: float = 1.0) -> np.ndarray:
+    """Table of the "at least one chosen" constraint with per-pick weight.
+
+    Entry for local spins ``(s_1..s_k)`` is ``0`` if no ``s_i = 1``, else
+    ``weight_per_pick ** (#ones)``.  With weight 1 this is the plain cover
+    constraint; other weights tilt towards smaller/larger dominating sets.
+    """
+    table = np.zeros((2,) * arity)
+    for index in np.ndindex(*table.shape):
+        ones = sum(index)
+        if ones >= 1:
+            table[index] = weight_per_pick**ones
+    return table
+
+
+def dominating_set_csp(graph: nx.Graph, weight: float = 1.0) -> LocalCSP:
+    """Distribution over dominating sets of ``graph``.
+
+    One cover constraint per inclusive neighbourhood ``Gamma+(v)``: at least
+    one vertex of ``Gamma+(v)`` carries spin 1.  Vertices appear in many
+    scopes, so the per-pick ``weight`` is applied once per vertex via a
+    dedicated unary constraint rather than inside each cover table.
+    """
+    check_vertex_labels(graph)
+    if weight <= 0:
+        raise ModelError(f"dominating set weight must be > 0, got {weight}")
+    n = graph.number_of_nodes()
+    constraints = []
+    for v in range(n):
+        scope = tuple(sorted(set(graph.neighbors(v)) | {v}))
+        constraints.append(
+            Constraint(scope, _cover_table(len(scope)), name=f"cover({v})")
+        )
+    if weight != 1.0:
+        unary = np.array([1.0, weight])
+        for v in range(n):
+            constraints.append(Constraint((v,), unary, name=f"pick-weight({v})"))
+    return LocalCSP(n, 2, constraints, name=f"dominating-set(w={weight})")
+
+
+def maximal_independent_set_csp(graph: nx.Graph) -> LocalCSP:
+    """Uniform distribution over maximal independent sets (MIS).
+
+    An MIS is a dominating independent set (paper Section 2.2): combine the
+    per-edge independence constraint with the per-inclusive-neighbourhood
+    cover constraint.
+    """
+    check_vertex_labels(graph)
+    n = graph.number_of_nodes()
+    constraints = []
+    independence = np.array([[1.0, 1.0], [1.0, 0.0]])
+    for u, v in sorted((min(e), max(e)) for e in graph.edges()):
+        constraints.append(Constraint((u, v), independence, name=f"indep({u},{v})"))
+    for v in range(n):
+        scope = tuple(sorted(set(graph.neighbors(v)) | {v}))
+        constraints.append(
+            Constraint(scope, _cover_table(len(scope)), name=f"cover({v})")
+        )
+    return LocalCSP(n, 2, constraints, name="maximal-independent-set")
+
+
+def mrf_as_csp(mrf: MRF) -> LocalCSP:
+    """Express an MRF as the equivalent weighted local CSP.
+
+    One binary constraint per edge (the activity matrix) and one unary
+    constraint per vertex (the activity vector) — the embedding that makes
+    MRFs "a special class of weighted local CSPs" (Section 2.2).  Used to
+    cross-validate the CSP chains against the MRF chains.
+    """
+    constraints = []
+    for u, v in mrf.edges:
+        constraints.append(
+            Constraint((u, v), mrf.edge_activity(u, v), name=f"edge({u},{v})")
+        )
+    for v in range(mrf.n):
+        constraints.append(Constraint((v,), mrf.vertex_activity[v], name=f"vertex({v})"))
+    return LocalCSP(mrf.n, mrf.q, constraints, name=f"csp[{mrf.name}]")
+
+
+def coloring_csp(graph: nx.Graph, q: int) -> LocalCSP:
+    """Proper q-colouring expressed directly as a binary CSP."""
+    check_vertex_labels(graph)
+    if q < 2:
+        raise ModelError(f"coloring_csp needs q >= 2, got {q}")
+    table = np.ones((q, q)) - np.eye(q)
+    constraints = [
+        Constraint((min(u, v), max(u, v)), table, name=f"neq({u},{v})")
+        for u, v in graph.edges()
+    ]
+    return LocalCSP(graph.number_of_nodes(), q, constraints, name=f"coloring-csp(q={q})")
+
+
+def not_all_equal_csp(scopes: list[tuple[int, ...]], n: int, q: int) -> LocalCSP:
+    """Hypergraph colouring: each scope must not be monochromatic.
+
+    A genuinely multivariate CSP (arity > 2) exercising the ``2^k - 1``-factor
+    LocalMetropolis filter of the paper's CSP remark.
+    """
+    if q < 2:
+        raise ModelError(f"not_all_equal_csp needs q >= 2, got {q}")
+    constraints = []
+    for scope in scopes:
+        arity = len(scope)
+        if arity < 2:
+            raise ModelError("NAE constraints need arity >= 2")
+        table = np.ones((q,) * arity)
+        for spin in range(q):
+            table[(spin,) * arity] = 0.0
+        constraints.append(Constraint(scope, table, name=f"nae{tuple(scope)}"))
+    return LocalCSP(n, q, constraints, name="not-all-equal")

@@ -1,0 +1,57 @@
+"""Hypergraph structure of a weighted local CSP.
+
+The paper's CSP extension of LubyGlauber (remark after Algorithm 1)
+"overrides the definition of neighbourhood as
+``Gamma(v) = {u != v : exists c, {u, v} subseteq S_c}``, thus ``Gamma(v)`` is
+the neighbourhood of ``v`` in the hypergraph where the ``S_c`` are the
+hyperedges, and ``I`` is the *strongly independent set* of this hypergraph"
+— i.e. no two selected vertices share any constraint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from repro.csp.model import LocalCSP
+
+__all__ = ["csp_neighbors", "conflict_graph", "is_strongly_independent"]
+
+
+def csp_neighbors(csp: LocalCSP) -> list[set[int]]:
+    """Return ``Gamma(v)`` for each vertex: co-scoped vertices."""
+    neighborhoods: list[set[int]] = [set() for _ in range(csp.n)]
+    for constraint in csp.constraints:
+        scope = constraint.scope
+        for u in scope:
+            for v in scope:
+                if u != v:
+                    neighborhoods[u].add(v)
+    return neighborhoods
+
+
+def conflict_graph(csp: LocalCSP) -> nx.Graph:
+    """Return the primal/conflict graph: ``u ~ v`` iff they share a constraint.
+
+    Independent sets of this graph are exactly the strongly independent sets
+    of the CSP hypergraph, so the Luby step on the conflict graph yields a
+    valid LubyGlauber schedule for the CSP.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(range(csp.n))
+    for constraint in csp.constraints:
+        scope = constraint.scope
+        for i, u in enumerate(scope):
+            for v in scope[i + 1 :]:
+                graph.add_edge(u, v)
+    return graph
+
+
+def is_strongly_independent(csp: LocalCSP, vertices: Iterable[int]) -> bool:
+    """Return True iff no constraint scope contains two of ``vertices``."""
+    chosen = set(vertices)
+    for constraint in csp.constraints:
+        if len(chosen.intersection(constraint.scope)) >= 2:
+            return False
+    return True

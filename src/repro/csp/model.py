@@ -1,0 +1,164 @@
+"""Weighted local CSPs: constraints ``(f_c, S_c)`` and their Gibbs measures.
+
+The weight of a configuration is ``w(sigma) = prod_c f_c(sigma|_{S_c})`` and
+the Gibbs distribution is proportional to it (paper Section 2.2).  Boolean
+constraint functions make mu the uniform distribution over CSP solutions —
+the "local sampling" counterpart of LCL problems.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, StateSpaceTooLargeError
+from repro.mrf.distribution import GibbsDistribution
+
+__all__ = ["Constraint", "LocalCSP", "exact_csp_gibbs_distribution"]
+
+
+class Constraint:
+    """One weighted constraint ``(f_c, S_c)``.
+
+    Parameters
+    ----------
+    scope:
+        The ordered tuple of distinct vertices ``S_c``.
+    table:
+        A non-negative array of shape ``(q,) * len(scope)``;
+        ``table[sigma_{s1}, ..., sigma_{sk}]`` is ``f_c`` evaluated on the
+        restriction of the configuration to the scope.
+    name:
+        Optional label for error messages and reports.
+    """
+
+    def __init__(self, scope: Sequence[int], table: np.ndarray, name: str = "constraint") -> None:
+        self.scope = tuple(int(v) for v in scope)
+        if len(set(self.scope)) != len(self.scope):
+            raise ModelError(f"{name}: scope vertices must be distinct, got {self.scope}")
+        if not self.scope:
+            raise ModelError(f"{name}: scope must be non-empty")
+        table = np.asarray(table, dtype=float)
+        if table.ndim != len(self.scope):
+            raise ModelError(
+                f"{name}: table must have one axis per scope vertex "
+                f"({len(self.scope)}), got shape {table.shape}"
+            )
+        sizes = set(table.shape)
+        if len(sizes) != 1:
+            raise ModelError(f"{name}: all table axes must share the domain size")
+        if np.any(table < 0):
+            raise ModelError(f"{name}: constraint function must be non-negative")
+        if np.all(table == 0):
+            raise ModelError(f"{name}: constraint function must not be identically zero")
+        self.table = table.copy()
+        self.table.setflags(write=False)
+        self.name = name
+
+    @property
+    def arity(self) -> int:
+        """Return ``|S_c|``."""
+        return len(self.scope)
+
+    @property
+    def q(self) -> int:
+        """Return the spin-domain size the table was built for."""
+        return self.table.shape[0]
+
+    def evaluate(self, config: Sequence[int]) -> float:
+        """Return ``f_c(sigma|_{S_c})`` for a full configuration ``sigma``."""
+        return float(self.table[tuple(config[v] for v in self.scope)])
+
+    def evaluate_scope(self, local: Sequence[int]) -> float:
+        """Return ``f_c`` on spins given in scope order."""
+        return float(self.table[tuple(int(s) for s in local)])
+
+    def normalized_table(self) -> np.ndarray:
+        """Return ``f̃_c = f_c / max f_c`` — the LocalMetropolis filter factor."""
+        return self.table / self.table.max()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constraint(name={self.name!r}, scope={self.scope})"
+
+
+class LocalCSP:
+    """A weighted CSP over vertices ``0..n-1`` with spin domain ``[q]``."""
+
+    def __init__(self, n: int, q: int, constraints: Sequence[Constraint], name: str = "csp") -> None:
+        if n < 1:
+            raise ModelError(f"LocalCSP needs n >= 1, got {n}")
+        if q < 2:
+            raise ModelError(f"LocalCSP needs q >= 2, got {q}")
+        self.n = int(n)
+        self.q = int(q)
+        self.name = name
+        self.constraints = list(constraints)
+        for constraint in self.constraints:
+            if constraint.q != q:
+                raise ModelError(
+                    f"{constraint.name}: table domain {constraint.q} != CSP domain {q}"
+                )
+            if any(v < 0 or v >= n for v in constraint.scope):
+                raise ModelError(
+                    f"{constraint.name}: scope {constraint.scope} outside 0..{n - 1}"
+                )
+        # Constraints incident to each vertex, used by conditional marginals.
+        self.incident: list[list[int]] = [[] for _ in range(n)]
+        for index, constraint in enumerate(self.constraints):
+            for v in constraint.scope:
+                self.incident[v].append(index)
+
+    def weight(self, config: Sequence[int]) -> float:
+        """Return ``w(sigma) = prod_c f_c(sigma|_{S_c})``."""
+        if len(config) != self.n:
+            raise ModelError(f"configuration length {len(config)} != {self.n}")
+        weight = 1.0
+        for constraint in self.constraints:
+            weight *= constraint.evaluate(config)
+            if weight == 0.0:
+                return 0.0
+        return weight
+
+    def is_feasible(self, config: Sequence[int]) -> bool:
+        """Return True iff ``config`` has positive weight."""
+        return self.weight(config) > 0.0
+
+    def conditional_marginal(self, config: Sequence[int], v: int) -> np.ndarray:
+        """Return ``mu_v(. | X_{V \\ v})`` — proportional to the incident factors.
+
+        Raises :class:`repro.errors.ModelError` if the normaliser vanishes.
+        """
+        weights = np.ones(self.q)
+        for index in self.incident[v]:
+            constraint = self.constraints[index]
+            base = [int(config[u]) for u in constraint.scope]
+            position = constraint.scope.index(v)
+            for spin in range(self.q):
+                base[position] = spin
+                weights[spin] *= constraint.evaluate_scope(base)
+        total = weights.sum()
+        if total <= 0.0:
+            raise ModelError(
+                f"CSP conditional marginal at vertex {v} is undefined (zero mass)"
+            )
+        return weights / total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalCSP(name={self.name!r}, n={self.n}, q={self.q}, constraints={len(self.constraints)})"
+
+
+def exact_csp_gibbs_distribution(csp: LocalCSP, max_states: int = 2_000_000) -> GibbsDistribution:
+    """Materialise the exact Gibbs distribution of a small CSP."""
+    size = csp.q ** csp.n
+    if size > max_states:
+        raise StateSpaceTooLargeError(
+            f"state space {csp.q}**{csp.n} = {size} exceeds max_states={max_states}"
+        )
+    weights = np.empty(size)
+    for i, config in enumerate(itertools.product(range(csp.q), repeat=csp.n)):
+        weights[i] = csp.weight(config)
+    if weights.sum() <= 0.0:
+        raise ModelError("CSP has no feasible configuration (Z = 0)")
+    return GibbsDistribution(csp.n, csp.q, weights)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch everything raised intentionally by this package with a single handler
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """An MRF or CSP instance is malformed or inconsistent.
+
+    Examples: an edge activity matrix of the wrong shape, a negative activity,
+    a vertex activity vector that is identically zero, or an instance defined
+    on a graph whose vertices are not ``0..n-1``.
+    """
+
+
+class InfeasibleStateError(ReproError):
+    """An operation required a feasible configuration but none exists.
+
+    Raised for example when a conditional marginal distribution (paper
+    eq. (2)) is requested in a context where its normalising constant is
+    zero, i.e. the Glauber well-definedness assumption is violated.
+    """
+
+
+class ProtocolError(ReproError):
+    """A LOCAL-model protocol misused the runtime.
+
+    Examples: sending a message to a non-neighbour, reading messages before
+    the first round has run, or producing an output of the wrong shape.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative procedure failed to reach the requested tolerance.
+
+    Raised by mixing-time estimators when the chain has not come within the
+    requested total-variation distance after the permitted number of steps.
+    """
+
+
+class StateSpaceTooLargeError(ReproError):
+    """An exact (enumerative) computation was requested on too large a model.
+
+    Exact partition functions, exact Gibbs distributions and exact transition
+    matrices enumerate ``q**n`` configurations; this error protects callers
+    from accidentally requesting astronomically large enumerations.
+    """

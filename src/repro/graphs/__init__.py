@@ -1,0 +1,65 @@
+"""Graph substrate: generators and structural utilities.
+
+All graphs in this library are ``networkx.Graph`` instances whose vertices are
+the integers ``0..n-1``.  The generators in :mod:`repro.graphs.generators`
+guarantee this labelling; :func:`repro.graphs.structure.normalize_graph`
+converts arbitrary graphs.
+"""
+
+from repro.graphs.generators import (
+    binary_tree_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    double_star_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    ladder_graph,
+    path_graph,
+    random_bipartite_regular_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.structure import (
+    adjacency_lists,
+    ball,
+    diameter,
+    greedy_coloring_schedule,
+    is_independent_set,
+    is_strongly_self_avoiding,
+    max_degree,
+    normalize_graph,
+    strongly_self_avoiding_walks,
+)
+
+__all__ = [
+    "adjacency_lists",
+    "ball",
+    "binary_tree_graph",
+    "caterpillar_graph",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "diameter",
+    "double_star_graph",
+    "erdos_renyi_graph",
+    "greedy_coloring_schedule",
+    "grid_graph",
+    "hypercube_graph",
+    "is_independent_set",
+    "is_strongly_self_avoiding",
+    "ladder_graph",
+    "max_degree",
+    "normalize_graph",
+    "path_graph",
+    "random_bipartite_regular_graph",
+    "random_regular_graph",
+    "random_tree",
+    "star_graph",
+    "strongly_self_avoiding_walks",
+    "torus_graph",
+]

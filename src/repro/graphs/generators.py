@@ -1,0 +1,264 @@
+"""Graph generators used throughout the reproduction.
+
+Every generator returns a simple undirected :class:`networkx.Graph` with
+vertices labelled ``0..n-1``.  Random generators take an explicit
+``numpy.random.Generator`` (or an integer seed) — the library never touches
+global random state.
+
+The paper's experiments live on a small zoo of topologies:
+
+* paths and cycles — the lower-bound constructions of Section 5 (Theorem 5.1
+  uses a path; the Ω(diam) lift of Section 5.1.2 uses an even cycle);
+* grids/tori — bounded-degree graphs where Δ stays fixed while n grows,
+  used for mixing-rate-versus-n sweeps (Theorems 1.1 and 1.2);
+* random Δ-regular graphs — the worst-case-ish bounded-degree instances for
+  path-coupling experiments (Section 4.2);
+* stars and double stars — unbounded-degree instances separating LubyGlauber
+  (Θ(Δ) behaviour) from LocalMetropolis (Δ-independent behaviour).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "grid_graph",
+    "torus_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "star_graph",
+    "double_star_graph",
+    "ladder_graph",
+    "hypercube_graph",
+    "binary_tree_graph",
+    "caterpillar_graph",
+    "random_regular_graph",
+    "random_tree",
+    "random_bipartite_regular_graph",
+    "erdos_renyi_graph",
+]
+
+
+def _as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def path_graph(n: int) -> nx.Graph:
+    """Return the path with ``n`` vertices ``0 - 1 - ... - (n-1)``."""
+    if n < 1:
+        raise ModelError(f"path_graph needs n >= 1, got {n}")
+    return nx.path_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """Return the cycle with ``n >= 3`` vertices."""
+    if n < 3:
+        raise ModelError(f"cycle_graph needs n >= 3, got {n}")
+    return nx.cycle_graph(n)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """Return the ``rows x cols`` grid, relabelled to ``0..rows*cols-1``.
+
+    Vertex ``(r, c)`` becomes ``r * cols + c``; maximum degree is 4.
+    """
+    if rows < 1 or cols < 1:
+        raise ModelError("grid_graph needs rows, cols >= 1")
+    g = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r in range(rows) for c in range(cols)}
+    return nx.relabel_nodes(g, mapping)
+
+
+def torus_graph(rows: int, cols: int) -> nx.Graph:
+    """Return the ``rows x cols`` torus (grid with wrap-around), 4-regular.
+
+    Requires ``rows, cols >= 3`` so the result is a simple graph.
+    """
+    if rows < 3 or cols < 3:
+        raise ModelError("torus_graph needs rows, cols >= 3 to stay simple")
+    g = nx.grid_2d_graph(rows, cols, periodic=True)
+    mapping = {(r, c): r * cols + c for r in range(rows) for c in range(cols)}
+    return nx.relabel_nodes(g, mapping)
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """Return the complete graph ``K_n``."""
+    if n < 1:
+        raise ModelError(f"complete_graph needs n >= 1, got {n}")
+    return nx.complete_graph(n)
+
+
+def star_graph(leaves: int) -> nx.Graph:
+    """Return the star with one centre (vertex 0) and ``leaves`` leaves.
+
+    The centre has degree ``leaves``; this is the canonical unbounded-degree
+    instance for degree-scaling experiments (experiment E4).
+    """
+    if leaves < 1:
+        raise ModelError(f"star_graph needs leaves >= 1, got {leaves}")
+    return nx.star_graph(leaves)
+
+
+def double_star_graph(leaves_per_side: int) -> nx.Graph:
+    """Two adjacent centres (0 and 1), each with ``leaves_per_side`` leaves.
+
+    Unlike the star, the greedy/chromatic structure forces any
+    independent-set scheduler to alternate between the two centres, so it is
+    a slightly richer high-degree topology than the plain star.
+    """
+    if leaves_per_side < 1:
+        raise ModelError("double_star_graph needs leaves_per_side >= 1")
+    g = nx.Graph()
+    g.add_edge(0, 1)
+    next_label = 2
+    for centre in (0, 1):
+        for _ in range(leaves_per_side):
+            g.add_edge(centre, next_label)
+            next_label += 1
+    return g
+
+
+def ladder_graph(rungs: int) -> nx.Graph:
+    """Return the ladder graph ``P_rungs x K_2`` with ``2 * rungs`` vertices."""
+    if rungs < 2:
+        raise ModelError(f"ladder_graph needs rungs >= 2, got {rungs}")
+    return nx.ladder_graph(rungs)
+
+
+def complete_bipartite_graph(left: int, right: int) -> nx.Graph:
+    """Return ``K_{left,right}`` with the left part labelled ``0..left-1``.
+
+    Another unbounded-degree family for the E4-style separations: maximum
+    degree ``max(left, right)`` with diameter 2.
+    """
+    if left < 1 or right < 1:
+        raise ModelError("complete_bipartite_graph needs left, right >= 1")
+    return nx.complete_bipartite_graph(left, right)
+
+
+def hypercube_graph(dimension: int) -> nx.Graph:
+    """Return the ``dimension``-dimensional hypercube on ``2**dimension`` vertices.
+
+    A log-degree family: ``Delta = dimension = log2 n``, sitting between
+    the bounded-degree tori and the unbounded-degree stars in the
+    degree-scaling experiments.
+    """
+    if dimension < 1:
+        raise ModelError(f"hypercube_graph needs dimension >= 1, got {dimension}")
+    g = nx.hypercube_graph(dimension)
+    mapping = {
+        node: sum(bit << i for i, bit in enumerate(node)) for node in g.nodes()
+    }
+    return nx.relabel_nodes(g, mapping)
+
+
+def binary_tree_graph(height: int) -> nx.Graph:
+    """Return the complete binary tree of the given ``height``.
+
+    ``2**(height+1) - 1`` vertices in heap order (children of ``v`` are
+    ``2v + 1`` and ``2v + 2``); trees are where the paper's ideal coupling
+    (Section 4.2.1) lives.
+    """
+    if height < 0:
+        raise ModelError(f"binary_tree_graph needs height >= 0, got {height}")
+    n = 2 ** (height + 1) - 1
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for v in range(n):
+        for child in (2 * v + 1, 2 * v + 2):
+            if child < n:
+                g.add_edge(v, child)
+    return g
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> nx.Graph:
+    """Return a caterpillar: a spine path with pendant legs on every vertex.
+
+    Spine vertices are ``0..spine-1``; a tree whose degree profile mixes a
+    2-regular backbone with many degree-1 leaves — useful for exercising
+    per-vertex list-size/degree trade-offs (Corollary 3.4).
+    """
+    if spine < 1:
+        raise ModelError(f"caterpillar_graph needs spine >= 1, got {spine}")
+    if legs_per_vertex < 0:
+        raise ModelError("caterpillar_graph needs legs_per_vertex >= 0")
+    g = nx.path_graph(spine)
+    next_label = spine
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(v, next_label)
+            next_label += 1
+    return g
+
+
+def random_bipartite_regular_graph(
+    degree: int, side: int, seed: int | np.random.Generator | None = None
+) -> nx.Graph:
+    """Random bipartite ``degree``-regular (multi-edges collapsed) graph.
+
+    Union of ``degree`` random perfect matchings between two sides of size
+    ``side`` — the raw material of the Section 5.1.1 gadget; exposed here
+    for standalone experiments on bipartite phase coexistence.  Collapsing
+    parallel edges can leave some vertices with degree below ``degree``.
+    """
+    if degree < 1:
+        raise ModelError(f"random_bipartite_regular_graph needs degree >= 1, got {degree}")
+    if side < 1:
+        raise ModelError(f"random_bipartite_regular_graph needs side >= 1, got {side}")
+    rng = _as_rng(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(2 * side))
+    for _ in range(degree):
+        permutation = rng.permutation(side)
+        for i in range(side):
+            g.add_edge(i, side + int(permutation[i]))
+    return g
+
+
+def random_regular_graph(
+    degree: int, n: int, seed: int | np.random.Generator | None = None
+) -> nx.Graph:
+    """Return a uniformly random simple ``degree``-regular graph on ``n`` vertices.
+
+    ``degree * n`` must be even and ``degree < n``.  Used for the
+    path-coupling contraction experiments of Section 4.2 where the ideal
+    case is a Δ-regular tree; a random regular graph is locally tree-like.
+    """
+    if degree < 0 or degree >= n:
+        raise ModelError(f"random_regular_graph needs 0 <= degree < n, got {degree}, {n}")
+    if (degree * n) % 2 != 0:
+        raise ModelError("random_regular_graph needs degree * n even")
+    rng = _as_rng(seed)
+    return nx.random_regular_graph(degree, n, seed=int(rng.integers(2**31)))
+
+
+def random_tree(n: int, seed: int | np.random.Generator | None = None) -> nx.Graph:
+    """Return a uniformly random labelled tree on ``n`` vertices."""
+    if n < 1:
+        raise ModelError(f"random_tree needs n >= 1, got {n}")
+    if n <= 2:
+        return nx.path_graph(n)
+    rng = _as_rng(seed)
+    # Uniform labelled tree via a random Prüfer sequence.
+    sequence = [int(x) for x in rng.integers(0, n, size=n - 2)]
+    return nx.from_prufer_sequence(sequence)
+
+
+def erdos_renyi_graph(
+    n: int, p: float, seed: int | np.random.Generator | None = None
+) -> nx.Graph:
+    """Return a ``G(n, p)`` Erdős–Rényi random graph."""
+    if n < 1:
+        raise ModelError(f"erdos_renyi_graph needs n >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ModelError(f"erdos_renyi_graph needs 0 <= p <= 1, got {p}")
+    rng = _as_rng(seed)
+    return nx.gnp_random_graph(n, p, seed=int(rng.integers(2**31)))

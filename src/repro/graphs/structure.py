@@ -1,0 +1,176 @@
+"""Structural graph utilities.
+
+These are the combinatorial primitives the paper's algorithms and proofs rest
+on: neighbourhoods and balls (the LOCAL model's ``B_t(v)``), independent sets
+(the LubyGlauber scheduler), greedy/chromatic schedules (the baseline
+parallelisation of Gonzalez et al. [28]), and strongly self-avoiding walks
+(the percolation objects in the path-coupling analysis of Section 4.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator, Sequence
+
+import networkx as nx
+
+from repro.errors import ModelError
+
+__all__ = [
+    "normalize_graph",
+    "adjacency_lists",
+    "max_degree",
+    "diameter",
+    "ball",
+    "is_independent_set",
+    "greedy_coloring_schedule",
+    "is_strongly_self_avoiding",
+    "strongly_self_avoiding_walks",
+]
+
+
+def normalize_graph(graph: nx.Graph) -> nx.Graph:
+    """Return a copy of ``graph`` with vertices relabelled to ``0..n-1``.
+
+    The relabelling is by sorted original labels when they are sortable, and
+    by insertion order otherwise.  Self-loops are rejected: every model in
+    this library lives on a simple graph.
+    """
+    if any(u == v for u, v in graph.edges()):
+        raise ModelError("graphs must be simple (no self-loops)")
+    nodes = list(graph.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    mapping = {node: index for index, node in enumerate(nodes)}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def check_vertex_labels(graph: nx.Graph) -> None:
+    """Raise :class:`ModelError` unless vertices are exactly ``0..n-1``."""
+    n = graph.number_of_nodes()
+    if set(graph.nodes()) != set(range(n)):
+        raise ModelError(
+            "graph vertices must be the integers 0..n-1; "
+            "use repro.graphs.normalize_graph first"
+        )
+
+
+def adjacency_lists(graph: nx.Graph) -> list[list[int]]:
+    """Return sorted adjacency lists indexed by vertex ``0..n-1``."""
+    check_vertex_labels(graph)
+    return [sorted(graph.neighbors(v)) for v in range(graph.number_of_nodes())]
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """Return the maximum degree Δ of ``graph`` (0 for the empty graph)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(degree for _, degree in graph.degree())
+
+
+def diameter(graph: nx.Graph) -> int:
+    """Return the diameter of a connected ``graph``."""
+    return nx.diameter(graph)
+
+
+def ball(graph: nx.Graph, center: int, radius: int) -> set[int]:
+    """Return the ``radius``-ball ``B_radius(center)`` — paper notation B_r(v).
+
+    This is the set of vertices within shortest-path distance ``radius`` of
+    ``center``; the output of a ``t``-round LOCAL protocol at ``v`` is a
+    function of the private inputs and randomness in ``B_t(v)``.
+    """
+    if radius < 0:
+        raise ModelError(f"ball radius must be >= 0, got {radius}")
+    seen = {center}
+    frontier = deque([(center, 0)])
+    while frontier:
+        vertex, dist = frontier.popleft()
+        if dist == radius:
+            continue
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append((neighbor, dist + 1))
+    return seen
+
+
+def is_independent_set(graph: nx.Graph, vertices: Iterable[int]) -> bool:
+    """Return True iff ``vertices`` is an independent set in ``graph``."""
+    chosen = set(vertices)
+    return not any(neighbor in chosen for v in chosen for neighbor in graph.neighbors(v))
+
+
+def greedy_coloring_schedule(graph: nx.Graph) -> list[list[int]]:
+    """Partition vertices into colour classes via greedy colouring.
+
+    Returns a list of independent sets covering ``V``; iterating over them in
+    order is the "chromatic scheduler" parallelisation of Glauber dynamics
+    studied by Gonzalez et al. [28] and used here as the LubyGlauber
+    scheduler baseline in experiment E10.
+    """
+    coloring = nx.greedy_color(graph, strategy="largest_first")
+    if not coloring:
+        return []
+    classes: list[list[int]] = [[] for _ in range(max(coloring.values()) + 1)]
+    for vertex, color in coloring.items():
+        classes[color].append(vertex)
+    return [sorted(cls) for cls in classes]
+
+
+def is_strongly_self_avoiding(graph: nx.Graph, walk: Sequence[int]) -> bool:
+    """Return True iff ``walk`` is a strongly self-avoiding walk (SSAW).
+
+    Paper definition (Section 4.2.3): ``P = (v0, ..., vl)`` is an SSAW if it
+    is a simple path in ``G`` *and* ``vi vj`` is not an edge for any
+    ``0 < i + 1 < j <= l`` — i.e. no chord except possibly between the first
+    two vertices' predecessors; concretely only consecutive walk vertices may
+    be adjacent, with the single exemption ``i = 0, j = 1`` being the walk's
+    own first edge.
+    """
+    length = len(walk)
+    if length == 0:
+        return False
+    if len(set(walk)) != length:
+        return False
+    for i in range(length - 1):
+        if not graph.has_edge(walk[i], walk[i + 1]):
+            return False
+    for i in range(length):
+        for j in range(i + 2, length):
+            if i + 1 < j and graph.has_edge(walk[i], walk[j]):
+                return False
+    return True
+
+
+def strongly_self_avoiding_walks(
+    graph: nx.Graph, start: int, max_length: int
+) -> Iterator[tuple[int, ...]]:
+    """Yield all SSAWs from ``start`` of length ``1..max_length`` (edge count).
+
+    Used to evaluate the path-coupling sums in Lemmas 4.10 and 4.11 exactly
+    on small graphs.  A walk is yielded as the tuple of its vertices, so a
+    walk of length ``l`` has ``l + 1`` entries.
+    """
+    if max_length < 1:
+        return
+
+    def extend(walk: list[int], forbidden: set[int]) -> Iterator[tuple[int, ...]]:
+        tail = walk[-1]
+        for neighbor in sorted(graph.neighbors(tail)):
+            if neighbor in forbidden:
+                continue
+            # Strong self-avoidance: the new vertex must not be adjacent to
+            # any walk vertex other than the current tail.
+            if any(
+                graph.has_edge(neighbor, earlier) for earlier in walk[:-1]
+            ):
+                continue
+            new_walk = walk + [neighbor]
+            yield tuple(new_walk)
+            if len(new_walk) - 1 < max_length:
+                yield from extend(new_walk, forbidden | {neighbor})
+
+    yield from extend([start], {start})

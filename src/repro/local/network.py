@@ -1,0 +1,65 @@
+"""The communication network underlying a LOCAL-model execution."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.graphs.structure import check_vertex_labels
+
+__all__ = ["Network"]
+
+
+class Network:
+    """An undirected communication topology with vertices ``0..n-1``.
+
+    Wraps a :class:`networkx.Graph` with the read-only views a LOCAL-model
+    runtime needs, plus the two global quantities the paper explicitly allows
+    nodes to know upper bounds of: the maximum degree ``Delta`` and
+    ``log n`` (Section 2.1 — "accessed only because the running time of the
+    Monte Carlo algorithms may depend on them").
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        check_vertex_labels(graph)
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self._neighbors: list[tuple[int, ...]] = [
+            tuple(sorted(graph.neighbors(v))) for v in range(self.n)
+        ]
+        self._diameter: int | None = None
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Return the sorted neighbourhood of ``v``."""
+        return self._neighbors[v]
+
+    def degree(self, v: int) -> int:
+        """Return deg(v)."""
+        return len(self._neighbors[v])
+
+    @property
+    def max_degree(self) -> int:
+        """Return the maximum degree Δ (0 for edgeless networks)."""
+        if self.n == 0:
+            return 0
+        return max(len(nbrs) for nbrs in self._neighbors)
+
+    @property
+    def log_n_bound(self) -> int:
+        """Return ``ceil(log2 n)`` — the global knowledge the paper grants nodes."""
+        return max(1, math.ceil(math.log2(max(self.n, 2))))
+
+    @property
+    def diameter(self) -> int:
+        """Return the diameter (computed lazily; requires connectivity)."""
+        if self._diameter is None:
+            self._diameter = nx.diameter(self.graph)
+        return self._diameter
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True iff ``uv`` is a communication link."""
+        return self.graph.has_edge(u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Network(n={self.n}, edges={self.graph.number_of_edges()})"

@@ -1,0 +1,30 @@
+"""Independent per-node randomness.
+
+The paper's lower-bound section models each vertex ``v`` as holding an
+independent random variable ``Psi_v``; the output of a ``t``-round protocol
+at ``v`` is ``Pi_{v,I}(Psi_u : u in B_t(v))``.  To honour this we give every
+node its own ``numpy.random.Generator`` derived from a single root seed via
+``SeedSequence.spawn`` — streams are statistically independent and the whole
+run is reproducible from one integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_node_rngs", "root_seed_sequence"]
+
+
+def root_seed_sequence(seed: int | np.random.SeedSequence | None) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a ``SeedSequence``."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def spawn_node_rngs(
+    seed: int | np.random.SeedSequence | None, n: int
+) -> list[np.random.Generator]:
+    """Return ``n`` independent generators — one ``Psi_v`` per node."""
+    root = root_seed_sequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]

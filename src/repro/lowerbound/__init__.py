@@ -1,0 +1,55 @@
+"""Lower-bound machinery (paper Section 5).
+
+* :mod:`repro.lowerbound.correlation` — exact conditional marginals and
+  correlation decay on paths via transfer matrices (the engine behind the
+  Theorem 5.1 Omega(log n) bound);
+* :mod:`repro.lowerbound.protocols` — the independence property (27) of
+  t-round protocols and quantitative independence defects;
+* :mod:`repro.lowerbound.gadget` — the random bipartite gadget G_n^k of
+  Section 5.1.1;
+* :mod:`repro.lowerbound.lift` — the cycle lift H^G of Section 5.1.2;
+* :mod:`repro.lowerbound.phases` — phases Y(sigma), cut sizes and the
+  hardcore uniqueness threshold lambda_c(Delta).
+"""
+
+from repro.lowerbound.correlation import (
+    correlation_decay,
+    fit_decay_rate,
+    path_conditional_marginal,
+    path_pair_joint,
+)
+from repro.lowerbound.gadget import BipartiteGadget, random_bipartite_gadget
+from repro.lowerbound.lift import CycleLift, build_cycle_lift
+from repro.lowerbound.phases import (
+    hardcore_tree_occupancies,
+    lambda_critical,
+    phase_of_configuration,
+    phase_vector,
+)
+from repro.lowerbound.protocols import (
+    independence_defect,
+    min_product_tv,
+    path_protocol_lower_bound,
+    product_tv_lower_bound,
+    tv_to_independent_coupling,
+)
+
+__all__ = [
+    "BipartiteGadget",
+    "CycleLift",
+    "build_cycle_lift",
+    "correlation_decay",
+    "fit_decay_rate",
+    "hardcore_tree_occupancies",
+    "independence_defect",
+    "lambda_critical",
+    "min_product_tv",
+    "path_conditional_marginal",
+    "path_pair_joint",
+    "path_protocol_lower_bound",
+    "phase_of_configuration",
+    "phase_vector",
+    "product_tv_lower_bound",
+    "random_bipartite_gadget",
+    "tv_to_independent_coupling",
+]

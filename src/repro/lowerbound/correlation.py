@@ -1,0 +1,183 @@
+"""Exact correlations on path MRFs via transfer-matrix message passing.
+
+Theorem 5.1 rests on the *exponential correlation* property (paper
+eqs. (28)-(29)): on a path, conditioning a vertex ``u`` on two different
+spins shifts the conditional marginal at ``v`` by ``~ eta^{dist(u, v)}`` —
+exponentially small but *nonzero*, so any protocol whose outputs at
+``u, v`` are exactly independent (property (27)) pays a TV cost.  The
+functions here compute those conditional marginals exactly in
+``O(n q^2)`` using forward/backward messages, valid for arbitrarily long
+paths (the paper's recursion-for-marginals reference [41]).
+
+All functions require the MRF graph to be the canonical path
+``0 - 1 - ... - (n-1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InfeasibleStateError, ModelError
+from repro.mrf.model import MRF
+from repro.mrf.partition import is_canonical_path
+
+__all__ = [
+    "path_conditional_marginal",
+    "path_pair_joint",
+    "correlation_decay",
+    "correlation_profile",
+    "fit_decay_rate",
+]
+
+
+def _allowed_vectors(mrf: MRF, fixed: dict[int, int] | None) -> np.ndarray:
+    """Per-vertex activity vectors with conditioning folded in."""
+    allowed = np.array(mrf.vertex_activity, dtype=float)
+    if fixed:
+        for vertex, spin in fixed.items():
+            if not 0 <= vertex < mrf.n:
+                raise ModelError(f"fixed vertex {vertex} outside 0..{mrf.n - 1}")
+            if not 0 <= spin < mrf.q:
+                raise ModelError(f"fixed spin {spin} outside 0..{mrf.q - 1}")
+            mask = np.zeros(mrf.q)
+            mask[spin] = 1.0
+            allowed[vertex] = allowed[vertex] * mask
+    return allowed
+
+
+def _forward_backward(mrf: MRF, allowed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Forward/backward message tables, rescaled per step for stability."""
+    n, q = mrf.n, mrf.q
+    forward = np.empty((n, q))
+    backward = np.empty((n, q))
+    forward[0] = allowed[0]
+    for i in range(1, n):
+        message = mrf.edge_activity(i - 1, i).T @ forward[i - 1]
+        forward[i] = message * allowed[i]
+        total = forward[i].sum()
+        if total > 0:
+            forward[i] /= total
+    backward[n - 1] = allowed[n - 1]
+    for i in range(n - 2, -1, -1):
+        message = mrf.edge_activity(i, i + 1) @ backward[i + 1]
+        backward[i] = message * allowed[i]
+        total = backward[i].sum()
+        if total > 0:
+            backward[i] /= total
+    return forward, backward
+
+
+def path_conditional_marginal(
+    mrf: MRF, v: int, fixed: dict[int, int] | None = None
+) -> np.ndarray:
+    """Exact marginal ``mu_v(. | fixed)`` on a canonical-path MRF.
+
+    ``fixed`` maps vertices to pinned spins.  Raises
+    :class:`InfeasibleStateError` when the conditioning event has zero
+    probability.
+    """
+    if not is_canonical_path(mrf):
+        raise ModelError("path_conditional_marginal requires the canonical path graph")
+    allowed = _allowed_vectors(mrf, fixed)
+    forward, backward = _forward_backward(mrf, allowed)
+    # forward and backward both contain allowed[v]; divide it out once.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        merged = np.where(
+            allowed[v] > 0.0, forward[v] * backward[v] / allowed[v], 0.0
+        )
+    total = merged.sum()
+    if total <= 0.0:
+        raise InfeasibleStateError("conditioning event has probability zero")
+    return merged / total
+
+
+def path_pair_joint(
+    mrf: MRF, u: int, v: int, fixed: dict[int, int] | None = None
+) -> np.ndarray:
+    """Exact joint distribution of ``(sigma_u, sigma_v)`` under conditioning.
+
+    ``J[a, b] = Pr[sigma_u = a, sigma_v = b | fixed]`` via the chain rule:
+    the marginal at ``u`` times the marginal at ``v`` with ``u`` pinned.
+    """
+    if u == v:
+        raise ModelError("path_pair_joint needs distinct vertices")
+    base = dict(fixed) if fixed else {}
+    if u in base or v in base:
+        raise ModelError("u and v must not already be fixed")
+    marginal_u = path_conditional_marginal(mrf, u, base)
+    joint = np.zeros((mrf.q, mrf.q))
+    for a in range(mrf.q):
+        if marginal_u[a] <= 0.0:
+            continue
+        pinned = dict(base)
+        pinned[u] = a
+        joint[a] = marginal_u[a] * path_conditional_marginal(mrf, v, pinned)
+    return joint
+
+
+def correlation_decay(
+    mrf: MRF,
+    u: int,
+    v: int,
+    min_mass: float = 0.0,
+    fixed: dict[int, int] | None = None,
+) -> tuple[float, tuple[int, int]]:
+    """Maximal conditional-marginal shift at ``v`` from re-pinning ``u``.
+
+    Returns ``(tv, (spin, spin'))`` maximising
+    ``dTV(mu_v(. | sigma_u = spin), mu_v(. | sigma_u = spin'))`` over spin
+    pairs whose marginal mass at ``u`` is at least ``min_mass`` — the
+    paper's correlation quantity (28) with its ``mu_u(sigma_u) >= delta``
+    qualifier.
+    """
+    marginal_u = path_conditional_marginal(mrf, u, fixed)
+    eligible = [spin for spin in range(mrf.q) if marginal_u[spin] >= max(min_mass, 1e-300)]
+    if len(eligible) < 2:
+        raise InfeasibleStateError(
+            "fewer than two eligible spins at u; raise min_mass tolerance"
+        )
+    conditionals = {}
+    base = dict(fixed) if fixed else {}
+    for spin in eligible:
+        pinned = dict(base)
+        pinned[u] = spin
+        conditionals[spin] = path_conditional_marginal(mrf, v, pinned)
+    best = (0.0, (eligible[0], eligible[0]))
+    for i, spin_a in enumerate(eligible):
+        for spin_b in eligible[i + 1 :]:
+            tv = 0.5 * float(np.abs(conditionals[spin_a] - conditionals[spin_b]).sum())
+            if tv > best[0]:
+                best = (tv, (spin_a, spin_b))
+    return best
+
+
+def correlation_profile(
+    mrf: MRF, u: int, distances: list[int], min_mass: float = 0.0
+) -> list[tuple[int, float]]:
+    """Correlation decay values at increasing distances from ``u``.
+
+    Returns ``[(d, tv_d)]`` for each requested distance ``d`` with
+    ``u + d < n``.
+    """
+    profile = []
+    for distance in distances:
+        v = u + distance
+        if v >= mrf.n:
+            raise ModelError(f"distance {distance} exceeds the path from {u}")
+        tv, _ = correlation_decay(mrf, u, v, min_mass=min_mass)
+        profile.append((distance, tv))
+    return profile
+
+
+def fit_decay_rate(profile: list[tuple[int, float]]) -> float:
+    """Fit ``tv_d ~ C * eta^d`` by least squares on ``log tv``; return ``eta``.
+
+    Pairs with ``tv = 0`` (numerically extinct correlation) are dropped.
+    """
+    points = [(d, tv) for d, tv in profile if tv > 0.0]
+    if len(points) < 2:
+        raise ModelError("fit_decay_rate needs at least two positive correlation values")
+    xs = np.array([d for d, _ in points], dtype=float)
+    ys = np.log(np.array([tv for _, tv in points]))
+    slope = float(np.polyfit(xs, ys, 1)[0])
+    return float(np.exp(slope))

@@ -1,0 +1,146 @@
+"""The random bipartite gadget ``G_n^k`` (paper Section 5.1.1).
+
+Construction: two sides ``V+ = U+ ∪ W+`` and ``V- = U- ∪ W-`` with
+``|V±| = n`` and ``|W±| = k`` "terminals".  Take the union of ``Delta - 1``
+uniformly random perfect matchings between ``V+`` and ``V-`` plus one
+uniformly random perfect matching between ``U+`` and ``U-``.  Every
+non-terminal vertex then has degree ``Delta`` and every terminal degree
+``Delta - 1`` (counting multi-edges), leaving exactly one free "port" per
+terminal for the inter-gadget wiring of the cycle lift.
+
+In the non-uniqueness regime ``lambda > lambda_c(Delta)`` the hardcore
+measure on the gadget is bimodal over the two *phases* (which side carries
+more occupied vertices), with terminal spins approximately i.i.d. at the
+tree fixed-point densities ``q±`` (Proposition 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["BipartiteGadget", "random_bipartite_gadget"]
+
+
+@dataclass
+class BipartiteGadget:
+    """One sampled gadget with its vertex-role bookkeeping.
+
+    Vertices are ``0..2n-1``: the plus side is ``0..n-1`` (terminals last),
+    the minus side ``n..2n-1`` (terminals last).
+
+    Attributes
+    ----------
+    graph:
+        The simple graph obtained by collapsing parallel matching edges.
+    n_side, k:
+        Side size and terminal count per side.
+    delta:
+        The target degree Delta of the construction.
+    plus_side, minus_side:
+        Vertex lists of each side.
+    plus_terminals, minus_terminals:
+        The ``W±`` terminal lists (``k`` vertices each).
+    multi_edges:
+        Number of parallel edges collapsed when simplifying; for the
+        hardcore model (0/1 constraints) collapsing does not change the
+        Gibbs distribution.
+    """
+
+    graph: nx.Graph
+    n_side: int
+    k: int
+    delta: int
+    plus_side: list[int] = field(default_factory=list)
+    minus_side: list[int] = field(default_factory=list)
+    plus_terminals: list[int] = field(default_factory=list)
+    minus_terminals: list[int] = field(default_factory=list)
+    multi_edges: int = 0
+
+    @property
+    def n_vertices(self) -> int:
+        """Total number of vertices, ``2 * n_side``."""
+        return 2 * self.n_side
+
+
+def random_bipartite_gadget(
+    n_side: int,
+    k: int,
+    delta: int,
+    rng: np.random.Generator | int | None = None,
+    require_connected: bool = True,
+    max_attempts: int = 200,
+) -> BipartiteGadget:
+    """Sample ``G ~ G_n^k`` as in Section 5.1.1.
+
+    Parameters
+    ----------
+    n_side:
+        Vertices per side (paper's ``n``); must exceed ``2k``.
+    k:
+        Terminals per side.
+    delta:
+        Degree target ``Delta >= 3``; ``delta - 1`` side-to-side matchings
+        plus one ``U+``-``U-`` matching are unioned.
+    rng:
+        Randomness; int seeds accepted.
+    require_connected:
+        Re-sample until the collapsed simple graph is connected (the
+        "expander" clause of Proposition 5.3 holds w.h.p.; resampling
+        mirrors the proposition's positive-probability argument).
+    """
+    if n_side <= 2 * k:
+        raise ModelError(f"gadget needs n_side > 2k, got n_side={n_side}, k={k}")
+    if k < 1:
+        raise ModelError(f"gadget needs k >= 1, got {k}")
+    if delta < 3:
+        raise ModelError(f"gadget needs delta >= 3, got {delta}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    plus_side = list(range(n_side))
+    minus_side = list(range(n_side, 2 * n_side))
+    # Terminals are the *last* k vertices of each side.
+    plus_terminals = plus_side[n_side - k :]
+    minus_terminals = minus_side[n_side - k :]
+    plus_internal = plus_side[: n_side - k]
+    minus_internal = minus_side[: n_side - k]
+
+    for _ in range(max_attempts):
+        edge_multiset: list[tuple[int, int]] = []
+        # Delta - 1 perfect matchings between the full sides.
+        for _ in range(delta - 1):
+            permutation = rng.permutation(n_side)
+            edge_multiset.extend(
+                (plus_side[i], minus_side[int(permutation[i])]) for i in range(n_side)
+            )
+        # One perfect matching between the internal (non-terminal) vertices.
+        permutation = rng.permutation(n_side - k)
+        edge_multiset.extend(
+            (plus_internal[i], minus_internal[int(permutation[i])])
+            for i in range(n_side - k)
+        )
+        graph = nx.Graph()
+        graph.add_nodes_from(range(2 * n_side))
+        graph.add_edges_from(edge_multiset)
+        multi = len(edge_multiset) - graph.number_of_edges()
+        if require_connected and not nx.is_connected(graph):
+            continue
+        return BipartiteGadget(
+            graph=graph,
+            n_side=n_side,
+            k=k,
+            delta=delta,
+            plus_side=plus_side,
+            minus_side=minus_side,
+            plus_terminals=plus_terminals,
+            minus_terminals=minus_terminals,
+            multi_edges=multi,
+        )
+    raise ModelError(
+        f"could not sample a connected gadget in {max_attempts} attempts"
+    )

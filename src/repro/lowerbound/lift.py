@@ -1,0 +1,118 @@
+"""The cycle lift ``H^G`` (paper Section 5.1.2).
+
+Take an even cycle ``H`` with ``m`` vertices and a gadget ``G``.  Each cycle
+vertex ``x`` receives its own copy ``G_x``; for every cycle edge ``(x, y)``,
+``k`` edges are added between ``W+_x`` and ``W+_y`` and ``k`` edges between
+``W-_x`` and ``W-_y``, consuming each terminal's one free port so the lift
+is ``Delta``-regular.
+
+In the non-uniqueness regime, the hardcore measure on ``H^G`` concentrates
+on phase vectors realising a *maximum cut* of the cycle (Theorem 5.4): the
+two alternating phase patterns, each with probability ``1/2 - o(1)``.
+Sampling therefore requires correlating phase choices across the whole
+cycle — distance ``Omega(diam)`` — which is what Theorem 5.2 turns into the
+round lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError
+from repro.lowerbound.gadget import BipartiteGadget, random_bipartite_gadget
+
+__all__ = ["CycleLift", "build_cycle_lift"]
+
+
+@dataclass
+class CycleLift:
+    """The lifted graph with per-copy vertex bookkeeping.
+
+    Copy ``x`` of the gadget occupies the contiguous vertex block
+    ``[x * block, (x+1) * block)`` where ``block = 2 * n_side``.
+
+    Attributes
+    ----------
+    graph:
+        The full lifted simple graph.
+    m:
+        Cycle length (even).
+    gadget:
+        The gadget template ``G`` (each copy is isomorphic to it).
+    copy_plus / copy_minus:
+        Per-copy lists of plus/minus side vertices.
+    """
+
+    graph: nx.Graph
+    m: int
+    gadget: BipartiteGadget
+    copy_plus: list[list[int]] = field(default_factory=list)
+    copy_minus: list[list[int]] = field(default_factory=list)
+
+    @property
+    def n_vertices(self) -> int:
+        """Total vertex count ``m * 2 * n_side``."""
+        return self.m * self.gadget.n_vertices
+
+    def copy_of_vertex(self, vertex: int) -> int:
+        """Return the cycle position whose gadget copy contains ``vertex``."""
+        return vertex // self.gadget.n_vertices
+
+
+def build_cycle_lift(
+    m: int,
+    n_side: int,
+    k: int,
+    delta: int,
+    rng: np.random.Generator | int | None = None,
+) -> CycleLift:
+    """Construct ``H^G`` for the even ``m``-cycle ``H``.
+
+    All ``m`` copies use the *same* sampled gadget (the paper picks one good
+    ``G`` and replicates it).  For each cycle edge, the ``k`` "left-facing"
+    terminal ports of one copy are matched to the ``k`` "right-facing" ports
+    of the next, on each sign side — every terminal having exactly one free
+    port, the lift ends up ``Delta``-regular up to the parallel edges
+    collapsed inside the gadget.
+
+    ``k`` must satisfy ``2k <= n_side - 1`` and the gadget uses ``2k``
+    terminals per side (paper: ``G ∈ G^{2k}_n``), ``k`` toward each cycle
+    neighbour.
+    """
+    if m < 4 or m % 2 != 0:
+        raise ModelError(f"cycle lift needs even m >= 4, got {m}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    gadget = random_bipartite_gadget(n_side, 2 * k, delta, rng=rng)
+    block = gadget.n_vertices
+    graph = nx.Graph()
+    graph.add_nodes_from(range(m * block))
+    copy_plus: list[list[int]] = []
+    copy_minus: list[list[int]] = []
+    for x in range(m):
+        offset = x * block
+        for u, v in gadget.graph.edges():
+            graph.add_edge(offset + u, offset + v)
+        copy_plus.append([offset + v for v in gadget.plus_side])
+        copy_minus.append([offset + v for v in gadget.minus_side])
+    # Inter-copy wiring: terminals are split into a "right-facing" half
+    # (first k) matched with the next copy's "left-facing" half (last k).
+    plus_terms = gadget.plus_terminals
+    minus_terms = gadget.minus_terminals
+    for x in range(m):
+        y = (x + 1) % m
+        off_x = x * block
+        off_y = y * block
+        for i in range(k):
+            graph.add_edge(off_x + plus_terms[i], off_y + plus_terms[k + i])
+            graph.add_edge(off_x + minus_terms[i], off_y + minus_terms[k + i])
+    return CycleLift(
+        graph=graph,
+        m=m,
+        gadget=gadget,
+        copy_plus=copy_plus,
+        copy_minus=copy_minus,
+    )

@@ -1,0 +1,134 @@
+"""Phases, cuts and the hardcore uniqueness threshold (Section 5.1).
+
+* ``lambda_c(Delta) = (Delta-1)^(Delta-1) / (Delta-2)^Delta`` — sampling is
+  tractable below it and intractable above (the "computational phase
+  transition"); Theorem 1.3's ``Delta >= 6`` condition is exactly
+  ``lambda_c(Delta) < 1``.
+* The *phase* of a hardcore configuration on a bipartite gadget is the sign
+  of the occupancy imbalance between the two sides.
+* :func:`hardcore_tree_occupancies` computes the two stable fixed-point
+  densities ``q± `` of the ``(Delta-1)``-ary tree recursion — the terminal
+  spin densities of Proposition 5.3 — and the derived constants
+  ``Theta = (1 - q+ q-)^2`` and ``Gamma = (1 - q+^2)(1 - q-^2)`` whose ratio
+  powers Lemma 5.5.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import ConvergenceError, ModelError
+
+__all__ = [
+    "lambda_critical",
+    "phase_of_configuration",
+    "phase_vector",
+    "cut_size",
+    "is_max_cut_phase",
+    "hardcore_tree_occupancies",
+    "theta_gamma_constants",
+]
+
+
+def lambda_critical(delta: int) -> float:
+    """Uniqueness threshold ``lambda_c(Delta) = (Delta-1)^(Delta-1)/(Delta-2)^Delta``."""
+    if delta < 3:
+        raise ModelError(f"lambda_critical needs Delta >= 3, got {delta}")
+    return ((delta - 1) ** (delta - 1)) / ((delta - 2) ** delta)
+
+
+def phase_of_configuration(
+    config: Sequence[int], plus_side: Sequence[int], minus_side: Sequence[int]
+) -> int:
+    """Return the phase ``Y(sigma)``: +1, -1, or 0 on a tie.
+
+    Paper Section 5.1.1: ``+`` if the plus side holds more occupied vertices
+    than the minus side, ``-`` if fewer.  Ties (probability o(1) in the
+    non-uniqueness regime) are reported as 0 so callers can discard them.
+    """
+    plus_count = sum(int(config[v]) for v in plus_side)
+    minus_count = sum(int(config[v]) for v in minus_side)
+    if plus_count > minus_count:
+        return 1
+    if plus_count < minus_count:
+        return -1
+    return 0
+
+
+def phase_vector(config: Sequence[int], lift) -> list[int]:
+    """Return ``Y = (Y_x)`` for each gadget copy of a :class:`CycleLift`."""
+    return [
+        phase_of_configuration(config, lift.copy_plus[x], lift.copy_minus[x])
+        for x in range(lift.m)
+    ]
+
+
+def cut_size(phases: Sequence[int]) -> int:
+    """Number of cycle edges whose endpoints carry different phases.
+
+    ``Cut(Y) = |{(x, y) in E(H) : Y_x != Y_y}|`` for the cycle ordering.
+    """
+    m = len(phases)
+    return sum(1 for x in range(m) if phases[x] != phases[(x + 1) % m])
+
+
+def is_max_cut_phase(phases: Sequence[int]) -> bool:
+    """True iff the phase vector alternates perfectly (a maximum cut).
+
+    The even cycle has exactly two maximum cuts — the two alternating
+    patterns; Theorem 5.4 says the Gibbs measure lands on one of them with
+    probability ``1 - o(1)``, each with probability ``~ 1/2``.
+    """
+    m = len(phases)
+    if any(phase == 0 for phase in phases):
+        return False
+    return all(phases[x] != phases[(x + 1) % m] for x in range(m))
+
+
+def hardcore_tree_occupancies(
+    delta: int, fugacity: float, tol: float = 1e-14, max_iterations: int = 100_000
+) -> tuple[float, float]:
+    """Return the phase densities ``(q-, q+)`` of Proposition 5.3.
+
+    Iterates the hardcore tree recursion ``f(x) = lambda / (1 + x)^(Delta-1)``
+    to its stable 2-periodic orbit ``(x_low, x_high)`` and converts to
+    occupation probabilities ``q = x / (1 + x)``.  In the uniqueness regime
+    (``fugacity <= lambda_c``) the orbit collapses and ``q- == q+``.
+    """
+    if delta < 3:
+        raise ModelError(f"hardcore_tree_occupancies needs Delta >= 3, got {delta}")
+    if fugacity <= 0:
+        raise ModelError(f"fugacity must be > 0, got {fugacity}")
+    d = delta - 1
+
+    def recursion(x: float) -> float:
+        return fugacity / (1.0 + x) ** d
+
+    x = 0.0  # the extremal boundary condition (even levels unoccupied)
+    for _ in range(max_iterations):
+        next_x = recursion(recursion(x))
+        if abs(next_x - x) < tol:
+            x = next_x
+            break
+        x = next_x
+    else:
+        raise ConvergenceError("tree recursion did not settle on its 2-orbit")
+    x_low = min(x, recursion(x))
+    x_high = max(x, recursion(x))
+    q_minus = x_low / (1.0 + x_low)
+    q_plus = x_high / (1.0 + x_high)
+    return q_minus, q_plus
+
+
+def theta_gamma_constants(delta: int, fugacity: float) -> tuple[float, float]:
+    """Return ``(Theta, Gamma)`` of Lemma 5.5.
+
+    ``Theta = (1 - q+ q-)^2`` and ``Gamma = (1 - q+^2)(1 - q-^2)``; the
+    lemma's amplification needs ``Theta > Gamma``, which holds exactly in
+    the non-uniqueness regime where ``q+ != q-`` (AM-GM strictness).
+    """
+    q_minus, q_plus = hardcore_tree_occupancies(delta, fugacity)
+    theta = (1.0 - q_plus * q_minus) ** 2
+    gamma = (1.0 - q_plus**2) * (1.0 - q_minus**2)
+    return theta, gamma

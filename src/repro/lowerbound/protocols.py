@@ -1,0 +1,260 @@
+"""Quantifying what t-round protocols cannot do (Theorem 5.1).
+
+The only locality property the paper's lower bounds use is (27): outputs of
+a ``t``-round protocol at vertices more than ``2t`` apart are *independent*
+random variables, because their ``t``-balls are disjoint (locality of
+randomness).  The Gibbs distribution, by contrast, carries nonzero
+correlation at every distance on a path.  This module turns that tension
+into computable certificates:
+
+* :func:`independence_defect` — ``max_{A,B} |J(A x B) - J_A(A) J_B(B)|``:
+  how far a joint is from *its own* product structure;
+* :func:`product_tv_lower_bound` — the rigorous bound
+  ``min_{p, q} dTV(J, p ⊗ q) >= defect / 3`` (any product within TV ``d`` of
+  ``J`` forces the defect below ``3d`` by a triangle-inequality argument);
+* :func:`path_protocol_lower_bound` — the full Theorem 5.1 assembly on a
+  path colouring: block the path as in the paper (fixed centers separating
+  unfixed pairs at distance ``2t + 1``), compute each pair's defect exactly
+  via transfer matrices, and combine the per-block independent TV costs into
+  a certificate against *any* t-round protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.lowerbound.correlation import path_pair_joint
+from repro.mrf.builders import proper_coloring_mrf
+from repro.graphs.generators import path_graph
+
+__all__ = [
+    "independence_defect",
+    "product_tv_lower_bound",
+    "tv_to_independent_coupling",
+    "min_product_tv",
+    "PathLowerBoundCertificate",
+    "path_protocol_lower_bound",
+]
+
+
+def independence_defect(joint: np.ndarray) -> float:
+    """Return ``max_{A, B} |J(A x B) - J_A(A) * J_B(B)|`` over event pairs.
+
+    ``joint`` is a ``(qa, qb)`` matrix summing to 1.  The maximisation
+    enumerates all ``2^qa * 2^qb`` event rectangles — exact for the small
+    domains used here.  Zero iff the joint is exactly a product.
+    """
+    joint = np.asarray(joint, dtype=float)
+    if joint.ndim != 2:
+        raise ModelError("independence_defect needs a 2-d joint")
+    total = joint.sum()
+    if not math.isclose(total, 1.0, abs_tol=1e-6):
+        raise ModelError(f"joint must sum to 1, got {total}")
+    qa, qb = joint.shape
+    marginal_a = joint.sum(axis=1)
+    marginal_b = joint.sum(axis=0)
+    best = 0.0
+    for mask_a in range(1, 2**qa - 1):
+        rows = [i for i in range(qa) if (mask_a >> i) & 1]
+        pa = marginal_a[rows].sum()
+        row_slice = joint[rows].sum(axis=0)
+        for mask_b in range(1, 2**qb - 1):
+            cols = [j for j in range(qb) if (mask_b >> j) & 1]
+            pb = marginal_b[cols].sum()
+            pab = row_slice[cols].sum()
+            defect = abs(pab - pa * pb)
+            if defect > best:
+                best = defect
+    return float(best)
+
+
+def product_tv_lower_bound(joint: np.ndarray) -> float:
+    """Rigorous lower bound on ``min over products p ⊗ q`` of ``dTV(J, p ⊗ q)``.
+
+    If ``dTV(J, p ⊗ q) = d`` then for every event rectangle ``A x B``:
+    ``|J(AxB) - p(A)q(B)| <= d``, ``|J_A(A) - p(A)| <= d`` and
+    ``|J_B(B) - q(B)| <= d``, whence
+    ``|J(AxB) - J_A(A) J_B(B)| <= 3d``.  Therefore ``d >= defect / 3``.
+    """
+    return independence_defect(joint) / 3.0
+
+
+def tv_to_independent_coupling(joint: np.ndarray) -> float:
+    """``dTV(J, J_A ⊗ J_B)`` — distance to the product of its own marginals.
+
+    An upper bound on the minimal product distance and the natural
+    "how correlated is this pair" summary the experiments report.
+    """
+    joint = np.asarray(joint, dtype=float)
+    product = np.outer(joint.sum(axis=1), joint.sum(axis=0))
+    return float(0.5 * np.abs(joint - product).sum())
+
+
+def _best_factor_lp(joint: np.ndarray, fixed: np.ndarray, axis: int) -> tuple[np.ndarray, float]:
+    """Solve ``min_q 0.5 * sum |J - p (x) q|`` for one factor via an LP.
+
+    With the other factor ``fixed``, the objective is piecewise linear in
+    the free factor — a textbook LP with auxiliary absolute-value variables
+    ``t_ab >= +/-(J_ab - p_a q_b)``.
+    """
+    from scipy.optimize import linprog
+
+    qa, qb = joint.shape
+    if axis == 0:
+        # optimise the row factor p given column factor fixed (length qb).
+        joint = joint.T
+        qa, qb = qb, qa
+    # Variables: [q_0..q_{qb-1}, t_00..t_{qa-1, qb-1}].
+    n_q = qb
+    n_t = qa * qb
+    c = np.concatenate([np.zeros(n_q), np.ones(n_t)])
+    rows = []
+    rhs = []
+    for a in range(qa):
+        for b in range(qb):
+            t_index = n_q + a * qb + b
+            # p_a q_b - t_ab <= J_ab
+            row = np.zeros(n_q + n_t)
+            row[b] = fixed[a]
+            row[t_index] = -1.0
+            rows.append(row)
+            rhs.append(joint[a, b])
+            # -p_a q_b - t_ab <= -J_ab
+            row = np.zeros(n_q + n_t)
+            row[b] = -fixed[a]
+            row[t_index] = -1.0
+            rows.append(row)
+            rhs.append(-joint[a, b])
+    a_eq = np.zeros((1, n_q + n_t))
+    a_eq[0, :n_q] = 1.0
+    result = linprog(
+        c,
+        A_ub=np.array(rows),
+        b_ub=np.array(rhs),
+        A_eq=a_eq,
+        b_eq=np.array([1.0]),
+        bounds=[(0, None)] * (n_q + n_t),
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - solver failure is exceptional
+        raise ModelError(f"linprog failed: {result.message}")
+    return result.x[:n_q], 0.5 * float(result.fun)
+
+
+def min_product_tv(
+    joint: np.ndarray, restarts: int = 5, sweeps: int = 30, seed: int | None = 0
+) -> float:
+    """Near-optimal ``min over products p (x) q`` of ``dTV(J, p (x) q)``.
+
+    Alternating exact LP minimisation over the two factors: each
+    subproblem is solved to optimality, so the result is always a *valid
+    upper bound* on the true minimum (it is achieved by a concrete product
+    distribution).  The joint problem is only biconvex, so alternation can
+    plateau slightly above the global optimum (observed within ~1% on 2x2
+    joints; random restarts mitigate).  Always satisfies
+
+        product_tv_lower_bound(J)  <=  true min  <=  min_product_tv(J)
+                                                 <=  tv_to_independent_coupling(J).
+    """
+    joint = np.asarray(joint, dtype=float)
+    if joint.ndim != 2:
+        raise ModelError("min_product_tv needs a 2-d joint")
+    rng = np.random.default_rng(seed)
+    qa, qb = joint.shape
+    best = math.inf
+    starts = [joint.sum(axis=1)]
+    for _ in range(max(0, restarts - 1)):
+        draw = rng.dirichlet(np.ones(qa))
+        starts.append(draw)
+    for p in starts:
+        p = np.asarray(p, dtype=float)
+        value = math.inf
+        for _ in range(sweeps):
+            q_factor, value_q = _best_factor_lp(joint, p, axis=1)
+            p, value_p = _best_factor_lp(joint, q_factor, axis=0)
+            if abs(value - value_p) < 1e-12:
+                value = value_p
+                break
+            value = value_p
+        best = min(best, value)
+    return float(best)
+
+
+@dataclass
+class PathLowerBoundCertificate:
+    """Assembled Theorem 5.1 certificate for one ``(n, q, t)`` setting.
+
+    Attributes
+    ----------
+    n, q, t:
+        Path length, colour count, protocol round budget.
+    block:
+        Center spacing ``3 (2t + 1)`` (paper proof of Theorem 5.1).
+    pairs:
+        The unfixed center pairs ``(u_i, v_i)``.
+    pair_defects:
+        Exact independence defect of each Gibbs pair joint, conditioned on
+        the fixed centers.
+    pair_lower_bounds:
+        Rigorous per-pair ``min-product`` TV lower bounds (defect / 3).
+    combined_lower_bound:
+        ``1 - prod_i (1 - d_i)`` where ``d_i`` are the per-pair bounds: any
+        joint distribution whose blocks are mutually independent (as both
+        the protocol's restriction and the conditioned Gibbs measure are)
+        must differ from the conditioned Gibbs measure by at least this much
+        in TV, by the paper's inequality (30).
+    """
+
+    n: int
+    q: int
+    t: int
+    block: int
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    pair_defects: list[float] = field(default_factory=list)
+    pair_lower_bounds: list[float] = field(default_factory=list)
+    combined_lower_bound: float = 0.0
+
+
+def path_protocol_lower_bound(
+    n: int, q: int, t: int, fixed_spin: int = 0
+) -> PathLowerBoundCertificate:
+    """Build the Theorem 5.1 certificate on the ``n``-path with ``q`` colours.
+
+    Mirrors the paper's construction: fixed centers ``x_i`` every
+    ``3(2t+1)`` vertices are pinned to ``fixed_spin``; between consecutive
+    fixed centers sit the unfixed pair ``u_i = x_i + (2t+1)``,
+    ``v_i = x_i + 2(2t+1)`` at mutual distance ``2t + 1 > 2t``.  A t-round
+    protocol must output *independent* values at each pair (property (27)),
+    while the conditioned Gibbs pairs carry defect ``> 0``; the certificate
+    multiplies the per-pair costs as in inequality (30).
+    """
+    if q < 3:
+        raise ModelError("path colouring lower bound needs q >= 3")
+    if t < 0:
+        raise ModelError("t must be >= 0")
+    block = 3 * (2 * t + 1)
+    m = (n - 1) // block
+    if m < 1:
+        raise ModelError(
+            f"path of length {n} too short for one block of size {block}"
+        )
+    mrf = proper_coloring_mrf(path_graph(n), q)
+    centers_fixed = {i * block: fixed_spin for i in range(m + 1)}
+    certificate = PathLowerBoundCertificate(n=n, q=q, t=t, block=block)
+    survival = 1.0
+    for i in range(m):
+        u = i * block + (2 * t + 1)
+        v = i * block + 2 * (2 * t + 1)
+        joint = path_pair_joint(mrf, u, v, fixed=centers_fixed)
+        defect = independence_defect(joint)
+        bound = defect / 3.0
+        certificate.pairs.append((u, v))
+        certificate.pair_defects.append(defect)
+        certificate.pair_lower_bounds.append(bound)
+        survival *= 1.0 - min(bound, 1.0)
+    certificate.combined_lower_bound = 1.0 - survival
+    return certificate

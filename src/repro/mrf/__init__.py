@@ -1,0 +1,70 @@
+"""Markov random fields (spin systems) and their Gibbs distributions.
+
+This package implements the paper's Section 2.2 substrate: an MRF on a graph
+``G(V, E)`` with spin domain ``[q]``, symmetric non-negative edge activities
+``A_e`` and vertex activities ``b_v``, inducing the Gibbs distribution
+
+    mu(sigma)  proportional to  prod_e A_e(sigma_u, sigma_v) * prod_v b_v(sigma_v).
+
+Submodules:
+
+* :mod:`repro.mrf.model` — the :class:`MRF` container and validation;
+* :mod:`repro.mrf.builders` — colourings, hardcore, Ising, Potts, ...;
+* :mod:`repro.mrf.marginals` — conditional marginals (paper eq. (2)) and the
+  LocalMetropolis well-definedness condition (paper eq. (6));
+* :mod:`repro.mrf.partition` — exact partition functions (brute force and
+  transfer matrix);
+* :mod:`repro.mrf.distribution` — exact Gibbs distribution objects;
+* :mod:`repro.mrf.influence` — influence matrices and Dobrushin's condition.
+"""
+
+from repro.mrf.builders import (
+    hardcore_mrf,
+    independent_set_mrf,
+    ising_mrf,
+    list_coloring_mrf,
+    potts_mrf,
+    proper_coloring_mrf,
+    uniform_mrf,
+    vertex_cover_mrf,
+)
+from repro.mrf.distribution import GibbsDistribution, exact_gibbs_distribution
+from repro.mrf.influence import (
+    coloring_total_influence,
+    dobrushin_alpha,
+    influence_matrix,
+)
+from repro.mrf.marginals import (
+    conditional_marginal,
+    satisfies_glauber_condition,
+    satisfies_local_metropolis_condition,
+)
+from repro.mrf.model import MRF
+from repro.mrf.partition import (
+    brute_force_partition_function,
+    partition_function,
+    transfer_matrix_partition_function,
+)
+
+__all__ = [
+    "MRF",
+    "GibbsDistribution",
+    "brute_force_partition_function",
+    "coloring_total_influence",
+    "conditional_marginal",
+    "dobrushin_alpha",
+    "exact_gibbs_distribution",
+    "hardcore_mrf",
+    "independent_set_mrf",
+    "influence_matrix",
+    "ising_mrf",
+    "list_coloring_mrf",
+    "partition_function",
+    "potts_mrf",
+    "proper_coloring_mrf",
+    "satisfies_glauber_condition",
+    "satisfies_local_metropolis_condition",
+    "transfer_matrix_partition_function",
+    "uniform_mrf",
+    "vertex_cover_mrf",
+]

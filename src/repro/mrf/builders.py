@@ -1,0 +1,142 @@
+"""Constructors for the named MRFs of paper Section 2.2.
+
+Each builder returns a fully validated :class:`repro.mrf.model.MRF`.  Spin
+conventions:
+
+* two-state models (hardcore, independent set, vertex cover, Ising) use spins
+  ``{0, 1}``; for occupancy models spin 1 means "in the set";
+* colourings use spins ``0..q-1`` as the colours.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mrf.model import MRF
+
+__all__ = [
+    "proper_coloring_mrf",
+    "list_coloring_mrf",
+    "independent_set_mrf",
+    "hardcore_mrf",
+    "vertex_cover_mrf",
+    "ising_mrf",
+    "potts_mrf",
+    "uniform_mrf",
+]
+
+
+def proper_coloring_mrf(graph: nx.Graph, q: int) -> MRF:
+    """Uniform distribution over proper ``q``-colourings of ``graph``.
+
+    Paper Section 2.2: ``A_e(i, i) = 0``, ``A_e(i, j) = 1`` for ``i != j``,
+    all ``b_v`` equal to the all-ones vector.
+    """
+    if q < 2:
+        raise ModelError(f"colouring needs q >= 2, got {q}")
+    edge = np.ones((q, q)) - np.eye(q)
+    vertex = np.ones(q)
+    return MRF(graph, q, edge, vertex, name=f"coloring(q={q})")
+
+
+def list_coloring_mrf(graph: nx.Graph, q: int, lists: Mapping[int, Sequence[int]]) -> MRF:
+    """Uniform distribution over proper list colourings.
+
+    ``lists[v]`` is the set ``L_v`` of colours available to vertex ``v``
+    (paper Section 2.2: ``b_v`` is the indicator vector of ``L_v``).
+    """
+    if q < 2:
+        raise ModelError(f"list colouring needs q >= 2, got {q}")
+    edge = np.ones((q, q)) - np.eye(q)
+    vertex = np.zeros((graph.number_of_nodes(), q))
+    for v in range(graph.number_of_nodes()):
+        if v not in lists:
+            raise ModelError(f"no colour list supplied for vertex {v}")
+        available = list(lists[v])
+        if not available:
+            raise ModelError(f"vertex {v} has an empty colour list")
+        if any(c < 0 or c >= q for c in available):
+            raise ModelError(f"vertex {v} lists a colour outside 0..{q - 1}")
+        vertex[v, available] = 1.0
+    return MRF(graph, q, edge, vertex, name=f"list-coloring(q={q})")
+
+
+def independent_set_mrf(graph: nx.Graph) -> MRF:
+    """Uniform distribution over independent sets (spin 1 = occupied).
+
+    Paper Section 2.2: ``q = 2``, ``A_e = [[1, 1], [1, 0]]``, ``b_v = [1, 1]``.
+    This is the ``lambda = 1`` hardcore model.
+    """
+    return hardcore_mrf(graph, 1.0)
+
+
+def hardcore_mrf(graph: nx.Graph, fugacity: float) -> MRF:
+    """Hardcore gas model: independent sets weighted by ``fugacity**|I|``.
+
+    The Ω(diam) lower bound (Theorem 5.2) concerns this model in the
+    non-uniqueness regime ``fugacity > lambda_c(Delta)``.
+    """
+    if fugacity <= 0:
+        raise ModelError(f"hardcore fugacity must be > 0, got {fugacity}")
+    edge = np.array([[1.0, 1.0], [1.0, 0.0]])
+    vertex = np.array([1.0, float(fugacity)])
+    return MRF(graph, 2, edge, vertex, name=f"hardcore(lambda={fugacity})")
+
+
+def vertex_cover_mrf(graph: nx.Graph, weight: float = 1.0) -> MRF:
+    """Distribution over vertex covers, weighted by ``weight**|C|``.
+
+    Spin 1 means "in the cover"; an edge is satisfied unless both endpoints
+    are *out* of the cover — the complement of the independent-set constraint.
+    """
+    if weight <= 0:
+        raise ModelError(f"vertex cover weight must be > 0, got {weight}")
+    edge = np.array([[0.0, 1.0], [1.0, 1.0]])
+    vertex = np.array([1.0, float(weight)])
+    return MRF(graph, 2, edge, vertex, name=f"vertex-cover(w={weight})")
+
+
+def ising_mrf(graph: nx.Graph, beta: float, field: float = 1.0) -> MRF:
+    """Ising model with edge activity ``beta`` in the paper's convention.
+
+    Paper Section 2.2 parameterises Potts/Ising multiplicatively:
+    ``A_e(i, i) = beta`` and ``A_e(i, j) = 1`` for ``i != j``.  ``beta > 1``
+    is ferromagnetic, ``beta < 1`` antiferromagnetic.  ``field`` is the
+    vertex activity of spin 1 (``b_v = [1, field]``).
+    """
+    if beta <= 0:
+        raise ModelError(f"Ising beta must be > 0, got {beta}")
+    if field <= 0:
+        raise ModelError(f"Ising field must be > 0, got {field}")
+    edge = np.array([[beta, 1.0], [1.0, beta]])
+    vertex = np.array([1.0, float(field)])
+    return MRF(graph, 2, edge, vertex, name=f"ising(beta={beta},field={field})")
+
+
+def potts_mrf(graph: nx.Graph, q: int, beta: float) -> MRF:
+    """q-state Potts model: ``A_e(i, i) = beta``, off-diagonal 1.
+
+    ``beta -> 0`` recovers proper colourings; ``q = 2`` is the Ising model.
+    """
+    if q < 2:
+        raise ModelError(f"Potts needs q >= 2, got {q}")
+    if beta <= 0:
+        raise ModelError(f"Potts beta must be > 0, got {beta}")
+    edge = np.ones((q, q)) + (beta - 1.0) * np.eye(q)
+    vertex = np.ones(q)
+    return MRF(graph, q, edge, vertex, name=f"potts(q={q},beta={beta})")
+
+
+def uniform_mrf(graph: nx.Graph, q: int) -> MRF:
+    """The unconstrained model: every configuration has weight 1.
+
+    The Gibbs distribution is uniform over ``[q]^V``; useful as a smoke-test
+    model where every chain mixes instantly.
+    """
+    if q < 2:
+        raise ModelError(f"uniform model needs q >= 2, got {q}")
+    return MRF(graph, q, np.ones((q, q)), np.ones(q), name=f"uniform(q={q})")

@@ -1,0 +1,235 @@
+"""The :class:`MRF` container — paper Section 2.2, equation (1).
+
+An MRF instance couples a simple graph ``G(V, E)`` (vertices ``0..n-1``) with
+
+* a spin domain ``[q] = {0, ..., q-1}`` (the paper writes ``{1..q}``; we use
+  0-based spins throughout),
+* one non-negative *symmetric* ``q x q`` edge activity matrix ``A_e`` per edge,
+* one non-negative ``q``-vector vertex activity ``b_v`` per vertex.
+
+The weight of a configuration ``sigma in [q]^V`` is
+
+    w(sigma) = prod_{e=uv in E} A_e(sigma_u, sigma_v) * prod_{v in V} b_v(sigma_v)
+
+and the Gibbs distribution is ``mu(sigma) = w(sigma) / Z``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ModelError
+from repro.graphs.structure import check_vertex_labels
+
+__all__ = ["MRF", "Config", "as_config"]
+
+#: A configuration is an assignment of a spin to every vertex, stored as an
+#: immutable tuple so it can key dictionaries and appear in enumerations.
+Config = tuple[int, ...]
+
+
+def as_config(values: Iterable[int]) -> Config:
+    """Coerce an iterable of spins (e.g. a numpy array) into a :data:`Config`."""
+    return tuple(int(x) for x in values)
+
+
+class MRF:
+    """A Markov random field on a graph with vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    graph:
+        Simple undirected graph with integer vertices ``0..n-1``.
+    q:
+        Number of spin states; spins are ``0..q-1``.
+    edge_activities:
+        Either a single ``(q, q)`` symmetric non-negative matrix applied to
+        every edge, or a mapping from edges (any orientation) to per-edge
+        matrices.
+    vertex_activities:
+        Either a single length-``q`` non-negative vector applied to every
+        vertex, a mapping ``vertex -> vector``, or an ``(n, q)`` array.
+    name:
+        Optional human-readable model name used in reprs and reports.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        q: int,
+        edge_activities: np.ndarray | Mapping[tuple[int, int], np.ndarray],
+        vertex_activities: np.ndarray | Mapping[int, np.ndarray],
+        name: str = "mrf",
+    ) -> None:
+        check_vertex_labels(graph)
+        if q < 2:
+            raise ModelError(f"MRF needs q >= 2 spin states, got {q}")
+        self.graph = graph
+        self.q = int(q)
+        self.n = graph.number_of_nodes()
+        self.name = name
+        self.edges: list[tuple[int, int]] = [
+            (min(u, v), max(u, v)) for u, v in graph.edges()
+        ]
+        self.edges.sort()
+        self._neighbors: list[tuple[int, ...]] = [
+            tuple(sorted(graph.neighbors(v))) for v in range(self.n)
+        ]
+        self._edge_activity = self._build_edge_activities(edge_activities)
+        self.vertex_activity = self._build_vertex_activities(vertex_activities)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_edge_activities(
+        self, spec: np.ndarray | Mapping[tuple[int, int], np.ndarray]
+    ) -> dict[tuple[int, int], np.ndarray]:
+        activities: dict[tuple[int, int], np.ndarray] = {}
+        if isinstance(spec, Mapping):
+            for edge in self.edges:
+                u, v = edge
+                if edge in spec:
+                    matrix = spec[edge]
+                elif (v, u) in spec:
+                    matrix = spec[(v, u)]
+                else:
+                    raise ModelError(f"no edge activity supplied for edge {edge}")
+                activities[edge] = self._check_edge_matrix(np.asarray(matrix, dtype=float), edge)
+        else:
+            matrix = self._check_edge_matrix(np.asarray(spec, dtype=float), None)
+            for edge in self.edges:
+                activities[edge] = matrix
+        return activities
+
+    def _check_edge_matrix(
+        self, matrix: np.ndarray, edge: tuple[int, int] | None
+    ) -> np.ndarray:
+        label = f"edge {edge}" if edge is not None else "shared edge activity"
+        if matrix.shape != (self.q, self.q):
+            raise ModelError(
+                f"{label}: activity must be {self.q}x{self.q}, got {matrix.shape}"
+            )
+        if np.any(matrix < 0):
+            raise ModelError(f"{label}: activities must be non-negative")
+        if not np.allclose(matrix, matrix.T):
+            raise ModelError(f"{label}: activity matrix must be symmetric")
+        if np.all(matrix == 0):
+            raise ModelError(f"{label}: activity matrix must not be identically zero")
+        matrix = matrix.copy()
+        matrix.setflags(write=False)
+        return matrix
+
+    def _build_vertex_activities(
+        self, spec: np.ndarray | Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        table = np.empty((self.n, self.q), dtype=float)
+        if isinstance(spec, Mapping):
+            for v in range(self.n):
+                if v not in spec:
+                    raise ModelError(f"no vertex activity supplied for vertex {v}")
+                table[v] = np.asarray(spec[v], dtype=float)
+        else:
+            arr = np.asarray(spec, dtype=float)
+            if arr.shape == (self.q,):
+                table[:] = arr
+            elif arr.shape == (self.n, self.q):
+                table[:] = arr
+            else:
+                raise ModelError(
+                    f"vertex activities must have shape ({self.q},) or "
+                    f"({self.n}, {self.q}), got {arr.shape}"
+                )
+        if np.any(table < 0):
+            raise ModelError("vertex activities must be non-negative")
+        if np.any(np.all(table == 0, axis=1)):
+            raise ModelError("every vertex needs at least one positive activity")
+        table.setflags(write=False)
+        return table
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Return the sorted neighbourhood Γ(v)."""
+        return self._neighbors[v]
+
+    def degree(self, v: int) -> int:
+        """Return deg(v)."""
+        return len(self._neighbors[v])
+
+    @property
+    def max_degree(self) -> int:
+        """Return the maximum degree Δ of the underlying graph."""
+        if self.n == 0:
+            return 0
+        return max(len(nbrs) for nbrs in self._neighbors)
+
+    def edge_activity(self, u: int, v: int) -> np.ndarray:
+        """Return ``A_{uv}`` (symmetric, so orientation is irrelevant)."""
+        key = (min(u, v), max(u, v))
+        try:
+            return self._edge_activity[key]
+        except KeyError:
+            raise ModelError(f"({u}, {v}) is not an edge of the MRF graph") from None
+
+    def normalized_edge_activity(self, u: int, v: int) -> np.ndarray:
+        """Return ``Ã_e = A_e / max_{i,j} A_e(i, j)`` — the LocalMetropolis filter matrix."""
+        matrix = self.edge_activity(u, v)
+        return matrix / matrix.max()
+
+    # ------------------------------------------------------------------
+    # weights
+    # ------------------------------------------------------------------
+    def weight(self, config: Sequence[int]) -> float:
+        """Return the unnormalised weight ``w(config)`` of equation (1)."""
+        if len(config) != self.n:
+            raise ModelError(
+                f"configuration length {len(config)} != number of vertices {self.n}"
+            )
+        weight = 1.0
+        for v in range(self.n):
+            weight *= self.vertex_activity[v, config[v]]
+            if weight == 0.0:
+                return 0.0
+        for u, v in self.edges:
+            weight *= self._edge_activity[(u, v)][config[u], config[v]]
+            if weight == 0.0:
+                return 0.0
+        return weight
+
+    def log_weight(self, config: Sequence[int]) -> float:
+        """Return ``log w(config)``; ``-inf`` for infeasible configurations."""
+        weight = self.weight(config)
+        if weight == 0.0:
+            return float("-inf")
+        return float(np.log(weight))
+
+    def is_feasible(self, config: Sequence[int]) -> bool:
+        """Return True iff ``config`` has positive weight (paper: ``mu(sigma) > 0``)."""
+        return self.weight(config) > 0.0
+
+    # ------------------------------------------------------------------
+    # structure probes
+    # ------------------------------------------------------------------
+    def is_hard_constraint_model(self) -> bool:
+        """Return True iff every activity value is 0 or 1.
+
+        For such models (colourings, independent sets, ...) the Gibbs
+        distribution is the uniform distribution over CSP solutions, and the
+        LocalMetropolis edge checks are deterministic given the proposals.
+        """
+        if np.any((self.vertex_activity != 0.0) & (self.vertex_activity != 1.0)):
+            return False
+        return all(
+            bool(np.all((matrix == 0.0) | (matrix == 1.0)))
+            for matrix in self._edge_activity.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MRF(name={self.name!r}, n={self.n}, q={self.q}, "
+            f"edges={len(self.edges)})"
+        )

@@ -1,0 +1,69 @@
+"""Scalar observables of configurations.
+
+The experiments and diagnostics monitor chains through scalar summaries;
+this module collects the standard ones so examples, tests and benchmarks
+share one audited implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mrf.model import MRF
+
+__all__ = [
+    "occupancy",
+    "magnetisation",
+    "monochromatic_edges",
+    "edge_agreement_fraction",
+    "hamming_distance",
+    "color_histogram",
+]
+
+
+def occupancy(config: Sequence[int]) -> int:
+    """Number of vertices with spin 1 — the hardcore model's |I|."""
+    return int(np.asarray(config).sum()) if len(config) else 0
+
+
+def magnetisation(config: Sequence[int]) -> float:
+    """``|2 * (fraction of spin-1 vertices) - 1|`` for two-state models."""
+    config = np.asarray(config)
+    if config.size == 0:
+        raise ModelError("magnetisation of an empty configuration")
+    return abs(2.0 * float(config.mean()) - 1.0)
+
+
+def monochromatic_edges(mrf: MRF, config: Sequence[int]) -> int:
+    """Number of edges whose endpoints share a spin (colouring violations)."""
+    return sum(1 for u, v in mrf.edges if config[u] == config[v])
+
+
+def edge_agreement_fraction(mrf: MRF, config: Sequence[int]) -> float:
+    """Fraction of edges with equal endpoint spins — the Ising energy proxy."""
+    if not mrf.edges:
+        raise ModelError("edge_agreement_fraction needs at least one edge")
+    return monochromatic_edges(mrf, config) / len(mrf.edges)
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Number of coordinates where two configurations differ."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ModelError(f"hamming_distance shapes differ: {a.shape} vs {b.shape}")
+    return int((a != b).sum())
+
+
+def color_histogram(config: Sequence[int], q: int) -> np.ndarray:
+    """Counts of each spin value, as a length-q vector."""
+    config = np.asarray(config)
+    if config.size and (config.min() < 0 or config.max() >= q):
+        raise ModelError(f"spins outside 0..{q - 1}")
+    histogram = np.zeros(q, dtype=np.int64)
+    for spin in config:
+        histogram[int(spin)] += 1
+    return histogram

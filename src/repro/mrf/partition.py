@@ -1,0 +1,112 @@
+"""Exact partition functions.
+
+Two engines:
+
+* :func:`brute_force_partition_function` — enumerate all ``q**n``
+  configurations.  Used as the ground truth on tiny models and to
+  cross-validate everything else.
+* :func:`transfer_matrix_partition_function` — O(n * q^3) computation for
+  MRFs whose graph is the canonical path ``0-1-...-(n-1)`` or the canonical
+  cycle (path plus edge ``(n-1, 0)``).  This is the classical transfer-matrix
+  method; it powers the exact correlation computations behind the Theorem 5.1
+  lower bound, where paths far too long for enumeration are needed.
+* :func:`partition_function` — dispatcher picking the cheapest exact engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import StateSpaceTooLargeError
+from repro.mrf.model import MRF
+
+__all__ = [
+    "brute_force_partition_function",
+    "transfer_matrix_partition_function",
+    "partition_function",
+    "is_canonical_path",
+    "is_canonical_cycle",
+    "DEFAULT_MAX_STATES",
+]
+
+#: Largest state-space size the brute-force engine will enumerate.
+DEFAULT_MAX_STATES = 2_000_000
+
+
+def brute_force_partition_function(mrf: MRF, max_states: int = DEFAULT_MAX_STATES) -> float:
+    """Return ``Z = sum_sigma w(sigma)`` by enumerating ``[q]^V``."""
+    size = mrf.q ** mrf.n
+    if size > max_states:
+        raise StateSpaceTooLargeError(
+            f"state space {mrf.q}**{mrf.n} = {size} exceeds max_states={max_states}"
+        )
+    return float(
+        sum(mrf.weight(config) for config in itertools.product(range(mrf.q), repeat=mrf.n))
+    )
+
+
+def is_canonical_path(mrf: MRF) -> bool:
+    """Return True iff the MRF graph is exactly the path ``0-1-...-(n-1)``."""
+    expected = [(i, i + 1) for i in range(mrf.n - 1)]
+    return mrf.edges == expected
+
+
+def is_canonical_cycle(mrf: MRF) -> bool:
+    """Return True iff the MRF graph is the canonical ``n``-cycle, ``n >= 3``."""
+    if mrf.n < 3:
+        return False
+    expected = sorted([(i, i + 1) for i in range(mrf.n - 1)] + [(0, mrf.n - 1)])
+    return mrf.edges == expected
+
+
+def _chain_matrices(mrf: MRF) -> list[np.ndarray]:
+    """Return the transfer matrices ``T_i = diag-ish(b_i) * A_{i,i+1}`` factors.
+
+    ``T_i[a, b] = b_i(a) * A_{i, i+1}(a, b)`` transports the partial weight
+    from vertex ``i`` carrying spin ``a`` to vertex ``i+1`` carrying ``b``.
+    """
+    matrices = []
+    for i in range(mrf.n - 1):
+        matrices.append(mrf.vertex_activity[i][:, None] * mrf.edge_activity(i, i + 1))
+    return matrices
+
+
+def transfer_matrix_partition_function(mrf: MRF) -> float:
+    """Exact ``Z`` for canonical path/cycle MRFs via transfer matrices.
+
+    For a path:  ``Z = 1^T (prod_i T_i) b_{n-1}``.
+    For a cycle: ``Z = trace(prod_i T_i')`` where the last factor also folds
+    in the wrap-around edge activity.
+    """
+    if mrf.n == 1:
+        return float(mrf.vertex_activity[0].sum())
+    if is_canonical_path(mrf):
+        vector = np.ones(mrf.q)
+        # Multiply right-to-left: start from the last vertex's activity.
+        vector = mrf.vertex_activity[mrf.n - 1].copy()
+        for matrix in reversed(_chain_matrices(mrf)):
+            vector = matrix @ vector
+        return float(vector.sum())
+    if is_canonical_cycle(mrf):
+        # Remove the wrap edge from the chain product and close the trace.
+        product = np.eye(mrf.q)
+        for i in range(mrf.n - 1):
+            product = product @ (
+                mrf.vertex_activity[i][:, None] * mrf.edge_activity(i, i + 1)
+            )
+        closing = mrf.vertex_activity[mrf.n - 1][:, None] * mrf.edge_activity(mrf.n - 1, 0)
+        product = product @ closing
+        return float(np.trace(product))
+    raise StateSpaceTooLargeError(
+        "transfer_matrix_partition_function only handles the canonical path "
+        "0-1-...-(n-1) or the canonical cycle"
+    )
+
+
+def partition_function(mrf: MRF, max_states: int = DEFAULT_MAX_STATES) -> float:
+    """Return the exact partition function via the cheapest available engine."""
+    if mrf.n >= 2 and (is_canonical_path(mrf) or is_canonical_cycle(mrf)):
+        return transfer_matrix_partition_function(mrf)
+    return brute_force_partition_function(mrf, max_states=max_states)

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test-suite.
+
+Models are kept tiny (state spaces of at most a few hundred configurations)
+so that exact enumeration — partition functions, Gibbs distributions, and
+full transition matrices — stays fast; the mixing-rate *scaling* claims are
+exercised by the benchmarks, not the unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import cycle_graph, path_graph, complete_graph
+from repro.mrf import (
+    exact_gibbs_distribution,
+    hardcore_mrf,
+    ising_mrf,
+    proper_coloring_mrf,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20170301)
+
+
+@pytest.fixture
+def path3_coloring():
+    """3-path, 3 colours: 27 states, 12 proper colourings."""
+    return proper_coloring_mrf(path_graph(3), 3)
+
+
+@pytest.fixture
+def path4_coloring():
+    """4-path, 3 colours: 81 states."""
+    return proper_coloring_mrf(path_graph(4), 3)
+
+
+@pytest.fixture
+def triangle_coloring():
+    """Triangle, 4 colours (q = Delta + 2, satisfies condition (6))."""
+    return proper_coloring_mrf(cycle_graph(3), 4)
+
+
+@pytest.fixture
+def cycle4_coloring():
+    """4-cycle, 3 colours."""
+    return proper_coloring_mrf(cycle_graph(4), 3)
+
+
+@pytest.fixture
+def path3_hardcore():
+    """3-path hardcore with fugacity 1.5."""
+    return hardcore_mrf(path_graph(3), 1.5)
+
+
+@pytest.fixture
+def path3_ising():
+    """3-path ferromagnetic Ising with a field (soft constraints only)."""
+    return ising_mrf(path_graph(3), beta=1.6, field=0.8)
+
+
+@pytest.fixture
+def k3_hardcore():
+    """Triangle hardcore, fugacity 1 (uniform independent sets)."""
+    return hardcore_mrf(complete_graph(3), 1.0)
+
+
+@pytest.fixture
+def gibbs(request):
+    """Indirect fixture: exact Gibbs distribution of a named model fixture."""
+    return exact_gibbs_distribution(request.getfixturevalue(request.param))

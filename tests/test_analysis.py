@@ -1,0 +1,189 @@
+"""Tests for the analysis toolkit (tv, empirical, convergence, theory)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    alpha_star,
+    dobrushin_mixing_bound,
+    empirical_distribution,
+    empirical_mixing_time,
+    ensemble_tv_curve,
+    global_coupling_contraction,
+    ideal_coupling_expected_disagreement,
+    local_coupling_contraction,
+    luby_glauber_mixing_bound,
+    marginal_from_samples,
+    tv_distance,
+    two_plus_sqrt2,
+)
+from repro.analysis.theory import (
+    critical_ratio,
+    global_coupling_limit,
+    ideal_coupling_limit,
+    local_coupling_limit,
+    theorem_ratio_table,
+)
+from repro.analysis.tv import tv_distance_counts
+from repro.chains import LocalMetropolisChain
+from repro.errors import ConvergenceError, ModelError
+from repro.graphs import path_graph
+from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf
+
+
+class TestTvDistance:
+    def test_basic(self):
+        assert tv_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+        assert tv_distance([1.0, 0.0], [0.0, 1.0]) == 1.0
+        assert tv_distance([0.75, 0.25], [0.25, 0.75]) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            tv_distance([0.5, 0.5], [0.5, 0.5, 0.0])
+        with pytest.raises(ModelError):
+            tv_distance([0.9, 0.2], [0.5, 0.5])
+        with pytest.raises(ModelError):
+            tv_distance([-0.1, 1.1], [0.5, 0.5])
+
+    def test_counts_variant(self, path3_coloring):
+        gibbs = exact_gibbs_distribution(path3_coloring)
+        support = gibbs.support()
+        counts = {config: 1 for config in support}
+        assert tv_distance_counts(counts, gibbs) == pytest.approx(0.0, abs=1e-12)
+        counts = {support[0]: 5}
+        expected = 0.5 * ((1 - gibbs.prob(support[0])) + (1 - gibbs.prob(support[0])))
+        assert tv_distance_counts(counts, gibbs) == pytest.approx(expected)
+
+
+class TestEmpirical:
+    def test_empirical_distribution_counts(self):
+        samples = [(0, 0), (0, 1), (0, 1), (1, 1)]
+        dist = empirical_distribution(samples, 2, 2)
+        assert dist.prob((0, 1)) == pytest.approx(0.5)
+        assert dist.prob((1, 0)) == 0.0
+
+    def test_requires_samples(self):
+        with pytest.raises(ModelError):
+            empirical_distribution([], 2, 2)
+
+    def test_marginal_from_samples(self):
+        samples = [(0, 1), (1, 1), (2, 1), (0, 1)]
+        marginal = marginal_from_samples(samples, 0, 3)
+        assert np.allclose(marginal, [0.5, 0.25, 0.25])
+
+
+class TestConvergenceMachinery:
+    def make_factory(self, mrf):
+        initial = np.zeros(mrf.n, dtype=int)
+
+        def factory(rng):
+            return LocalMetropolisChain(mrf, initial=initial, seed=rng)
+
+        return factory
+
+    def test_tv_curve_decreases(self):
+        mrf = proper_coloring_mrf(path_graph(3), 4)
+        gibbs = exact_gibbs_distribution(mrf)
+        curve = ensemble_tv_curve(
+            self.make_factory(mrf), gibbs, n_chains=800, checkpoints=[1, 4, 16], seed=0
+        )
+        tvs = [tv for _, tv in curve]
+        assert tvs[0] > tvs[-1]
+        assert tvs[-1] < 0.25
+
+    def test_tv_curve_validates_checkpoints(self):
+        mrf = proper_coloring_mrf(path_graph(3), 4)
+        gibbs = exact_gibbs_distribution(mrf)
+        with pytest.raises(ConvergenceError):
+            ensemble_tv_curve(self.make_factory(mrf), gibbs, 10, [4, 1], seed=0)
+
+    def test_empirical_mixing_time(self):
+        mrf = proper_coloring_mrf(path_graph(3), 4)
+        gibbs = exact_gibbs_distribution(mrf)
+        rounds = empirical_mixing_time(
+            self.make_factory(mrf), gibbs, eps=0.3, n_chains=600, max_rounds=200, seed=1
+        )
+        assert 1 <= rounds <= 200
+
+    def test_empirical_mixing_time_budget(self):
+        mrf = proper_coloring_mrf(path_graph(3), 4)
+        gibbs = exact_gibbs_distribution(mrf)
+        with pytest.raises(ConvergenceError):
+            empirical_mixing_time(
+                self.make_factory(mrf), gibbs, eps=1e-6, n_chains=50, max_rounds=3, seed=2
+            )
+
+
+class TestTheoryFormulas:
+    def test_threshold_constants(self):
+        assert two_plus_sqrt2() == pytest.approx(2 + math.sqrt(2))
+        star = alpha_star()
+        assert star == pytest.approx(3.634, abs=2e-3)
+        # Defining equation of alpha*: alpha = 2 e^{1/alpha} + 1.
+        assert star == pytest.approx(2 * math.exp(1 / star) + 1, abs=1e-9)
+
+    def test_critical_ratios_match_paper(self):
+        assert critical_ratio(global_coupling_limit, 2.5, 5.0) == pytest.approx(
+            two_plus_sqrt2(), abs=1e-9
+        )
+        assert critical_ratio(local_coupling_limit, 2.5, 5.0) == pytest.approx(
+            alpha_star(), abs=1e-9
+        )
+
+    def test_limits_change_sign_at_thresholds(self):
+        assert global_coupling_limit(two_plus_sqrt2() + 0.05) > 0
+        assert global_coupling_limit(two_plus_sqrt2() - 0.05) < 0
+        assert local_coupling_limit(alpha_star() + 0.05) > 0
+        assert local_coupling_limit(alpha_star() - 0.05) < 0
+        assert ideal_coupling_limit(two_plus_sqrt2() + 0.05) < 1
+        assert ideal_coupling_limit(two_plus_sqrt2() - 0.05) > 1
+
+    def test_finite_delta_contractions_converge_to_limits(self):
+        ratio = 3.8
+        finite = local_coupling_contraction(ratio * 10_000, 10_000)
+        assert finite == pytest.approx(local_coupling_limit(ratio), abs=1e-3)
+        finite = global_coupling_contraction(ratio * 10_000, 10_000)
+        assert finite == pytest.approx(global_coupling_limit(ratio), abs=1e-3)
+
+    def test_paper_lemma_44_window(self):
+        """Lemma 4.4: for q >= alpha Delta + 3, alpha > alpha*, the local
+        coupling contracts for every Delta >= 1."""
+        alpha = alpha_star() + 0.1
+        for delta in (1, 5, 9, 40, 200):
+            assert local_coupling_contraction(alpha * delta + 3, delta) > 0
+
+    def test_paper_lemma_45_window(self):
+        """Lemma 4.5 regime: (2+sqrt2) Delta < q <= 3.7 Delta + 3, Delta >= 9."""
+        alpha = two_plus_sqrt2() + 0.1
+        for delta in (9, 20, 100):
+            assert global_coupling_contraction(alpha * delta, delta) > 0
+
+    def test_mixing_bounds_shapes(self):
+        # Dobrushin: linear in n (up to log factors).
+        small = dobrushin_mixing_bound(100, 0.5, 0.01)
+        large = dobrushin_mixing_bound(200, 0.5, 0.01)
+        assert large > 2 * small * 0.9
+        # LubyGlauber: inversely proportional to gamma.
+        fast = luby_glauber_mixing_bound(0.5, 0.5, 100, 0.01)
+        slow = luby_glauber_mixing_bound(0.25, 0.5, 100, 0.01)
+        assert slow == pytest.approx(2 * fast, rel=1e-9)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            dobrushin_mixing_bound(10, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            dobrushin_mixing_bound(10, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            luby_glauber_mixing_bound(0.0, 0.5, 10, 0.1)
+
+    def test_ratio_table(self):
+        rows = theorem_ratio_table([3.0, 3.5, 4.0], delta=20)
+        assert len(rows) == 3
+        assert rows[0]["q"] == 60
+        # Larger ratios mean stronger contraction.
+        assert rows[2]["global_contraction"] > rows[0]["global_contraction"]
+
+    def test_ideal_coupling_divergence_below_2delta(self):
+        assert math.isinf(ideal_coupling_expected_disagreement(10, 5))

@@ -1,0 +1,66 @@
+"""Tests for the top-level sampling API."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, grid_graph
+from repro.mrf import proper_coloring_mrf
+
+
+class TestSample:
+    def test_default_method_returns_feasible_coloring(self):
+        mrf = proper_coloring_mrf(grid_graph(4, 4), 16)
+        config = repro.sample(mrf, seed=0)
+        assert config.shape == (16,)
+        assert mrf.is_feasible(config)
+
+    @pytest.mark.parametrize("method", repro.METHODS)
+    def test_all_methods_produce_feasible_output(self, method):
+        mrf = proper_coloring_mrf(cycle_graph(8), 6)
+        config = repro.sample(mrf, method=method, seed=1)
+        assert mrf.is_feasible(config)
+
+    def test_explicit_rounds_respected(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 5)
+        config = repro.sample(mrf, rounds=5, seed=2)
+        assert config.shape == (6,)
+
+    def test_unknown_method_rejected(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 5)
+        with pytest.raises(ModelError, match="unknown method"):
+            repro.sample(mrf, method="simulated-annealing")
+
+    def test_reproducible(self):
+        mrf = proper_coloring_mrf(cycle_graph(8), 6)
+        a = repro.sample(mrf, seed=3)
+        b = repro.sample(mrf, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestBudget:
+    def test_shapes(self):
+        small = proper_coloring_mrf(cycle_graph(8), 6)
+        tall = proper_coloring_mrf(grid_graph(8, 8), 16)
+        # LocalMetropolis budget is Delta-free.
+        lm_small = repro.default_round_budget(small, "local-metropolis", 0.01)
+        lm_tall = repro.default_round_budget(tall, "local-metropolis", 0.01)
+        assert lm_tall < 3 * lm_small
+        # LubyGlauber scales with Delta.
+        lg_small = repro.default_round_budget(small, "luby-glauber", 0.01)
+        lg_tall = repro.default_round_budget(tall, "luby-glauber", 0.01)
+        assert lg_tall > lg_small
+        # Glauber scales with n.
+        g_tall = repro.default_round_budget(tall, "glauber", 0.01)
+        assert g_tall > lg_tall
+
+    def test_eps_validation(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 5)
+        with pytest.raises(ModelError):
+            repro.default_round_budget(mrf, "glauber", 0.0)
+
+    def test_method_validation(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 5)
+        with pytest.raises(ModelError):
+            repro.default_round_budget(mrf, "nope", 0.1)

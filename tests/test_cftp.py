@@ -1,0 +1,131 @@
+"""Tests for coupling-from-the-past exact sampling."""
+
+import numpy as np
+import pytest
+
+from repro.chains.cftp import MonotoneCFTP, SmallStateCFTP, is_monotone_model
+from repro.errors import ConvergenceError, ModelError, StateSpaceTooLargeError
+from repro.analysis import empirical_distribution
+from repro.graphs import cycle_graph, grid_graph, path_graph
+from repro.mrf import (
+    exact_gibbs_distribution,
+    hardcore_mrf,
+    ising_mrf,
+    proper_coloring_mrf,
+    uniform_mrf,
+)
+
+
+class TestMonotonicityDetection:
+    def test_ferromagnet_is_monotone(self):
+        assert is_monotone_model(ising_mrf(path_graph(4), beta=2.0))
+
+    def test_antiferromagnet_is_not(self):
+        assert not is_monotone_model(ising_mrf(path_graph(4), beta=0.5))
+
+    def test_hardcore_is_not_directly_monotone(self):
+        assert not is_monotone_model(hardcore_mrf(path_graph(4), 1.0))
+
+    def test_colorings_not_two_state(self):
+        assert not is_monotone_model(proper_coloring_mrf(path_graph(3), 3))
+
+    def test_uniform_two_state_monotone(self):
+        assert is_monotone_model(uniform_mrf(path_graph(3), 2))
+
+
+class TestMonotoneCFTPIsing:
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ModelError):
+            MonotoneCFTP(ising_mrf(path_graph(3), beta=0.4))
+
+    def test_rejects_many_states(self):
+        with pytest.raises(ModelError):
+            MonotoneCFTP(proper_coloring_mrf(path_graph(3), 3))
+
+    def test_samples_exact_distribution(self):
+        """CFTP samples on a small Ising chain match the exact Gibbs
+        distribution — the defining property of perfect sampling."""
+        mrf = ising_mrf(path_graph(4), beta=1.8, field=0.7)
+        gibbs = exact_gibbs_distribution(mrf)
+        samples = []
+        for seed in range(1500):
+            sampler = MonotoneCFTP(mrf, seed=seed)
+            samples.append(tuple(int(s) for s in sampler.sample()))
+        empirical = empirical_distribution(samples, mrf.n, mrf.q)
+        assert gibbs.tv_distance(empirical) < 0.05
+
+    def test_deterministic_given_seed(self):
+        mrf = ising_mrf(cycle_graph(5), beta=1.5)
+        a = MonotoneCFTP(mrf, seed=3).sample()
+        b = MonotoneCFTP(mrf, seed=3).sample()
+        assert np.array_equal(a, b)
+
+    def test_budget_exhaustion_raises(self):
+        mrf = ising_mrf(cycle_graph(6), beta=1.5)
+        with pytest.raises(ConvergenceError):
+            MonotoneCFTP(mrf, seed=0).sample(max_doublings=1)
+
+
+class TestMonotoneCFTPHardcore:
+    def test_bipartite_flip_makes_hardcore_work(self):
+        """Hardcore on a path is anti-monotone; flipping the odd side makes
+        the twisted order monotone (the classical bipartite trick)."""
+        mrf = hardcore_mrf(path_graph(5), 1.5)
+        odd = [1, 3]
+        sampler = MonotoneCFTP(mrf, flip_vertices=odd, seed=0)
+        config = sampler.sample()
+        assert mrf.is_feasible(config)
+
+    def test_hardcore_samples_exact_distribution(self):
+        mrf = hardcore_mrf(path_graph(4), 1.5)
+        gibbs = exact_gibbs_distribution(mrf)
+        samples = []
+        for seed in range(1500):
+            sampler = MonotoneCFTP(mrf, flip_vertices=[1, 3], seed=seed)
+            samples.append(tuple(int(s) for s in sampler.sample()))
+        empirical = empirical_distribution(samples, mrf.n, mrf.q)
+        assert gibbs.tv_distance(empirical) < 0.05
+
+    def test_wrong_flip_side_rejected(self):
+        mrf = hardcore_mrf(path_graph(4), 1.0)
+        with pytest.raises(ModelError):
+            MonotoneCFTP(mrf, flip_vertices=[0, 1], seed=0)  # 0,1 adjacent
+
+    def test_grid_hardcore_sample_feasible(self):
+        graph = grid_graph(3, 3)
+        odd = [v for v in range(9) if (v // 3 + v % 3) % 2 == 1]
+        mrf = hardcore_mrf(graph, 1.0)
+        config = MonotoneCFTP(mrf, flip_vertices=odd, seed=5).sample()
+        assert mrf.is_feasible(config)
+
+
+class TestSmallStateCFTP:
+    def test_matches_exact_distribution_coloring(self):
+        """Assumption-free CFTP on a tiny colouring model."""
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        gibbs = exact_gibbs_distribution(mrf)
+        samples = []
+        for seed in range(800):
+            sampler = SmallStateCFTP(mrf, seed=seed)
+            samples.append(tuple(int(s) for s in sampler.sample()))
+        empirical = empirical_distribution(samples, mrf.n, mrf.q)
+        assert gibbs.tv_distance(empirical) < 0.07
+
+    def test_agrees_with_monotone_engine(self):
+        """Both engines target the same distribution on an Ising chain."""
+        mrf = ising_mrf(path_graph(3), beta=1.6, field=0.8)
+        small_samples = [
+            tuple(int(s) for s in SmallStateCFTP(mrf, seed=seed).sample())
+            for seed in range(600)
+        ]
+        monotone_samples = [
+            tuple(int(s) for s in MonotoneCFTP(mrf, seed=10_000 + seed).sample())
+            for seed in range(600)
+        ]
+        a = empirical_distribution(small_samples, mrf.n, mrf.q)
+        b = empirical_distribution(monotone_samples, mrf.n, mrf.q)
+        assert a.tv_distance(b) < 0.1
+
+    def test_guard(self):
+        with pytest.raises(StateSpaceTooLargeError):
+            SmallStateCFTP(proper_coloring_mrf(path_graph(12), 3))

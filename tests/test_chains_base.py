@@ -1,0 +1,82 @@
+"""Tests for chain infrastructure (repro.chains.base)."""
+
+import numpy as np
+import pytest
+
+from repro.chains import GlauberDynamics, greedy_feasible_config, random_config
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, path_graph
+from repro.mrf import hardcore_mrf, proper_coloring_mrf
+
+
+class TestInitialConfigs:
+    def test_greedy_coloring_is_proper_when_q_exceeds_degree(self):
+        for q in (3, 4, 5):
+            mrf = proper_coloring_mrf(cycle_graph(7), q)
+            config = greedy_feasible_config(mrf)
+            assert mrf.is_feasible(config)
+
+    def test_greedy_hardcore_feasible(self):
+        mrf = hardcore_mrf(cycle_graph(6), 2.0)
+        assert mrf.is_feasible(greedy_feasible_config(mrf))
+
+    def test_greedy_with_rng_still_feasible(self, rng):
+        mrf = proper_coloring_mrf(cycle_graph(7), 4)
+        config = greedy_feasible_config(mrf, rng)
+        assert mrf.is_feasible(config)
+
+    def test_random_config_in_range(self, rng):
+        mrf = proper_coloring_mrf(path_graph(5), 3)
+        config = random_config(mrf, rng)
+        assert config.shape == (5,)
+        assert np.all((config >= 0) & (config < 3))
+
+
+class TestChainMechanics:
+    def test_explicit_initial_config(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        chain = GlauberDynamics(mrf, initial=[0, 1, 2], seed=0)
+        assert tuple(chain.config) == (0, 1, 2)
+
+    def test_initial_validation(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        with pytest.raises(ModelError):
+            GlauberDynamics(mrf, initial=[0, 1])
+        with pytest.raises(ModelError):
+            GlauberDynamics(mrf, initial=[0, 1, 5])
+
+    def test_run_counts_steps(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        chain = GlauberDynamics(mrf, seed=0)
+        chain.run(17)
+        assert chain.steps_taken == 17
+
+    def test_trajectory_records_initial_and_strides(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        chain = GlauberDynamics(mrf, initial=[0, 1, 0], seed=0)
+        states = chain.trajectory(10, record_every=2)
+        assert states[0] == (0, 1, 0)
+        assert len(states) == 6  # initial + 5 checkpoints
+
+    def test_trajectory_rejects_bad_stride(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        chain = GlauberDynamics(mrf, seed=0)
+        with pytest.raises(ModelError):
+            chain.trajectory(5, record_every=0)
+
+    def test_seeding_reproducible(self):
+        mrf = proper_coloring_mrf(cycle_graph(5), 4)
+        a = GlauberDynamics(mrf, initial=[0, 1, 0, 1, 2], seed=5).run(100)
+        b = GlauberDynamics(mrf, initial=[0, 1, 0, 1, 2], seed=5).run(100)
+        assert np.array_equal(a, b)
+
+    def test_generator_seed_accepted(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        chain = GlauberDynamics(mrf, seed=np.random.default_rng(3))
+        chain.run(5)
+        assert chain.steps_taken == 5
+
+    def test_current_returns_tuple(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        chain = GlauberDynamics(mrf, initial=[0, 1, 0], seed=0)
+        assert chain.current == (0, 1, 0)

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sample_defaults(self):
+        args = build_parser().parse_args(["sample"])
+        assert args.model == "coloring"
+        assert args.method == "local-metropolis"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "--method", "bogus"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "2+sqrt2" in out or "3.414" in out
+        assert "lambda_c" in out
+
+    def test_budget(self, capsys):
+        assert main(["budget", "--graph", "cycle", "--size", "12", "--q", "6"]) == 0
+        out = capsys.readouterr().out
+        for method in ("local-metropolis", "luby-glauber", "glauber"):
+            assert method in out
+
+    def test_sample_coloring(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--graph",
+                "cycle",
+                "--size",
+                "10",
+                "--q",
+                "6",
+                "--seed",
+                "3",
+                "--rounds",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "feasible: True" in out
+
+    def test_sample_hardcore_on_grid(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--model",
+                "hardcore",
+                "--graph",
+                "grid",
+                "--size",
+                "5",
+                "--fugacity",
+                "0.8",
+                "--seed",
+                "1",
+                "--rounds",
+                "80",
+            ]
+        )
+        assert code == 0
+        assert "feasible: True" in capsys.readouterr().out
+
+    def test_sample_ising_regular(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--model",
+                "ising",
+                "--graph",
+                "regular",
+                "--size",
+                "10",
+                "--degree",
+                "3",
+                "--beta",
+                "1.2",
+                "--seed",
+                "2",
+                "--rounds",
+                "30",
+                "--method",
+                "luby-glauber",
+            ]
+        )
+        assert code == 0
+        assert "feasible: True" in capsys.readouterr().out
+
+    def test_sample_reproducible(self, capsys):
+        argv = ["sample", "--graph", "path", "--size", "8", "--q", "5",
+                "--seed", "9", "--rounds", "40"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_error_path_returns_nonzero(self, capsys):
+        # cycle of size 2 is invalid -> ReproError -> exit code 1.
+        code = main(["sample", "--graph", "cycle", "--size", "2"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

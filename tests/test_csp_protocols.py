@@ -1,0 +1,112 @@
+"""Tests for the message-passing CSP protocols."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_distribution
+from repro.csp import dominating_set_csp, exact_csp_gibbs_distribution, mrf_as_csp
+from repro.distributed import (
+    run_local_metropolis_csp_protocol,
+    run_luby_glauber_csp_protocol,
+)
+from repro.distributed.csp_protocols import make_csp_private_inputs
+from repro.graphs import cycle_graph, grid_graph, path_graph
+from repro.mrf import ising_mrf
+
+
+class TestPrivateInputs:
+    def test_each_node_gets_its_constraints(self):
+        csp = dominating_set_csp(path_graph(3))
+        inputs = make_csp_private_inputs(csp, np.ones(3, dtype=int))
+        # Vertex 0 participates in cover(0) = {0,1} and cover(1) = {0,1,2}.
+        scopes = {scope for _, scope, _ in inputs[0].constraints}
+        assert scopes == {(0, 1), (0, 1, 2)}
+
+    def test_tables_normalized(self):
+        csp = dominating_set_csp(path_graph(3), weight=4.0)
+        inputs = make_csp_private_inputs(csp, np.zeros(3, dtype=int))
+        for node_input in inputs:
+            for _, _, table in node_input.constraints:
+                assert table.max() == pytest.approx(1.0)
+
+
+class TestLubyGlauberCSPProtocol:
+    def test_produces_dominating_set(self):
+        csp = dominating_set_csp(grid_graph(4, 4))
+        config, stats = run_luby_glauber_csp_protocol(csp, rounds=150, seed=0)
+        assert csp.is_feasible(config)
+        assert stats.rounds == 150
+
+    def test_reproducible(self):
+        csp = dominating_set_csp(cycle_graph(6))
+        a, _ = run_luby_glauber_csp_protocol(csp, rounds=40, seed=5)
+        b, _ = run_luby_glauber_csp_protocol(csp, rounds=40, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_distribution_matches_exact_gibbs(self):
+        csp = dominating_set_csp(path_graph(3))
+        gibbs = exact_csp_gibbs_distribution(csp)
+        samples = [
+            tuple(
+                int(s)
+                for s in run_luby_glauber_csp_protocol(csp, rounds=60, seed=seed)[0]
+            )
+            for seed in range(1200)
+        ]
+        empirical = empirical_distribution(samples, csp.n, csp.q)
+        assert gibbs.tv_distance(empirical) < 0.06
+
+
+class TestLocalMetropolisCSPProtocol:
+    def test_produces_dominating_set(self):
+        csp = dominating_set_csp(grid_graph(4, 4))
+        config, _ = run_local_metropolis_csp_protocol(csp, rounds=200, seed=1)
+        assert csp.is_feasible(config)
+
+    def test_reproducible(self):
+        csp = dominating_set_csp(cycle_graph(6))
+        a, _ = run_local_metropolis_csp_protocol(csp, rounds=40, seed=6)
+        b, _ = run_local_metropolis_csp_protocol(csp, rounds=40, seed=6)
+        assert np.array_equal(a, b)
+
+    def test_distribution_matches_exact_gibbs_hard(self):
+        csp = dominating_set_csp(path_graph(3))
+        gibbs = exact_csp_gibbs_distribution(csp)
+        samples = [
+            tuple(
+                int(s)
+                for s in run_local_metropolis_csp_protocol(csp, rounds=80, seed=seed)[0]
+            )
+            for seed in range(1200)
+        ]
+        empirical = empirical_distribution(samples, csp.n, csp.q)
+        assert gibbs.tv_distance(empirical) < 0.06
+
+    def test_distribution_matches_exact_gibbs_soft(self):
+        """Soft Ising-as-CSP exercises the shared per-constraint coins
+        (including the unary constraints that would break vertex-share
+        coin schemes)."""
+        csp = mrf_as_csp(ising_mrf(path_graph(3), beta=1.5, field=0.8))
+        gibbs = exact_csp_gibbs_distribution(csp)
+        samples = [
+            tuple(
+                int(s)
+                for s in run_local_metropolis_csp_protocol(csp, rounds=80, seed=seed)[0]
+            )
+            for seed in range(1200)
+        ]
+        empirical = empirical_distribution(samples, csp.n, csp.q)
+        assert gibbs.tv_distance(empirical) < 0.06
+
+    def test_weighted_model(self):
+        csp = dominating_set_csp(path_graph(4), weight=0.5)
+        gibbs = exact_csp_gibbs_distribution(csp)
+        samples = [
+            tuple(
+                int(s)
+                for s in run_local_metropolis_csp_protocol(csp, rounds=80, seed=seed)[0]
+            )
+            for seed in range(1000)
+        ]
+        empirical = empirical_distribution(samples, csp.n, csp.q)
+        assert gibbs.tv_distance(empirical) < 0.08

@@ -1,0 +1,137 @@
+"""Tests for MCMC diagnostics and the block-protocol construction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    gelman_rubin,
+    integrated_autocorrelation_time,
+)
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, path_graph
+from repro.lowerbound.block_protocols import (
+    block_protocol_distribution,
+    block_protocol_tv,
+)
+from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf, uniform_mrf
+
+
+class TestAutocorrelation:
+    def test_iid_series_near_zero(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=5000)
+        rho = autocorrelation(series, max_lag=10)
+        assert rho[0] == 1.0
+        assert np.abs(rho[1:]).max() < 0.05
+
+    def test_persistent_series_high(self):
+        rng = np.random.default_rng(1)
+        # AR(1) with coefficient 0.9.
+        series = np.zeros(5000)
+        for i in range(1, 5000):
+            series[i] = 0.9 * series[i - 1] + rng.normal()
+        rho = autocorrelation(series, max_lag=5)
+        assert rho[1] > 0.8
+
+    def test_constant_series(self):
+        rho = autocorrelation(np.ones(50), max_lag=5)
+        assert rho[0] == 1.0
+        assert np.all(rho[1:] == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            autocorrelation(np.array([1.0]))
+
+    def test_iat_and_ess(self):
+        rng = np.random.default_rng(2)
+        iid = rng.normal(size=4000)
+        tau = integrated_autocorrelation_time(iid)
+        assert tau == pytest.approx(1.0, abs=0.3)
+        assert effective_sample_size(iid) > 2500
+
+    def test_correlated_series_smaller_ess(self):
+        rng = np.random.default_rng(3)
+        series = np.zeros(4000)
+        for i in range(1, 4000):
+            series[i] = 0.95 * series[i - 1] + rng.normal()
+        assert effective_sample_size(series) < 800
+
+
+class TestGelmanRubin:
+    def test_mixed_chains_near_one(self):
+        rng = np.random.default_rng(4)
+        chains = rng.normal(size=(4, 2000))
+        assert gelman_rubin(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_unmixed_chains_flagged(self):
+        rng = np.random.default_rng(5)
+        chains = rng.normal(size=(4, 500)) + np.arange(4)[:, None] * 5.0
+        assert gelman_rubin(chains) > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            gelman_rubin(np.zeros((1, 10)))
+
+    def test_on_real_chains(self):
+        """Four LocalMetropolis chains from scattered starts mix: R-hat ~ 1."""
+        from repro.chains import LocalMetropolisChain
+
+        mrf = proper_coloring_mrf(cycle_graph(12), 8)
+        series = []
+        for seed in range(4):
+            chain = LocalMetropolisChain(
+                mrf, initial=np.full(12, seed % 8, dtype=int), seed=seed
+            )
+            chain.run(50)
+            trace = []
+            for _ in range(300):
+                chain.step()
+                trace.append(float((chain.config == 0).sum()))
+            series.append(trace)
+        assert gelman_rubin(np.array(series)) < 1.2
+
+
+class TestBlockProtocol:
+    def test_t_zero_is_product_of_singles(self):
+        mrf = proper_coloring_mrf(path_graph(4), 3)
+        protocol = block_protocol_distribution(mrf, 0)
+        gibbs = exact_gibbs_distribution(mrf)
+        for v in range(4):
+            assert np.allclose(protocol.marginal(v), gibbs.marginal(v), atol=1e-12)
+
+    def test_block_covering_everything_is_exact(self):
+        mrf = proper_coloring_mrf(path_graph(5), 3)
+        # 2t + 1 >= n: single block = the exact Gibbs distribution.
+        assert block_protocol_tv(mrf, t=2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_tv_decreases_with_t(self):
+        mrf = proper_coloring_mrf(path_graph(9), 3)
+        tvs = [block_protocol_tv(mrf, t) for t in (0, 1, 2, 4)]
+        assert all(a >= b - 1e-12 for a, b in zip(tvs, tvs[1:]))
+        assert tvs[0] > 0.3  # fully independent vertices are far from Gibbs
+        assert tvs[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_tv_above_certificate(self):
+        """The achievable TV (this protocol) must exceed the certified
+        minimum for any t-round protocol — upper bound above lower bound."""
+        from repro.lowerbound import path_protocol_lower_bound
+
+        n, q, t = 13, 3, 1
+        mrf = proper_coloring_mrf(path_graph(n), q)
+        achieved = block_protocol_tv(mrf, t)
+        cert = path_protocol_lower_bound(n=n, q=q, t=t)
+        assert achieved >= cert.combined_lower_bound - 1e-9
+
+    def test_uniform_model_is_free(self):
+        mrf = uniform_mrf(path_graph(6), 2)
+        assert block_protocol_tv(mrf, 0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        mrf = proper_coloring_mrf(cycle_graph(4), 3)
+        with pytest.raises(ModelError):
+            block_protocol_distribution(mrf, 1)
+        mrf = proper_coloring_mrf(path_graph(4), 3)
+        with pytest.raises(ModelError):
+            block_protocol_distribution(mrf, -1)

@@ -1,0 +1,155 @@
+"""Tests validating the vectorised colouring chains against the generic ones."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_distribution
+from repro.chains import LocalMetropolisChain, LubyGlauberChain
+from repro.chains.fastpaths import FastLocalMetropolisColoring, FastLubyGlauberColoring
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, grid_graph, is_independent_set, path_graph, torus_graph
+from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf
+
+
+class TestConstruction:
+    def test_greedy_initial_proper(self):
+        chain = FastLocalMetropolisColoring(grid_graph(6, 6), 8, seed=0)
+        assert chain.is_proper()
+
+    def test_initial_validation(self):
+        with pytest.raises(ModelError):
+            FastLocalMetropolisColoring(path_graph(3), 3, initial=[0, 1])
+        with pytest.raises(ModelError):
+            FastLocalMetropolisColoring(path_graph(3), 3, initial=[0, 1, 9])
+        with pytest.raises(ModelError):
+            FastLocalMetropolisColoring(path_graph(3), 1)
+
+    def test_edgeless_graph(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        chain = FastLocalMetropolisColoring(graph, 3, seed=0)
+        chain.run(5)
+        assert chain.is_proper()
+
+
+class TestInvariants:
+    def test_lm_never_degrades(self):
+        chain = FastLocalMetropolisColoring(
+            cycle_graph(40), 6, initial=np.zeros(40, dtype=int), seed=1
+        )
+        previous = chain.monochromatic_edges()
+        for _ in range(80):
+            chain.step()
+            current = chain.monochromatic_edges()
+            assert current <= previous
+            previous = current
+        assert chain.is_proper()
+
+    def test_lg_changed_set_independent(self):
+        graph = grid_graph(6, 6)
+        chain = FastLubyGlauberColoring(graph, 9, seed=2)
+        for _ in range(40):
+            before = chain.config.copy()
+            chain.step()
+            changed = np.nonzero(before != chain.config)[0]
+            assert is_independent_set(graph, changed)
+
+    def test_lg_preserves_propriety(self):
+        chain = FastLubyGlauberColoring(torus_graph(6, 6), 9, seed=3)
+        assert chain.is_proper()
+        chain.run(50)
+        assert chain.is_proper()
+
+    def test_lg_rejection_guard(self):
+        # q = 2 on C4 from (0, 0, 1, 1): every vertex sees both colours in
+        # its neighbourhood, so whoever the Luby step selects has no
+        # available colour and the rejection loop must detect the stall.
+        chain = FastLubyGlauberColoring(
+            cycle_graph(4), 2, initial=np.array([0, 0, 1, 1]), seed=4
+        )
+        with pytest.raises(ModelError, match="no available"):
+            chain.step()
+
+
+class TestDistributionalAgreement:
+    def test_fast_lm_matches_exact_gibbs(self):
+        mrf = proper_coloring_mrf(path_graph(3), 4)
+        gibbs = exact_gibbs_distribution(mrf)
+        chain = FastLocalMetropolisColoring(path_graph(3), 4, seed=5)
+        chain.run(30)
+        samples = []
+        for _ in range(10_000):
+            chain.step()
+            chain.step()
+            samples.append(tuple(int(s) for s in chain.config))
+        assert gibbs.tv_distance(empirical_distribution(samples, 3, 4)) < 0.05
+
+    def test_fast_lg_matches_exact_gibbs(self):
+        mrf = proper_coloring_mrf(path_graph(3), 4)
+        gibbs = exact_gibbs_distribution(mrf)
+        chain = FastLubyGlauberColoring(path_graph(3), 4, seed=6)
+        chain.run(30)
+        samples = []
+        for _ in range(10_000):
+            chain.step()
+            chain.step()
+            samples.append(tuple(int(s) for s in chain.config))
+        assert gibbs.tv_distance(empirical_distribution(samples, 3, 4)) < 0.05
+
+    @staticmethod
+    def _thinned_empirical(chain, samples, thin=2):
+        out = []
+        for _ in range(samples):
+            for _ in range(thin):
+                chain.step()
+            out.append(tuple(int(s) for s in chain.config))
+        return out
+
+    def test_fast_and_generic_lm_agree(self):
+        """Same algorithm, two implementations — both reproduce the exact
+        edge pair-marginal on C4 q=5 (a low-noise statistic; the full joint
+        over 625 states would need far more samples)."""
+        from repro.analysis.empirical import pair_counts
+
+        graph = cycle_graph(4)
+        mrf = proper_coloring_mrf(graph, 5)
+        gibbs = exact_gibbs_distribution(mrf)
+        exact_pair = gibbs.pair_marginal(0, 1)
+        for chain in (
+            FastLocalMetropolisColoring(graph, 5, seed=7),
+            LocalMetropolisChain(mrf, seed=8),
+        ):
+            chain.run(60)
+            samples = self._thinned_empirical(chain, 20_000)
+            counts = pair_counts(samples, 0, 1, 5)
+            empirical_pair = counts / counts.sum()
+            tv = 0.5 * float(np.abs(empirical_pair - exact_pair).sum())
+            assert tv < 0.05
+
+    def test_fast_and_generic_lg_agree(self):
+        graph = cycle_graph(4)
+        mrf = proper_coloring_mrf(graph, 3)
+        gibbs = exact_gibbs_distribution(mrf)
+        fast = FastLubyGlauberColoring(graph, 3, seed=9)
+        fast.run(60)
+        fast_emp = empirical_distribution(
+            self._thinned_empirical(fast, 8000), 4, 3
+        )
+        generic = LubyGlauberChain(mrf, seed=10)
+        generic.run(60)
+        generic_emp = empirical_distribution(
+            self._thinned_empirical(generic, 8000), 4, 3
+        )
+        assert gibbs.tv_distance(fast_emp) < 0.06
+        assert gibbs.tv_distance(generic_emp) < 0.06
+
+
+class TestScale:
+    def test_large_instance_runs(self):
+        """10k vertices, a few rounds, still proper — the point of the fast path."""
+        chain = FastLocalMetropolisColoring(torus_graph(100, 100), 16, seed=11)
+        chain.run(20)
+        assert chain.is_proper()
+        assert chain.n == 10_000

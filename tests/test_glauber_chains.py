@@ -1,0 +1,87 @@
+"""Behavioural tests for the sequential chains (Glauber, Metropolis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_distribution
+from repro.chains import GlauberDynamics, MetropolisChain
+from repro.graphs import cycle_graph, path_graph
+from repro.mrf import (
+    exact_gibbs_distribution,
+    hardcore_mrf,
+    ising_mrf,
+    proper_coloring_mrf,
+)
+
+
+def long_run_empirical(chain_cls, mrf, steps, burn_in, seed, thin=3):
+    """Empirical distribution from one long thinned trajectory."""
+    chain = chain_cls(mrf, seed=seed)
+    chain.run(burn_in)
+    samples = []
+    for _ in range(steps):
+        chain.run(thin)
+        samples.append(tuple(int(s) for s in chain.config))
+    return empirical_distribution(samples, mrf.n, mrf.q)
+
+
+class TestGlauberDynamics:
+    def test_preserves_feasibility(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 4)
+        chain = GlauberDynamics(mrf, seed=0)
+        assert chain.is_feasible()
+        chain.run(300)
+        assert chain.is_feasible()
+
+    def test_long_run_matches_gibbs(self):
+        mrf = hardcore_mrf(path_graph(3), 1.5)
+        gibbs = exact_gibbs_distribution(mrf)
+        empirical = long_run_empirical(GlauberDynamics, mrf, 4000, 200, seed=11)
+        assert gibbs.tv_distance(empirical) < 0.05
+
+    def test_sweep_is_n_steps(self):
+        mrf = proper_coloring_mrf(path_graph(5), 3)
+        chain = GlauberDynamics(mrf, seed=0)
+        chain.sweep()
+        assert chain.steps_taken == 5
+
+    def test_escapes_infeasible_start(self):
+        mrf = proper_coloring_mrf(cycle_graph(5), 4)
+        chain = GlauberDynamics(mrf, initial=[0, 0, 0, 0, 0], seed=2)
+        chain.run(200)
+        assert chain.is_feasible()
+
+
+class TestMetropolisChain:
+    def test_preserves_feasibility(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 4)
+        chain = MetropolisChain(mrf, seed=0)
+        chain.run(300)
+        assert chain.is_feasible()
+
+    def test_long_run_matches_gibbs_soft_model(self):
+        mrf = ising_mrf(path_graph(3), beta=1.8, field=0.7)
+        gibbs = exact_gibbs_distribution(mrf)
+        empirical = long_run_empirical(MetropolisChain, mrf, 6000, 300, seed=13)
+        assert gibbs.tv_distance(empirical) < 0.05
+
+    def test_long_run_matches_gibbs_hardcore(self):
+        mrf = hardcore_mrf(path_graph(3), 2.0)
+        gibbs = exact_gibbs_distribution(mrf)
+        empirical = long_run_empirical(MetropolisChain, mrf, 6000, 300, seed=17)
+        assert gibbs.tv_distance(empirical) < 0.05
+
+    def test_proposal_uses_vertex_activities(self):
+        """With a huge field the chain should occupy spin 1 almost always."""
+        mrf = ising_mrf(path_graph(2), beta=1.0, field=50.0)
+        chain = MetropolisChain(mrf, seed=3)
+        chain.run(500)
+        assert tuple(chain.config) == (1, 1)
+
+    def test_agrees_with_glauber_distributionally(self):
+        """Two different samplers, one target: their long-run empirical
+        distributions should be close to each other."""
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        a = long_run_empirical(GlauberDynamics, mrf, 4000, 200, seed=19)
+        b = long_run_empirical(MetropolisChain, mrf, 4000, 200, seed=23)
+        assert a.tv_distance(b) < 0.07

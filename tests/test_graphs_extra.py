@@ -1,0 +1,103 @@
+"""Tests for the extended generator family."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ModelError
+from repro.graphs import (
+    binary_tree_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    hypercube_graph,
+    max_degree,
+    random_bipartite_regular_graph,
+)
+
+
+class TestHypercube:
+    def test_structure(self):
+        g = hypercube_graph(4)
+        assert g.number_of_nodes() == 16
+        assert all(degree == 4 for _, degree in g.degree())
+        assert nx.diameter(g) == 4
+
+    def test_labels_are_bitstrings(self):
+        g = hypercube_graph(3)
+        assert set(g.nodes()) == set(range(8))
+        # Neighbours differ in exactly one bit.
+        for u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            hypercube_graph(0)
+
+
+class TestBinaryTree:
+    def test_heap_structure(self):
+        g = binary_tree_graph(3)
+        assert g.number_of_nodes() == 15
+        assert nx.is_tree(g)
+        assert sorted(g.neighbors(0)) == [1, 2]
+        assert sorted(g.neighbors(1)) == [0, 3, 4]
+
+    def test_height_zero(self):
+        g = binary_tree_graph(0)
+        assert g.number_of_nodes() == 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            binary_tree_graph(-1)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = caterpillar_graph(4, 2)
+        assert g.number_of_nodes() == 4 + 8
+        assert nx.is_tree(g)
+        # Interior spine vertices: 2 spine neighbours + 2 legs.
+        assert g.degree(1) == 4
+        # Leaf legs have degree 1.
+        assert g.degree(4) == 1
+
+    def test_no_legs_is_path(self):
+        g = caterpillar_graph(5, 0)
+        assert nx.is_isomorphic(g, nx.path_graph(5))
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            caterpillar_graph(0, 1)
+        with pytest.raises(ModelError):
+            caterpillar_graph(3, -1)
+
+
+class TestCompleteBipartite:
+    def test_structure(self):
+        g = complete_bipartite_graph(3, 5)
+        assert g.number_of_edges() == 15
+        assert max_degree(g) == 5
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            complete_bipartite_graph(0, 3)
+
+
+class TestRandomBipartiteRegular:
+    def test_bipartite_and_bounded_degree(self):
+        g = random_bipartite_regular_graph(4, 20, seed=0)
+        assert nx.is_bipartite(g)
+        assert max_degree(g) <= 4
+        # Every edge crosses the two sides.
+        for u, v in g.edges():
+            assert (u < 20) != (v < 20)
+
+    def test_reproducible(self):
+        a = random_bipartite_regular_graph(3, 10, seed=7)
+        b = random_bipartite_regular_graph(3, 10, seed=7)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            random_bipartite_regular_graph(0, 5)
+        with pytest.raises(ModelError):
+            random_bipartite_regular_graph(3, 0)

@@ -1,0 +1,126 @@
+"""Tests for repro.graphs.generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    double_star_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    ladder_graph,
+    max_degree,
+    path_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    torus_graph,
+)
+
+
+class TestPathAndCycle:
+    def test_path_structure(self):
+        g = path_graph(5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 4
+        assert nx.diameter(g) == 4
+
+    def test_path_single_vertex(self):
+        g = path_graph(1)
+        assert g.number_of_nodes() == 1
+        assert g.number_of_edges() == 0
+
+    def test_path_rejects_zero(self):
+        with pytest.raises(ModelError):
+            path_graph(0)
+
+    def test_cycle_structure(self):
+        g = cycle_graph(6)
+        assert g.number_of_edges() == 6
+        assert all(degree == 2 for _, degree in g.degree())
+
+    def test_cycle_rejects_too_small(self):
+        with pytest.raises(ModelError):
+            cycle_graph(2)
+
+
+class TestGridAndTorus:
+    def test_grid_labels_and_degree(self):
+        g = grid_graph(3, 4)
+        assert set(g.nodes()) == set(range(12))
+        assert max_degree(g) == 4
+        # Corner vertex 0 = (0, 0) has exactly two neighbours: (0,1)=1, (1,0)=4.
+        assert sorted(g.neighbors(0)) == [1, 4]
+
+    def test_torus_is_4_regular(self):
+        g = torus_graph(4, 5)
+        assert all(degree == 4 for _, degree in g.degree())
+        assert g.number_of_edges() == 2 * 20
+
+    def test_torus_rejects_small_dims(self):
+        with pytest.raises(ModelError):
+            torus_graph(2, 5)
+
+
+class TestStars:
+    def test_star_degrees(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+    def test_double_star(self):
+        g = double_star_graph(5)
+        assert g.number_of_nodes() == 12
+        assert g.degree(0) == 6  # 5 leaves + the other centre
+        assert g.degree(1) == 6
+        assert g.has_edge(0, 1)
+
+    def test_ladder(self):
+        g = ladder_graph(4)
+        assert g.number_of_nodes() == 8
+        assert max_degree(g) == 3
+
+
+class TestRandomGenerators:
+    def test_random_regular_degrees(self):
+        g = random_regular_graph(3, 10, seed=1)
+        assert all(degree == 3 for _, degree in g.degree())
+
+    def test_random_regular_reproducible(self):
+        g1 = random_regular_graph(3, 12, seed=42)
+        g2 = random_regular_graph(3, 12, seed=42)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_random_regular_rejects_odd_product(self):
+        with pytest.raises(ModelError):
+            random_regular_graph(3, 7, seed=1)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(15, seed=3)
+        assert g.number_of_nodes() == 15
+        assert g.number_of_edges() == 14
+        assert nx.is_connected(g)
+
+    def test_random_tree_small(self):
+        assert random_tree(1).number_of_nodes() == 1
+        assert random_tree(2).number_of_edges() == 1
+
+    def test_erdos_renyi_bounds(self):
+        g = erdos_renyi_graph(20, 0.3, seed=5)
+        assert g.number_of_nodes() == 20
+        with pytest.raises(ModelError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_generator_accepts_generator_instance(self):
+        rng = np.random.default_rng(9)
+        g = random_regular_graph(4, 10, seed=rng)
+        assert all(degree == 4 for _, degree in g.degree())
+
+
+class TestComplete:
+    def test_complete_edges(self):
+        g = complete_graph(5)
+        assert g.number_of_edges() == 10

@@ -1,0 +1,139 @@
+"""Tests for repro.graphs.structure, including SSAW properties."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.graphs import (
+    adjacency_lists,
+    ball,
+    cycle_graph,
+    diameter,
+    greedy_coloring_schedule,
+    grid_graph,
+    is_independent_set,
+    is_strongly_self_avoiding,
+    normalize_graph,
+    path_graph,
+    strongly_self_avoiding_walks,
+)
+
+
+class TestNormalize:
+    def test_relabels_sorted(self):
+        g = nx.Graph([("c", "a"), ("a", "b")])
+        h = normalize_graph(g)
+        assert set(h.nodes()) == {0, 1, 2}
+        # 'a'->0, 'b'->1, 'c'->2; edges ('a','c') -> (0,2), ('a','b') -> (0,1)
+        assert h.has_edge(0, 2) and h.has_edge(0, 1)
+
+    def test_rejects_self_loop(self):
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        with pytest.raises(ModelError):
+            normalize_graph(g)
+
+
+class TestBasics:
+    def test_adjacency_lists(self):
+        g = path_graph(4)
+        assert adjacency_lists(g) == [[1], [0, 2], [1, 3], [2]]
+
+    def test_adjacency_rejects_bad_labels(self):
+        g = nx.Graph([(1, 2)])
+        with pytest.raises(ModelError):
+            adjacency_lists(g)
+
+    def test_diameter(self):
+        assert diameter(path_graph(7)) == 6
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_ball_radii(self):
+        g = path_graph(9)
+        assert ball(g, 4, 0) == {4}
+        assert ball(g, 4, 1) == {3, 4, 5}
+        assert ball(g, 4, 2) == {2, 3, 4, 5, 6}
+        assert ball(g, 0, 100) == set(range(9))
+
+    def test_ball_rejects_negative(self):
+        with pytest.raises(ModelError):
+            ball(path_graph(3), 0, -1)
+
+
+class TestIndependentSets:
+    def test_empty_is_independent(self):
+        assert is_independent_set(path_graph(5), [])
+
+    def test_detects_adjacency(self):
+        g = path_graph(5)
+        assert is_independent_set(g, [0, 2, 4])
+        assert not is_independent_set(g, [0, 1])
+
+    def test_greedy_schedule_covers_and_independent(self):
+        g = grid_graph(3, 3)
+        classes = greedy_coloring_schedule(g)
+        covered = sorted(v for cls in classes for v in cls)
+        assert covered == list(range(9))
+        for cls in classes:
+            assert is_independent_set(g, cls)
+
+    def test_greedy_schedule_empty_graph(self):
+        assert greedy_coloring_schedule(nx.Graph()) == []
+
+
+class TestSSAW:
+    def test_path_walks_are_ssaw(self):
+        g = path_graph(6)
+        assert is_strongly_self_avoiding(g, [0, 1, 2, 3])
+
+    def test_chord_breaks_ssaw(self):
+        # In a cycle of length 4 the walk 0-1-2-3 has the chord 0-3.
+        g = cycle_graph(4)
+        assert not is_strongly_self_avoiding(g, [0, 1, 2, 3])
+
+    def test_repeat_vertex_rejected(self):
+        g = cycle_graph(5)
+        assert not is_strongly_self_avoiding(g, [0, 1, 0])
+
+    def test_non_edge_rejected(self):
+        g = path_graph(5)
+        assert not is_strongly_self_avoiding(g, [0, 2])
+
+    def test_enumeration_on_path(self):
+        g = path_graph(5)
+        walks = list(strongly_self_avoiding_walks(g, 0, 3))
+        assert (0, 1) in walks
+        assert (0, 1, 2) in walks
+        assert (0, 1, 2, 3) in walks
+        assert len(walks) == 3  # the path only extends rightwards
+
+    def test_enumeration_respects_max_length(self):
+        g = path_graph(10)
+        walks = list(strongly_self_avoiding_walks(g, 0, 2))
+        assert max(len(w) - 1 for w in walks) == 2
+
+    def test_enumeration_on_cycle_excludes_chorded(self):
+        g = cycle_graph(4)
+        walks = set(strongly_self_avoiding_walks(g, 0, 3))
+        # 0-1-2-3 would close a chord 3-0; it must be excluded.
+        assert (0, 1, 2, 3) not in walks
+        assert (0, 1, 2) in walks
+
+    def test_all_enumerated_walks_verify(self):
+        g = grid_graph(3, 3)
+        for walk in strongly_self_avoiding_walks(g, 0, 4):
+            assert is_strongly_self_avoiding(g, walk)
+
+    @given(n=st.integers(4, 12), max_len=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_enumeration_sound_on_cycles(self, n, max_len):
+        g = cycle_graph(n)
+        for walk in strongly_self_avoiding_walks(g, 0, max_len):
+            assert is_strongly_self_avoiding(g, walk)
+            assert len(walk) - 1 <= max_len
+
+    def test_empty_for_zero_length(self):
+        g = path_graph(4)
+        assert list(strongly_self_avoiding_walks(g, 0, 0)) == []

@@ -1,0 +1,109 @@
+"""Behavioural tests for the LocalMetropolis chain (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_distribution
+from repro.chains import LocalMetropolisChain
+from repro.graphs import cycle_graph, grid_graph, path_graph, star_graph
+from repro.mrf import (
+    exact_gibbs_distribution,
+    hardcore_mrf,
+    ising_mrf,
+    proper_coloring_mrf,
+)
+
+
+class TestDynamics:
+    def test_preserves_feasibility(self):
+        mrf = proper_coloring_mrf(grid_graph(4, 4), 16)
+        chain = LocalMetropolisChain(mrf, seed=0)
+        chain.run(40)
+        assert chain.is_feasible()
+
+    def test_escapes_infeasible_start(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 4)
+        chain = LocalMetropolisChain(mrf, initial=np.zeros(6, dtype=int), seed=1)
+        chain.run(150)
+        assert chain.is_feasible()
+
+    def test_never_degrades_feasibility_per_round(self):
+        """Filter rules 1-2 guarantee the chain never moves to a 'less
+        proper' colouring: monochromatic edge count is non-increasing."""
+        mrf = proper_coloring_mrf(cycle_graph(8), 5)
+
+        def bad_edges(config):
+            return sum(1 for u, v in mrf.edges if config[u] == config[v])
+
+        chain = LocalMetropolisChain(mrf, initial=np.zeros(8, dtype=int), seed=2)
+        previous = bad_edges(chain.config)
+        for _ in range(80):
+            chain.step()
+            current = bad_edges(chain.config)
+            assert current <= previous
+            previous = current
+
+    def test_long_run_matches_gibbs_coloring(self):
+        mrf = proper_coloring_mrf(path_graph(3), 4)
+        gibbs = exact_gibbs_distribution(mrf)
+        chain = LocalMetropolisChain(mrf, seed=3)
+        chain.run(30)
+        samples = []
+        for _ in range(10_000):
+            chain.step()
+            chain.step()  # thin to tame autocorrelation
+            samples.append(tuple(int(s) for s in chain.config))
+        assert gibbs.tv_distance(empirical_distribution(samples, mrf.n, mrf.q)) < 0.05
+
+    def test_long_run_matches_gibbs_soft_model(self):
+        """Soft activities exercise the random edge coins."""
+        mrf = ising_mrf(path_graph(3), beta=1.5, field=0.8)
+        gibbs = exact_gibbs_distribution(mrf)
+        chain = LocalMetropolisChain(mrf, seed=4)
+        chain.run(50)
+        samples = []
+        for _ in range(8000):
+            chain.step()
+            samples.append(tuple(int(s) for s in chain.config))
+        assert gibbs.tv_distance(empirical_distribution(samples, mrf.n, mrf.q)) < 0.05
+
+    def test_long_run_matches_gibbs_hardcore(self):
+        mrf = hardcore_mrf(path_graph(3), 1.5)
+        gibbs = exact_gibbs_distribution(mrf)
+        chain = LocalMetropolisChain(mrf, seed=5)
+        chain.run(50)
+        samples = []
+        for _ in range(8000):
+            chain.step()
+            samples.append(tuple(int(s) for s in chain.config))
+        assert gibbs.tv_distance(empirical_distribution(samples, mrf.n, mrf.q)) < 0.05
+
+    def test_proposals_follow_vertex_activities(self):
+        """With dominant field, all-ones is reached and held."""
+        mrf = ising_mrf(path_graph(4), beta=1.0, field=60.0)
+        chain = LocalMetropolisChain(mrf, seed=6)
+        chain.run(400)
+        assert tuple(chain.config) == (1, 1, 1, 1)
+
+    def test_high_degree_graph_still_converges(self):
+        """Star with q >> Delta: LocalMetropolis handles unbounded degree."""
+        mrf = proper_coloring_mrf(star_graph(20), 80)
+        chain = LocalMetropolisChain(mrf, initial=np.zeros(21, dtype=int), seed=7)
+        chain.run(60)
+        assert chain.is_feasible()
+
+
+class TestRoundsBound:
+    def test_logarithmic_shape(self):
+        small = proper_coloring_mrf(path_graph(8), 8)
+        large = proper_coloring_mrf(path_graph(64), 8)
+        t_small = LocalMetropolisChain(small, seed=0).rounds_bound(0.01)
+        t_large = LocalMetropolisChain(large, seed=0).rounds_bound(0.01)
+        # 8x the vertices adds only an additive log factor.
+        assert t_large - t_small < t_small
+        assert t_large > t_small
+
+    def test_rejects_bad_eps(self):
+        mrf = proper_coloring_mrf(path_graph(4), 4)
+        with pytest.raises(ValueError):
+            LocalMetropolisChain(mrf, seed=0).rounds_bound(1.5)

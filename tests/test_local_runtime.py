@@ -1,0 +1,192 @@
+"""Tests for the LOCAL-model simulator (network, rng, protocol, runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.local import Network, NodeContext, Protocol, run_protocol, spawn_node_rngs
+
+
+class EchoNeighborSum(Protocol):
+    """Each node repeatedly broadcasts a counter and accumulates the inbox."""
+
+    def initialize(self, ctx):
+        ctx.state["value"] = ctx.node
+        ctx.state["received"] = 0
+
+    def compose(self, ctx, round_index):
+        return {u: ctx.state["value"] for u in ctx.neighbors}
+
+    def deliver(self, ctx, round_index, inbox):
+        ctx.state["received"] += sum(inbox.values())
+
+    def finalize(self, ctx):
+        return ctx.state["received"]
+
+
+class FloodMin(Protocol):
+    """Classic flooding: after t rounds each node knows min over its t-ball."""
+
+    def initialize(self, ctx):
+        ctx.state["minimum"] = ctx.node
+
+    def compose(self, ctx, round_index):
+        return {u: ctx.state["minimum"] for u in ctx.neighbors}
+
+    def deliver(self, ctx, round_index, inbox):
+        if inbox:
+            ctx.state["minimum"] = min(ctx.state["minimum"], min(inbox.values()))
+
+    def finalize(self, ctx):
+        return ctx.state["minimum"]
+
+
+class IllegalSender(Protocol):
+    def initialize(self, ctx):
+        pass
+
+    def compose(self, ctx, round_index):
+        return {ctx.node: "self-message"}  # nodes are not their own neighbours
+
+    def deliver(self, ctx, round_index, inbox):
+        pass
+
+    def finalize(self, ctx):
+        return None
+
+
+class RandomOutput(Protocol):
+    """Output one private random number; used for independence tests."""
+
+    def initialize(self, ctx):
+        pass
+
+    def compose(self, ctx, round_index):
+        return {}
+
+    def deliver(self, ctx, round_index, inbox):
+        pass
+
+    def finalize(self, ctx):
+        return float(ctx.rng.random())
+
+
+class TestNetwork:
+    def test_views(self):
+        net = Network(cycle_graph(5))
+        assert net.n == 5
+        assert net.neighbors(0) == (1, 4)
+        assert net.degree(2) == 2
+        assert net.max_degree == 2
+        assert net.diameter == 2
+        assert net.has_edge(0, 1) and not net.has_edge(0, 2)
+
+    def test_log_n_bound(self):
+        assert Network(path_graph(8)).log_n_bound == 3
+        assert Network(path_graph(9)).log_n_bound == 4
+
+    def test_star_degree(self):
+        assert Network(star_graph(6)).max_degree == 6
+
+
+class TestRng:
+    def test_streams_reproducible(self):
+        a = spawn_node_rngs(7, 4)
+        b = spawn_node_rngs(7, 4)
+        for ga, gb in zip(a, b):
+            assert ga.random() == gb.random()
+
+    def test_streams_differ_across_nodes(self):
+        rngs = spawn_node_rngs(7, 4)
+        draws = [g.random() for g in rngs]
+        assert len(set(draws)) == 4
+
+
+class TestRuntime:
+    def test_message_accounting(self):
+        net = Network(cycle_graph(6))
+        _, stats = run_protocol(EchoNeighborSum(), net, rounds=3, seed=0)
+        # Each of 6 nodes sends 2 messages per round.
+        assert stats.rounds == 3
+        assert stats.messages == 3 * 12
+        assert stats.messages_per_round == [12, 12, 12]
+
+    def test_flooding_matches_ball_semantics(self):
+        """After t rounds, information propagates exactly t hops — the
+        defining property of the LOCAL model."""
+        net = Network(path_graph(7))
+        for t in range(4):
+            outputs, _ = run_protocol(FloodMin(), net, rounds=t, seed=0)
+            for v in range(7):
+                expected = max(0, v - t)  # minimum id within t hops on a path
+                assert outputs[v] == expected
+
+    def test_rejects_non_neighbor_message(self):
+        net = Network(path_graph(3))
+        with pytest.raises(ProtocolError, match="non-neighbour"):
+            run_protocol(IllegalSender(), net, rounds=1, seed=0)
+
+    def test_private_inputs_length_checked(self):
+        net = Network(path_graph(3))
+        with pytest.raises(ValueError):
+            run_protocol(EchoNeighborSum(), net, rounds=1, private_inputs=[1, 2])
+
+    def test_outputs_reproducible_from_seed(self):
+        net = Network(cycle_graph(5))
+        out1, _ = run_protocol(RandomOutput(), net, rounds=1, seed=123)
+        out2, _ = run_protocol(RandomOutput(), net, rounds=1, seed=123)
+        assert out1 == out2
+
+    def test_outputs_independent_across_nodes(self):
+        """Zero-round outputs are functions of private randomness only —
+        they must be (statistically) independent across nodes: the
+        correlation of outputs at distinct nodes is ~0."""
+        net = Network(path_graph(2))
+        samples = np.array(
+            [run_protocol(RandomOutput(), net, rounds=0, seed=s)[0] for s in range(800)]
+        )
+        corr = np.corrcoef(samples[:, 0], samples[:, 1])[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_zero_rounds(self):
+        net = Network(path_graph(4))
+        outputs, stats = run_protocol(FloodMin(), net, rounds=0, seed=0)
+        assert outputs == [0, 1, 2, 3]
+        assert stats.rounds == 0
+
+
+class TestNodeContext:
+    def test_check_addressees(self):
+        ctx = NodeContext(0, (1, 2), np.random.default_rng(0), None, 3, 2)
+        ctx.check_addressees({1: "ok"})
+        with pytest.raises(ProtocolError):
+            ctx.check_addressees({3: "bad"})
+
+
+class TestMessageAccounting:
+    def test_payload_atoms_counting(self):
+        from repro.local.runtime import _payload_atoms
+
+        assert _payload_atoms(3.5) == 1
+        assert _payload_atoms((1, 2, 0.5)) == 3
+        assert _payload_atoms({0: 0.1, 1: 0.2}) == 4  # keys + values
+        import numpy as np
+
+        assert _payload_atoms(np.zeros(5)) == 5
+
+    def test_sampling_protocols_use_constant_size_messages(self):
+        """The paper: 'each message is of O(log n) bits' — concretely, a
+        constant number of scalars per message for both algorithms."""
+        from repro.distributed import (
+            run_local_metropolis_protocol,
+            run_luby_glauber_protocol,
+        )
+        from repro.graphs import cycle_graph
+        from repro.mrf import proper_coloring_mrf
+
+        mrf = proper_coloring_mrf(cycle_graph(8), 5)
+        _, stats_lg = run_luby_glauber_protocol(mrf, rounds=5, seed=0)
+        assert stats_lg.max_message_atoms == 2  # (rank, spin)
+        _, stats_lm = run_local_metropolis_protocol(mrf, rounds=5, seed=0)
+        assert stats_lm.max_message_atoms == 3  # (proposal, spin, coin share)

@@ -1,0 +1,149 @@
+"""Tests for exact path correlations (the Theorem 5.1 engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleStateError, ModelError
+from repro.graphs import cycle_graph, path_graph
+from repro.lowerbound import (
+    correlation_decay,
+    fit_decay_rate,
+    path_conditional_marginal,
+    path_pair_joint,
+)
+from repro.lowerbound.correlation import correlation_profile
+from repro.mrf import (
+    exact_gibbs_distribution,
+    hardcore_mrf,
+    ising_mrf,
+    proper_coloring_mrf,
+)
+
+
+class TestConditionalMarginal:
+    def test_matches_brute_force(self):
+        mrf = ising_mrf(path_graph(5), beta=1.7, field=0.6)
+        dist = exact_gibbs_distribution(mrf)
+        for fixed in ({}, {0: 1}, {0: 1, 4: 0}, {2: 1}):
+            for v in range(5):
+                if v in fixed:
+                    continue
+                exact = (
+                    dist.condition(fixed).marginal(v) if fixed else dist.marginal(v)
+                )
+                fast = path_conditional_marginal(mrf, v, fixed)
+                assert np.allclose(exact, fast, atol=1e-12)
+
+    def test_matches_brute_force_colorings(self):
+        mrf = proper_coloring_mrf(path_graph(6), 3)
+        dist = exact_gibbs_distribution(mrf)
+        fixed = {0: 0, 5: 1}
+        for v in range(1, 5):
+            exact = dist.condition(fixed).marginal(v)
+            fast = path_conditional_marginal(mrf, v, fixed)
+            assert np.allclose(exact, fast, atol=1e-12)
+
+    def test_rejects_non_path(self):
+        mrf = proper_coloring_mrf(cycle_graph(4), 3)
+        with pytest.raises(ModelError):
+            path_conditional_marginal(mrf, 0)
+
+    def test_rejects_impossible_conditioning(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        with pytest.raises(InfeasibleStateError):
+            # Adjacent vertices pinned to the same colour.
+            path_conditional_marginal(mrf, 2, {0: 0, 1: 0})
+
+    def test_long_path_numerically_stable(self):
+        mrf = proper_coloring_mrf(path_graph(2000), 3)
+        marginal = path_conditional_marginal(mrf, 1000, {0: 0})
+        assert marginal.sum() == pytest.approx(1.0)
+        assert np.all(marginal > 0.0)
+
+    @given(seed=st.integers(0, 5000), v=st.integers(0, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_chain_models(self, seed, v):
+        rng = np.random.default_rng(seed)
+        q = 3
+        edge = rng.uniform(0.2, 2.0, size=(q, q))
+        edge = (edge + edge.T) / 2
+        vertex = rng.uniform(0.2, 2.0, size=(5, q))
+        from repro.mrf import MRF
+
+        mrf = MRF(path_graph(5), q, edge, vertex)
+        dist = exact_gibbs_distribution(mrf)
+        assert np.allclose(
+            dist.marginal(v), path_conditional_marginal(mrf, v), atol=1e-10
+        )
+
+
+class TestPairJoint:
+    def test_matches_brute_force(self):
+        mrf = proper_coloring_mrf(path_graph(6), 3)
+        dist = exact_gibbs_distribution(mrf)
+        joint_fast = path_pair_joint(mrf, 1, 4)
+        joint_exact = dist.pair_marginal(1, 4)
+        assert np.allclose(joint_fast, joint_exact, atol=1e-12)
+
+    def test_with_conditioning(self):
+        mrf = proper_coloring_mrf(path_graph(6), 3)
+        dist = exact_gibbs_distribution(mrf)
+        fixed = {0: 2}
+        joint_fast = path_pair_joint(mrf, 2, 4, fixed)
+        conditioned = dist.condition(fixed)
+        joint_exact = conditioned.pair_marginal(2, 4)
+        assert np.allclose(joint_fast, joint_exact, atol=1e-12)
+
+    def test_rejects_same_vertex(self):
+        mrf = proper_coloring_mrf(path_graph(4), 3)
+        with pytest.raises(ModelError):
+            path_pair_joint(mrf, 2, 2)
+
+    def test_rejects_fixed_overlap(self):
+        mrf = proper_coloring_mrf(path_graph(4), 3)
+        with pytest.raises(ModelError):
+            path_pair_joint(mrf, 0, 2, {0: 1})
+
+
+class TestCorrelationDecay:
+    def test_three_coloring_rate_is_half(self):
+        """For uniform 3-colourings of a path the correlation decays as
+        exactly (1/2)^d — the paper's eta for this model."""
+        mrf = proper_coloring_mrf(path_graph(60), 3)
+        profile = correlation_profile(mrf, 10, [1, 2, 3, 5, 8])
+        for distance, tv in profile:
+            assert tv == pytest.approx(0.5**distance, rel=1e-9)
+        assert fit_decay_rate(profile) == pytest.approx(0.5, abs=1e-9)
+
+    def test_correlation_positive_at_all_distances(self):
+        """Exponentially small but *nonzero* — the crux of Theorem 5.1."""
+        mrf = proper_coloring_mrf(path_graph(40), 4)
+        tv, _ = correlation_decay(mrf, 0, 30)
+        assert 0.0 < tv < 1e-6
+
+    def test_decay_monotone_in_distance(self):
+        mrf = hardcore_mrf(path_graph(40), 1.0)
+        profile = correlation_profile(mrf, 5, [1, 3, 5, 9])
+        tvs = [tv for _, tv in profile]
+        assert all(a > b for a, b in zip(tvs, tvs[1:]))
+
+    def test_more_colors_decay_faster(self):
+        """eta shrinks as q grows — correlations die faster."""
+        rate3 = fit_decay_rate(
+            correlation_profile(proper_coloring_mrf(path_graph(40), 3), 5, [1, 3, 5])
+        )
+        rate5 = fit_decay_rate(
+            correlation_profile(proper_coloring_mrf(path_graph(40), 5), 5, [1, 3, 5])
+        )
+        assert rate5 < rate3
+
+    def test_distance_guard(self):
+        mrf = proper_coloring_mrf(path_graph(10), 3)
+        with pytest.raises(ModelError):
+            correlation_profile(mrf, 5, [10])
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ModelError):
+            fit_decay_rate([(1, 0.5)])

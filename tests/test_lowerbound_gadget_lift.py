@@ -1,0 +1,154 @@
+"""Tests for the gadget, the cycle lift, and phase machinery (Section 5.1)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.lowerbound import (
+    build_cycle_lift,
+    hardcore_tree_occupancies,
+    lambda_critical,
+    phase_of_configuration,
+    phase_vector,
+    random_bipartite_gadget,
+)
+from repro.lowerbound.phases import cut_size, is_max_cut_phase, theta_gamma_constants
+
+
+class TestGadget:
+    def test_structure(self):
+        gadget = random_bipartite_gadget(20, 3, 6, rng=0)
+        assert gadget.n_vertices == 40
+        assert len(gadget.plus_terminals) == 3
+        assert len(gadget.minus_terminals) == 3
+        # Bipartite between sides: every edge crosses.
+        plus = set(gadget.plus_side)
+        for u, v in gadget.graph.edges():
+            assert (u in plus) != (v in plus)
+
+    def test_degrees(self):
+        gadget = random_bipartite_gadget(30, 4, 5, rng=1)
+        terminals = set(gadget.plus_terminals) | set(gadget.minus_terminals)
+        for v in gadget.graph.nodes():
+            degree = gadget.graph.degree(v)
+            if v in terminals:
+                # Delta - 1 minus collapsed parallel edges.
+                assert degree <= 4
+                assert degree >= 1
+            else:
+                assert degree <= 5
+
+    def test_connected(self):
+        gadget = random_bipartite_gadget(20, 2, 6, rng=2)
+        assert nx.is_connected(gadget.graph)
+
+    def test_reproducible(self):
+        a = random_bipartite_gadget(20, 3, 6, rng=7)
+        b = random_bipartite_gadget(20, 3, 6, rng=7)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            random_bipartite_gadget(4, 2, 6)  # n_side <= 2k
+        with pytest.raises(ModelError):
+            random_bipartite_gadget(20, 0, 6)
+        with pytest.raises(ModelError):
+            random_bipartite_gadget(20, 2, 2)
+
+
+class TestCycleLift:
+    def test_structure(self):
+        lift = build_cycle_lift(m=4, n_side=15, k=2, delta=6, rng=0)
+        assert lift.m == 4
+        assert lift.n_vertices == 4 * 30
+        assert lift.graph.number_of_nodes() == 120
+        assert nx.is_connected(lift.graph)
+
+    def test_copy_bookkeeping(self):
+        lift = build_cycle_lift(m=4, n_side=15, k=2, delta=6, rng=1)
+        for x in range(4):
+            for v in lift.copy_plus[x] + lift.copy_minus[x]:
+                assert lift.copy_of_vertex(v) == x
+
+    def test_inter_copy_edges_only_between_cycle_neighbors(self):
+        lift = build_cycle_lift(m=6, n_side=15, k=2, delta=6, rng=2)
+        for u, v in lift.graph.edges():
+            cu, cv = lift.copy_of_vertex(u), lift.copy_of_vertex(v)
+            if cu != cv:
+                assert (cu - cv) % 6 in (1, 5)  # adjacent on the cycle
+
+    def test_terminal_ports_consumed(self):
+        """After lifting, terminals gain exactly one inter-copy edge."""
+        lift = build_cycle_lift(m=4, n_side=15, k=2, delta=6, rng=3)
+        block = lift.gadget.n_vertices
+        for x in range(4):
+            offset = x * block
+            for t in lift.gadget.plus_terminals + lift.gadget.minus_terminals:
+                vertex = offset + t
+                inter = sum(
+                    1
+                    for nbr in lift.graph.neighbors(vertex)
+                    if lift.copy_of_vertex(nbr) != x
+                )
+                assert inter == 1
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            build_cycle_lift(m=5, n_side=15, k=2, delta=6)  # odd cycle
+        with pytest.raises(ModelError):
+            build_cycle_lift(m=2, n_side=15, k=2, delta=6)
+
+
+class TestPhases:
+    def test_phase_of_configuration(self):
+        plus, minus = [0, 1], [2, 3]
+        assert phase_of_configuration([1, 1, 0, 0], plus, minus) == 1
+        assert phase_of_configuration([0, 0, 1, 1], plus, minus) == -1
+        assert phase_of_configuration([1, 0, 0, 1], plus, minus) == 0
+
+    def test_phase_vector(self):
+        lift = build_cycle_lift(m=4, n_side=15, k=2, delta=6, rng=4)
+        config = np.zeros(lift.n_vertices, dtype=int)
+        for v in lift.copy_plus[0]:
+            config[v] = 1
+        phases = phase_vector(config, lift)
+        assert phases[0] == 1
+        assert phases[1] == 0  # empty copy: tie
+
+    def test_cut_size_and_max_cut(self):
+        assert cut_size([1, -1, 1, -1]) == 4
+        assert is_max_cut_phase([1, -1, 1, -1])
+        assert not is_max_cut_phase([1, 1, -1, -1])
+        assert not is_max_cut_phase([1, 0, -1, 1])
+        assert cut_size([1, 1, -1, -1]) == 2
+
+
+class TestUniquenessThreshold:
+    def test_lambda_critical_values(self):
+        # lambda_c(6) = 5^5 / 4^6 = 3125 / 4096 < 1: Theorem 1.3's Delta >= 6.
+        assert lambda_critical(6) == pytest.approx(3125 / 4096)
+        assert lambda_critical(6) < 1.0
+        assert lambda_critical(5) > 1.0  # Delta = 5 is *not* enough for lambda = 1
+
+    def test_occupancies_split_in_non_uniqueness(self):
+        q_minus, q_plus = hardcore_tree_occupancies(6, 1.0)
+        assert q_plus - q_minus > 0.1  # two distinct phases
+
+    def test_occupancies_merge_in_uniqueness(self):
+        lam = 0.5 * lambda_critical(6)
+        q_minus, q_plus = hardcore_tree_occupancies(6, lam)
+        assert q_plus - q_minus < 1e-6
+
+    def test_theta_gamma_amplification(self):
+        """Theta > Gamma exactly in non-uniqueness (Lemma 5.5's engine)."""
+        theta, gamma = theta_gamma_constants(6, 1.0)
+        assert theta > gamma
+        theta_u, gamma_u = theta_gamma_constants(6, 0.3)
+        assert theta_u == pytest.approx(gamma_u, abs=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            lambda_critical(2)
+        with pytest.raises(ModelError):
+            hardcore_tree_occupancies(6, -1.0)

@@ -1,0 +1,87 @@
+"""Tests for protocol-independence certificates (Theorem 5.1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.graphs import path_graph
+from repro.lowerbound import (
+    independence_defect,
+    path_protocol_lower_bound,
+    product_tv_lower_bound,
+    tv_to_independent_coupling,
+)
+from repro.lowerbound.correlation import path_pair_joint
+from repro.mrf import proper_coloring_mrf
+
+
+class TestIndependenceDefect:
+    def test_zero_for_products(self):
+        p = np.array([0.3, 0.7])
+        q = np.array([0.6, 0.4])
+        assert independence_defect(np.outer(p, q)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_maximal_for_perfectly_correlated(self):
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert independence_defect(joint) == pytest.approx(0.25)
+
+    def test_bound_ordering(self):
+        """defect/3 <= min-product TV <= TV to the marginal product."""
+        joint = np.array([[0.4, 0.1], [0.1, 0.4]])
+        lower = product_tv_lower_bound(joint)
+        upper = tv_to_independent_coupling(joint)
+        assert 0.0 < lower <= upper
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            independence_defect(np.ones((2, 2)))  # sums to 4
+        with pytest.raises(ModelError):
+            independence_defect(np.array([0.5, 0.5]))  # 1-d
+
+    def test_gibbs_pair_has_positive_defect(self):
+        """Adjacent-ish vertices on a path are genuinely correlated."""
+        mrf = proper_coloring_mrf(path_graph(20), 3)
+        joint = path_pair_joint(mrf, 5, 8)
+        assert independence_defect(joint) > 1e-4
+
+
+class TestPathCertificate:
+    def test_structure(self):
+        cert = path_protocol_lower_bound(n=100, q=3, t=1)
+        assert cert.block == 9
+        assert len(cert.pairs) == (100 - 1) // 9
+        for (u, v), defect in zip(cert.pairs, cert.pair_defects):
+            assert v - u == 2 * cert.t + 1  # pair distance > 2t
+            assert defect > 0.0
+
+    def test_lower_bound_grows_with_n(self):
+        """More blocks, more independent pairs, higher combined TV cost —
+        the paper's amplification (inequality (30))."""
+        small = path_protocol_lower_bound(n=40, q=3, t=1).combined_lower_bound
+        large = path_protocol_lower_bound(n=400, q=3, t=1).combined_lower_bound
+        assert large > small
+
+    def test_lower_bound_decays_with_t(self):
+        """Bigger round budgets weaken the per-pair correlation (eta^(2t+1))."""
+        t1 = path_protocol_lower_bound(n=600, q=3, t=1)
+        t3 = path_protocol_lower_bound(n=600, q=3, t=3)
+        assert max(t1.pair_lower_bounds) > max(t3.pair_lower_bounds)
+
+    def test_log_n_scaling_shape(self):
+        """For t ~ c log n with small c, the bound stays bounded away from 0
+        as n grows — the Omega(log n) statement's empirical shadow."""
+        import math
+
+        bounds = []
+        for n in (200, 400, 800):
+            t = max(1, int(0.15 * math.log(n)))
+            bounds.append(path_protocol_lower_bound(n=n, q=3, t=t).combined_lower_bound)
+        assert min(bounds) > 0.05
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            path_protocol_lower_bound(n=5, q=3, t=2)  # too short for one block
+        with pytest.raises(ModelError):
+            path_protocol_lower_bound(n=100, q=2, t=1)
+        with pytest.raises(ModelError):
+            path_protocol_lower_bound(n=100, q=3, t=-1)

@@ -1,0 +1,97 @@
+"""Behavioural tests for the LubyGlauber chain (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import empirical_distribution
+from repro.chains import ChromaticScheduler, LubyGlauberChain
+from repro.graphs import cycle_graph, grid_graph, is_independent_set, path_graph
+from repro.mrf import exact_gibbs_distribution, hardcore_mrf, proper_coloring_mrf
+
+
+class TestDynamics:
+    def test_preserves_feasibility(self):
+        mrf = proper_coloring_mrf(grid_graph(4, 4), 9)
+        chain = LubyGlauberChain(mrf, seed=0)
+        chain.run(60)
+        assert chain.is_feasible()
+
+    def test_escapes_infeasible_start(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 4)
+        chain = LubyGlauberChain(mrf, initial=np.zeros(6, dtype=int), seed=1)
+        chain.run(100)
+        assert chain.is_feasible()
+
+    def test_updates_form_independent_set_per_round(self):
+        """Within one round, the set of changed vertices is independent."""
+        mrf = proper_coloring_mrf(grid_graph(4, 4), 9)
+        chain = LubyGlauberChain(mrf, seed=2)
+        for _ in range(30):
+            before = chain.config.copy()
+            chain.step()
+            changed = np.nonzero(before != chain.config)[0]
+            assert is_independent_set(mrf.graph, changed)
+
+    def test_long_run_matches_gibbs(self):
+        mrf = hardcore_mrf(path_graph(3), 1.0)
+        gibbs = exact_gibbs_distribution(mrf)
+        chain = LubyGlauberChain(mrf, seed=3)
+        chain.run(50)
+        samples = []
+        for _ in range(4000):
+            chain.step()
+            samples.append(tuple(int(s) for s in chain.config))
+        empirical = empirical_distribution(samples, mrf.n, mrf.q)
+        assert gibbs.tv_distance(empirical) < 0.05
+
+    def test_chromatic_scheduler_also_samples_gibbs(self):
+        mrf = hardcore_mrf(path_graph(3), 1.0)
+        gibbs = exact_gibbs_distribution(mrf)
+        chain = LubyGlauberChain(
+            mrf, seed=4, scheduler=ChromaticScheduler(mrf.graph, classes=[[0, 2], [1]])
+        )
+        chain.run(50)
+        samples = []
+        for _ in range(4000):
+            chain.step()
+            samples.append(tuple(int(s) for s in chain.config))
+        empirical = empirical_distribution(samples, mrf.n, mrf.q)
+        assert gibbs.tv_distance(empirical) < 0.05
+
+
+class TestRoundsBound:
+    def test_theorem_32_shape(self):
+        """The bound scales linearly in Delta at fixed alpha and
+        logarithmically in 1/eps."""
+        grid = proper_coloring_mrf(grid_graph(3, 3), 9)
+        cyc = proper_coloring_mrf(cycle_graph(9), 9)
+        t_grid = LubyGlauberChain(grid, seed=0).rounds_bound(alpha=0.5, eps=0.01)
+        t_cycle = LubyGlauberChain(cyc, seed=0).rounds_bound(alpha=0.5, eps=0.01)
+        # Same n, alpha, eps; Delta 4 vs 2 -> roughly (4+1)/(2+1) ratio.
+        assert t_grid > t_cycle
+        chain = LubyGlauberChain(cyc, seed=0)
+        assert chain.rounds_bound(0.5, 0.001) > chain.rounds_bound(0.5, 0.1)
+
+    def test_rejects_bad_alpha_eps(self):
+        mrf = proper_coloring_mrf(cycle_graph(5), 5)
+        chain = LubyGlauberChain(mrf, seed=0)
+        with pytest.raises(ValueError):
+            chain.rounds_bound(alpha=1.0, eps=0.1)
+        with pytest.raises(ValueError):
+            chain.rounds_bound(alpha=0.5, eps=0.0)
+
+    def test_bound_is_sufficient_on_small_instance(self):
+        """Running for the Theorem 3.2 budget actually mixes (checked
+        against the exact transition matrix on a tiny model)."""
+        from repro.chains.transition import exact_mixing_time, luby_glauber_transition_matrix
+        from repro.mrf.influence import dobrushin_alpha
+
+        mrf = proper_coloring_mrf(path_graph(3), 5)  # q = 2*Delta + 1
+        alpha = dobrushin_alpha(mrf)
+        assert alpha < 1.0
+        budget = LubyGlauberChain(mrf, seed=0).rounds_bound(alpha=alpha, eps=0.01)
+        gibbs = exact_gibbs_distribution(mrf)
+        actual = exact_mixing_time(
+            luby_glauber_transition_matrix(mrf), gibbs, eps=0.01
+        )
+        assert actual <= budget

@@ -1,0 +1,145 @@
+"""Tests for the named model builders (repro.mrf.builders)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.mrf import (
+    exact_gibbs_distribution,
+    hardcore_mrf,
+    independent_set_mrf,
+    ising_mrf,
+    list_coloring_mrf,
+    potts_mrf,
+    proper_coloring_mrf,
+    uniform_mrf,
+    vertex_cover_mrf,
+)
+
+
+class TestColoring:
+    def test_uniform_over_proper_colorings(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        dist = exact_gibbs_distribution(mrf)
+        support = dist.support()
+        # Path of 3 vertices with 3 colours: 3 * 2 * 2 = 12 proper colourings.
+        assert len(support) == 12
+        probs = [dist.prob(c) for c in support]
+        assert np.allclose(probs, 1.0 / 12)
+
+    def test_all_support_members_proper(self):
+        mrf = proper_coloring_mrf(cycle_graph(4), 3)
+        for config in exact_gibbs_distribution(mrf).support():
+            for u, v in mrf.edges:
+                assert config[u] != config[v]
+
+    def test_rejects_single_color(self):
+        with pytest.raises(ModelError):
+            proper_coloring_mrf(path_graph(2), 1)
+
+
+class TestListColoring:
+    def test_respects_lists(self):
+        lists = {0: [0], 1: [1, 2], 2: [0, 1]}
+        mrf = list_coloring_mrf(path_graph(3), 3, lists)
+        dist = exact_gibbs_distribution(mrf)
+        for config in dist.support():
+            for v, allowed in lists.items():
+                assert config[v] in allowed
+
+    def test_counts_solutions(self):
+        lists = {0: [0, 1], 1: [0, 1]}
+        mrf = list_coloring_mrf(path_graph(2), 2, lists)
+        # Proper: (0,1) and (1,0).
+        assert len(exact_gibbs_distribution(mrf).support()) == 2
+
+    def test_rejects_missing_list(self):
+        with pytest.raises(ModelError, match="no colour list"):
+            list_coloring_mrf(path_graph(2), 3, {0: [0]})
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ModelError, match="empty"):
+            list_coloring_mrf(path_graph(2), 3, {0: [], 1: [0]})
+
+    def test_rejects_out_of_range_color(self):
+        with pytest.raises(ModelError, match="outside"):
+            list_coloring_mrf(path_graph(2), 3, {0: [3], 1: [0]})
+
+
+class TestHardcoreFamily:
+    def test_independent_set_support(self):
+        mrf = independent_set_mrf(path_graph(3))
+        support = exact_gibbs_distribution(mrf).support()
+        # Independent sets of P3: {}, {0}, {1}, {2}, {0,2} -> 5.
+        assert len(support) == 5
+
+    def test_hardcore_weights_by_size(self):
+        lam = 2.0
+        mrf = hardcore_mrf(path_graph(2), lam)
+        dist = exact_gibbs_distribution(mrf)
+        z = 1 + 2 * lam  # {}, {0}, {1}
+        assert dist.prob((0, 0)) == pytest.approx(1 / z)
+        assert dist.prob((1, 0)) == pytest.approx(lam / z)
+        assert dist.prob((1, 1)) == 0.0
+
+    def test_hardcore_rejects_nonpositive_fugacity(self):
+        with pytest.raises(ModelError):
+            hardcore_mrf(path_graph(2), 0.0)
+
+    def test_vertex_cover_complement_of_independent_set(self):
+        g = path_graph(3)
+        cover_support = set(exact_gibbs_distribution(vertex_cover_mrf(g)).support())
+        ind_support = set(exact_gibbs_distribution(independent_set_mrf(g)).support())
+        flipped = {tuple(1 - s for s in config) for config in ind_support}
+        assert cover_support == flipped
+
+
+class TestSpinSystems:
+    def test_ising_prefers_alignment_ferromagnetic(self):
+        mrf = ising_mrf(path_graph(2), beta=3.0)
+        dist = exact_gibbs_distribution(mrf)
+        assert dist.prob((0, 0)) > dist.prob((0, 1))
+
+    def test_ising_antiferromagnetic(self):
+        mrf = ising_mrf(path_graph(2), beta=0.2)
+        dist = exact_gibbs_distribution(mrf)
+        assert dist.prob((0, 1)) > dist.prob((0, 0))
+
+    def test_ising_field_biases_spin_one(self):
+        mrf = ising_mrf(path_graph(2), beta=1.0, field=4.0)
+        dist = exact_gibbs_distribution(mrf)
+        assert dist.marginal(0)[1] > dist.marginal(0)[0]
+
+    def test_potts_reduces_to_coloring_at_beta_zero_limit(self):
+        # beta -> 0 suppresses monochromatic edges; compare at small beta.
+        g = path_graph(2)
+        potts = exact_gibbs_distribution(potts_mrf(g, 3, beta=1e-9))
+        coloring = exact_gibbs_distribution(proper_coloring_mrf(g, 3))
+        assert potts.tv_distance(coloring) < 1e-8
+
+    def test_potts_q2_matches_ising(self):
+        g = path_graph(3)
+        beta = 1.7
+        potts = exact_gibbs_distribution(potts_mrf(g, 2, beta))
+        ising = exact_gibbs_distribution(ising_mrf(g, beta))
+        assert potts.tv_distance(ising) < 1e-12
+
+    def test_uniform_model_is_uniform(self):
+        mrf = uniform_mrf(star_graph(3), 2)
+        dist = exact_gibbs_distribution(mrf)
+        assert np.allclose(dist.probs, 1.0 / 16)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            ising_mrf(path_graph(2), beta=-1.0)
+        with pytest.raises(ModelError):
+            ising_mrf(path_graph(2), beta=1.0, field=0.0)
+        with pytest.raises(ModelError):
+            potts_mrf(path_graph(2), 1, 1.0)
+        with pytest.raises(ModelError):
+            potts_mrf(path_graph(2), 3, 0.0)
+        with pytest.raises(ModelError):
+            uniform_mrf(path_graph(2), 1)

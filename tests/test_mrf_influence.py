@@ -1,0 +1,95 @@
+"""Tests for influence matrices and Dobrushin's condition (Defs 3.1-3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleStateError
+from repro.graphs import complete_graph, cycle_graph, path_graph
+from repro.mrf import (
+    coloring_total_influence,
+    dobrushin_alpha,
+    influence_matrix,
+    proper_coloring_mrf,
+    uniform_mrf,
+)
+
+
+class TestInfluenceMatrix:
+    def test_zero_for_non_neighbors(self, path3_coloring):
+        rho = influence_matrix(path3_coloring)
+        assert rho[0, 2] == 0.0
+        assert rho[2, 0] == 0.0
+        assert np.all(np.diag(rho) == 0.0)
+
+    def test_uniform_model_no_influence(self):
+        rho = influence_matrix(uniform_mrf(path_graph(3), 3))
+        assert np.all(rho == 0.0)
+
+    def test_symmetric_model_symmetric_influence(self):
+        rho = influence_matrix(proper_coloring_mrf(cycle_graph(4), 4))
+        assert np.allclose(rho, rho.T)
+
+    def test_clique_coloring_matches_closed_form(self):
+        """On K_n the list-colouring influence bound 1/(q - d) is tight."""
+        n, q = 3, 5
+        mrf = proper_coloring_mrf(complete_graph(n), q)
+        rho = influence_matrix(mrf)
+        d = n - 1
+        expected = 1.0 / (q - d)
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    assert rho[i, j] == pytest.approx(expected)
+
+    def test_path_coloring_influence_bounded_by_closed_form(self):
+        mrf = proper_coloring_mrf(path_graph(4), 3)
+        rho = influence_matrix(mrf)
+        for i in range(4):
+            d_i = mrf.degree(i)
+            for j in mrf.neighbors(i):
+                assert rho[i, j] <= 1.0 / (3 - d_i) + 1e-12
+
+
+class TestDobrushinAlpha:
+    def test_alpha_below_one_for_q_gt_2_delta(self):
+        mrf = proper_coloring_mrf(cycle_graph(5), 5)  # q = 5 > 2*Delta = 4
+        assert dobrushin_alpha(mrf) < 1.0
+
+    def test_alpha_at_least_exact_row_sum(self):
+        mrf = proper_coloring_mrf(cycle_graph(4), 4)
+        rho = influence_matrix(mrf)
+        assert dobrushin_alpha(mrf) == pytest.approx(rho.sum(axis=1).max())
+
+    def test_exact_alpha_bounded_by_coloring_formula(self):
+        """Exact total influence <= max_v d_v / (q_v - d_v) (Section 3.2)."""
+        for graph, q in [(cycle_graph(5), 5), (path_graph(4), 4), (complete_graph(3), 7)]:
+            mrf = proper_coloring_mrf(graph, q)
+            closed = coloring_total_influence(
+                [mrf.degree(v) for v in range(mrf.n)], [q] * mrf.n
+            )
+            assert dobrushin_alpha(mrf) <= closed + 1e-12
+
+
+class TestColoringClosedForm:
+    def test_regular_graph_value(self):
+        # d = 2, q = 5 everywhere: alpha = 2 / 3.
+        assert coloring_total_influence([2, 2, 2], [5, 5, 5]) == pytest.approx(2 / 3)
+
+    def test_takes_worst_vertex(self):
+        assert coloring_total_influence([1, 3], [4, 4]) == pytest.approx(3.0)
+
+    def test_dobrushin_threshold_at_2_delta(self):
+        # q = 2d -> alpha = 1 (boundary); q = 2d + 1 -> alpha < 1.
+        assert coloring_total_influence([3], [6]) == pytest.approx(1.0)
+        assert coloring_total_influence([3], [7]) < 1.0
+
+    def test_rejects_q_le_d(self):
+        with pytest.raises(InfeasibleStateError):
+            coloring_total_influence([3], [3])
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            coloring_total_influence([1, 2], [3])
+
+    def test_empty(self):
+        assert coloring_total_influence([], []) == 0.0

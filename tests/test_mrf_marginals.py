@@ -1,0 +1,111 @@
+"""Tests for conditional marginals (eq. 2) and conditions (Glauber / eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleStateError
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.mrf import (
+    exact_gibbs_distribution,
+    hardcore_mrf,
+    ising_mrf,
+    proper_coloring_mrf,
+    satisfies_glauber_condition,
+    satisfies_local_metropolis_condition,
+)
+from repro.mrf.marginals import conditional_marginal, conditional_marginal_unnormalized
+
+
+class TestConditionalMarginal:
+    def test_coloring_marginal_uniform_over_available(self, path3_coloring):
+        # Middle vertex with neighbours coloured 0 and 1 -> only colour 2.
+        dist = conditional_marginal(path3_coloring, (0, 0, 1), 1)
+        assert np.allclose(dist, [0.0, 0.0, 1.0])
+
+    def test_coloring_marginal_two_available(self, path3_coloring):
+        dist = conditional_marginal(path3_coloring, (0, 0, 0), 1)
+        assert np.allclose(dist, [0.0, 0.5, 0.5])
+
+    def test_matches_exact_gibbs_conditional(self, path3_ising):
+        """Eq. (2) must agree with conditioning the exact Gibbs distribution."""
+        dist = exact_gibbs_distribution(path3_ising)
+        config = (1, 0, 1)
+        for v in range(3):
+            fixed = {u: config[u] for u in range(3) if u != v}
+            conditioned = dist.condition(fixed)
+            exact = conditioned.marginal(v)
+            formula = conditional_marginal(path3_ising, config, v)
+            assert np.allclose(exact, formula, atol=1e-12)
+
+    def test_hardcore_marginal(self):
+        mrf = hardcore_mrf(path_graph(2), 2.0)
+        # Neighbour unoccupied: marginal proportional to (1, lambda).
+        dist = conditional_marginal(mrf, (0, 0), 0)
+        assert np.allclose(dist, [1 / 3, 2 / 3])
+        # Neighbour occupied: must stay out.
+        dist = conditional_marginal(mrf, (0, 1), 0)
+        assert np.allclose(dist, [1.0, 0.0])
+
+    def test_unnormalized_matches_formula(self, path3_coloring):
+        # Neighbours of vertex 1 carry colours 0 and 2: only colour 1 remains.
+        weights = conditional_marginal_unnormalized(path3_coloring, (0, 1, 2), 1)
+        assert np.allclose(weights, [0.0, 1.0, 0.0])
+        weights = conditional_marginal_unnormalized(path3_coloring, (0, 1, 0), 1)
+        assert np.allclose(weights, [0.0, 1.0, 1.0])
+
+    def test_raises_when_undefined(self):
+        # q = 2 colouring on a path: middle vertex with both colours used.
+        mrf = proper_coloring_mrf(path_graph(3), 2)
+        with pytest.raises(InfeasibleStateError):
+            conditional_marginal(mrf, (0, 0, 1), 1)
+
+
+class TestGlauberCondition:
+    def test_holds_for_q_ge_delta_plus_one(self):
+        mrf = proper_coloring_mrf(cycle_graph(4), 3)  # q = Delta + 1
+        assert satisfies_glauber_condition(mrf)
+
+    def test_fails_for_q_eq_delta(self):
+        mrf = proper_coloring_mrf(cycle_graph(4), 2)  # q = Delta
+        assert not satisfies_glauber_condition(mrf)
+
+    def test_holds_for_soft_models(self, path3_ising):
+        assert satisfies_glauber_condition(path3_ising)
+
+    def test_holds_for_hardcore(self, path3_hardcore):
+        assert satisfies_glauber_condition(path3_hardcore)
+
+
+class TestLocalMetropolisCondition:
+    def test_paper_claim_colorings_q_ge_delta_plus_one_and_three(self):
+        """Paper: condition (6) holds for colourings iff q >= Delta+1, q >= 3."""
+        assert satisfies_local_metropolis_condition(
+            proper_coloring_mrf(path_graph(3), 3)
+        )
+        assert satisfies_local_metropolis_condition(
+            proper_coloring_mrf(cycle_graph(4), 3)
+        )
+
+    def test_fails_for_q_two_colorings(self):
+        # q = 2 violates the q >= 3 requirement (neighbour must be able to
+        # propose something different from both X_v and i).
+        assert not satisfies_local_metropolis_condition(
+            proper_coloring_mrf(path_graph(2), 2)
+        )
+
+    def test_fails_when_q_at_most_delta(self):
+        star = star_graph(3)  # centre degree 3
+        assert not satisfies_local_metropolis_condition(proper_coloring_mrf(star, 3))
+
+    def test_holds_for_soft_model(self, path3_ising):
+        assert satisfies_local_metropolis_condition(path3_ising)
+
+    def test_stronger_than_glauber(self):
+        """Condition (6) implies the Glauber condition on these models."""
+        for mrf in (
+            proper_coloring_mrf(cycle_graph(5), 4),
+            hardcore_mrf(path_graph(4), 1.0),
+            ising_mrf(path_graph(3), 2.0),
+        ):
+            if satisfies_local_metropolis_condition(mrf):
+                assert satisfies_glauber_condition(mrf)

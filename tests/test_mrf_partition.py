@@ -1,0 +1,114 @@
+"""Tests for partition functions, with property-based cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StateSpaceTooLargeError
+from repro.graphs import cycle_graph, grid_graph, path_graph
+from repro.mrf import (
+    MRF,
+    brute_force_partition_function,
+    hardcore_mrf,
+    ising_mrf,
+    partition_function,
+    proper_coloring_mrf,
+    transfer_matrix_partition_function,
+)
+from repro.mrf.partition import is_canonical_cycle, is_canonical_path
+
+
+class TestKnownValues:
+    def test_coloring_path_count(self):
+        # Proper q-colourings of a path: q * (q-1)^(n-1).
+        for n, q in [(2, 3), (4, 3), (5, 4)]:
+            mrf = proper_coloring_mrf(path_graph(n), q)
+            assert partition_function(mrf) == pytest.approx(q * (q - 1) ** (n - 1))
+
+    def test_coloring_cycle_count(self):
+        # Chromatic polynomial of C_n: (q-1)^n + (-1)^n (q-1).
+        for n, q in [(3, 3), (4, 3), (5, 4), (6, 3)]:
+            mrf = proper_coloring_mrf(cycle_graph(n), q)
+            expected = (q - 1) ** n + (-1) ** n * (q - 1)
+            assert partition_function(mrf) == pytest.approx(expected)
+
+    def test_independent_set_path_fibonacci(self):
+        # #independent sets of P_n is Fibonacci(n+2).
+        fib = [1, 1, 2, 3, 5, 8, 13, 21, 34]
+        for n in range(1, 7):
+            mrf = hardcore_mrf(path_graph(n), 1.0)
+            assert partition_function(mrf) == pytest.approx(fib[n + 1])
+
+    def test_hardcore_single_vertex(self):
+        mrf = hardcore_mrf(path_graph(1), 2.5)
+        assert partition_function(mrf) == pytest.approx(3.5)
+
+
+class TestEngineAgreement:
+    def test_transfer_matches_brute_force_on_path(self):
+        mrf = ising_mrf(path_graph(6), beta=1.4, field=0.7)
+        assert transfer_matrix_partition_function(mrf) == pytest.approx(
+            brute_force_partition_function(mrf)
+        )
+
+    def test_transfer_matches_brute_force_on_cycle(self):
+        mrf = ising_mrf(cycle_graph(6), beta=0.6, field=1.2)
+        assert transfer_matrix_partition_function(mrf) == pytest.approx(
+            brute_force_partition_function(mrf)
+        )
+
+    def test_transfer_rejects_non_chain(self):
+        mrf = proper_coloring_mrf(grid_graph(2, 2), 3)
+        with pytest.raises(StateSpaceTooLargeError):
+            transfer_matrix_partition_function(mrf)
+
+    def test_dispatcher_uses_transfer_for_long_paths(self):
+        # 60 vertices, q=3: brute force impossible, transfer instant.
+        mrf = proper_coloring_mrf(path_graph(60), 3)
+        assert partition_function(mrf) == pytest.approx(3.0 * 2.0**59)
+
+    def test_brute_force_guard(self):
+        mrf = proper_coloring_mrf(path_graph(30), 3)
+        with pytest.raises(StateSpaceTooLargeError):
+            brute_force_partition_function(mrf, max_states=1000)
+
+    @given(
+        n=st.integers(2, 6),
+        beta=st.floats(0.2, 3.0),
+        field=st.floats(0.2, 3.0),
+        cyclic=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_transfer_equals_brute_force(self, n, beta, field, cyclic):
+        if cyclic and n < 3:
+            return
+        graph = cycle_graph(n) if cyclic else path_graph(n)
+        mrf = ising_mrf(graph, beta=beta, field=field)
+        assert transfer_matrix_partition_function(mrf) == pytest.approx(
+            brute_force_partition_function(mrf), rel=1e-9
+        )
+
+    @given(n=st.integers(2, 5), q=st.integers(2, 4), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_chain_models(self, n, q, seed):
+        """Random soft activities on a path: both engines agree."""
+        rng = np.random.default_rng(seed)
+        edge = rng.uniform(0.1, 2.0, size=(q, q))
+        edge = (edge + edge.T) / 2.0
+        vertex = rng.uniform(0.1, 2.0, size=(n, q))
+        mrf = MRF(path_graph(n), q, edge, vertex)
+        assert transfer_matrix_partition_function(mrf) == pytest.approx(
+            brute_force_partition_function(mrf), rel=1e-9
+        )
+
+
+class TestCanonicalDetection:
+    def test_path_detection(self):
+        assert is_canonical_path(proper_coloring_mrf(path_graph(4), 3))
+        assert not is_canonical_path(proper_coloring_mrf(cycle_graph(4), 3))
+
+    def test_cycle_detection(self):
+        assert is_canonical_cycle(proper_coloring_mrf(cycle_graph(5), 3))
+        assert not is_canonical_cycle(proper_coloring_mrf(path_graph(5), 3))
+        assert not is_canonical_cycle(proper_coloring_mrf(grid_graph(2, 3), 3))

@@ -1,0 +1,57 @@
+"""Tests for configuration observables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, path_graph
+from repro.mrf import proper_coloring_mrf
+from repro.mrf.observables import (
+    color_histogram,
+    edge_agreement_fraction,
+    hamming_distance,
+    magnetisation,
+    monochromatic_edges,
+    occupancy,
+)
+
+
+class TestScalarObservables:
+    def test_occupancy(self):
+        assert occupancy([0, 1, 1, 0]) == 2
+        assert occupancy([]) == 0
+
+    def test_magnetisation(self):
+        assert magnetisation([1, 1, 1, 1]) == pytest.approx(1.0)
+        assert magnetisation([0, 0, 1, 1]) == pytest.approx(0.0)
+        assert magnetisation([0, 0, 0, 1]) == pytest.approx(0.5)
+        with pytest.raises(ModelError):
+            magnetisation([])
+
+    def test_monochromatic_edges(self):
+        mrf = proper_coloring_mrf(cycle_graph(4), 3)
+        assert monochromatic_edges(mrf, [0, 1, 0, 1]) == 0
+        assert monochromatic_edges(mrf, [0, 0, 0, 0]) == 4
+        assert monochromatic_edges(mrf, [0, 0, 1, 1]) == 2
+
+    def test_edge_agreement_fraction(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        assert edge_agreement_fraction(mrf, [0, 0, 1]) == pytest.approx(0.5)
+        edgeless = proper_coloring_mrf(path_graph(1), 3)
+        with pytest.raises(ModelError):
+            edge_agreement_fraction(edgeless, [0])
+
+    def test_hamming(self):
+        assert hamming_distance([0, 1, 2], [0, 2, 2]) == 1
+        with pytest.raises(ModelError):
+            hamming_distance([0, 1], [0, 1, 2])
+
+    def test_color_histogram(self):
+        hist = color_histogram([0, 2, 2, 1, 2], 4)
+        assert list(hist) == [1, 1, 3, 0]
+        with pytest.raises(ModelError):
+            color_histogram([5], 3)
+
+    def test_histogram_consistency_with_occupancy(self):
+        config = np.array([0, 1, 1, 0, 1])
+        assert color_histogram(config, 2)[1] == occupancy(config)

@@ -1,0 +1,98 @@
+"""Tests for the systematic-scan chain and the spectral utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    mixing_time_lower_bound,
+    mixing_time_upper_bound,
+    relaxation_time,
+)
+from repro.chains.scan import SystematicScanChain, scan_sweep_matrix
+from repro.chains.transition import (
+    exact_mixing_time,
+    is_reversible,
+    local_metropolis_transition_matrix,
+    luby_glauber_transition_matrix,
+    spectral_gap,
+    stationary_distribution,
+)
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, path_graph
+from repro.mrf import exact_gibbs_distribution, hardcore_mrf, proper_coloring_mrf
+
+
+class TestSystematicScan:
+    def test_sweep_preserves_gibbs_exactly(self):
+        mrf = hardcore_mrf(path_graph(3), 1.5)
+        gibbs = exact_gibbs_distribution(mrf)
+        sweep = scan_sweep_matrix(mrf)
+        assert np.allclose(sweep.sum(axis=1), 1.0)
+        assert np.allclose(gibbs.probs @ sweep, gibbs.probs, atol=1e-12)
+
+    def test_sweep_generally_not_reversible(self):
+        """The contrast with Prop 3.1: scans preserve mu without detailed
+        balance."""
+        mrf = hardcore_mrf(path_graph(3), 1.5)
+        gibbs = exact_gibbs_distribution(mrf)
+        sweep = scan_sweep_matrix(mrf)
+        assert not is_reversible(sweep, gibbs.probs, atol=1e-12)
+
+    def test_order_changes_matrix(self):
+        mrf = hardcore_mrf(path_graph(3), 1.5)
+        forward = scan_sweep_matrix(mrf, order=[0, 1, 2])
+        backward = scan_sweep_matrix(mrf, order=[2, 1, 0])
+        assert not np.allclose(forward, backward)
+
+    def test_chain_long_run_matches_gibbs(self):
+        from repro.analysis import empirical_distribution
+
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        gibbs = exact_gibbs_distribution(mrf)
+        chain = SystematicScanChain(mrf, seed=0)
+        chain.run(30)
+        samples = []
+        for _ in range(4000):
+            chain.step()
+            samples.append(tuple(int(s) for s in chain.config))
+        assert gibbs.tv_distance(empirical_distribution(samples, 3, 3)) < 0.05
+
+    def test_order_validation(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        with pytest.raises(ModelError):
+            SystematicScanChain(mrf, seed=0, order=[0, 0, 1])
+
+    def test_one_step_is_one_sweep(self):
+        mrf = proper_coloring_mrf(path_graph(4), 4)
+        chain = SystematicScanChain(mrf, seed=1)
+        chain.step()
+        assert chain.steps_taken == 1
+
+
+class TestSpectralBounds:
+    def test_bounds_bracket_exact_mixing_time(self):
+        """(t_rel - 1) log(1/2eps) <= tau(eps) <= t_rel log(1/(eps pi_min))
+        on exactly computed chains."""
+        for builder in (luby_glauber_transition_matrix, local_metropolis_transition_matrix):
+            mrf = proper_coloring_mrf(cycle_graph(4), 4)
+            gibbs = exact_gibbs_distribution(mrf)
+            matrix = builder(mrf)
+            gap = spectral_gap(matrix, gibbs.probs)
+            pi_min = gibbs.probs[gibbs.probs > 0].min()
+            eps = 0.01
+            tau = exact_mixing_time(matrix, gibbs, eps)
+            assert tau <= mixing_time_upper_bound(gap, pi_min, eps) + 1
+            assert tau >= mixing_time_lower_bound(gap, eps) - 1
+
+    def test_relaxation_time(self):
+        assert relaxation_time(0.5) == 2.0
+        with pytest.raises(ModelError):
+            relaxation_time(0.0)
+
+    def test_bound_validation(self):
+        with pytest.raises(ModelError):
+            mixing_time_upper_bound(0.5, 0.0, 0.1)
+        with pytest.raises(ModelError):
+            mixing_time_upper_bound(0.5, 0.1, 1.5)
+        with pytest.raises(ModelError):
+            mixing_time_lower_bound(0.5, 0.6)

@@ -1,0 +1,150 @@
+"""Tests for independent-set schedulers, with hypothesis properties."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chains import ChromaticScheduler, LubyScheduler, SingleSiteScheduler
+from repro.errors import ModelError, StateSpaceTooLargeError
+from repro.graphs import (
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    is_independent_set,
+    path_graph,
+    star_graph,
+)
+
+
+class TestLubyScheduler:
+    def test_always_independent(self, rng):
+        scheduler = LubyScheduler(grid_graph(4, 4))
+        for _ in range(50):
+            selected = np.nonzero(scheduler.sample(rng))[0]
+            assert is_independent_set(grid_graph(4, 4), selected)
+
+    def test_isolated_vertices_always_selected(self, rng):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(3))
+        graph.add_edge(0, 1)
+        scheduler = LubyScheduler(graph)
+        for _ in range(20):
+            assert scheduler.sample(rng)[2]
+
+    def test_selection_probabilities_formula(self):
+        scheduler = LubyScheduler(star_graph(4))
+        probs = scheduler.selection_probabilities()
+        assert probs[0] == pytest.approx(1 / 5)  # centre: degree 4
+        assert np.allclose(probs[1:], 1 / 2)  # leaves: degree 1
+
+    def test_empirical_selection_matches_formula(self, rng):
+        graph = cycle_graph(5)
+        scheduler = LubyScheduler(graph)
+        counts = np.zeros(5)
+        trials = 4000
+        for _ in range(trials):
+            counts += scheduler.sample(rng)
+        assert np.allclose(counts / trials, 1 / 3, atol=0.03)
+
+    def test_exact_distribution_sums_to_one(self):
+        scheduler = LubyScheduler(path_graph(4))
+        support = scheduler.distribution()
+        assert sum(p for _, p in support) == pytest.approx(1.0)
+        for subset, probability in support:
+            assert probability > 0
+            assert is_independent_set(path_graph(4), subset)
+
+    def test_exact_distribution_marginals_match_formula(self):
+        graph = path_graph(4)
+        scheduler = LubyScheduler(graph)
+        support = scheduler.distribution()
+        for v in range(4):
+            marginal = sum(p for subset, p in support if v in subset)
+            assert marginal == pytest.approx(1.0 / (graph.degree(v) + 1))
+
+    def test_distribution_guard(self):
+        scheduler = LubyScheduler(path_graph(12))
+        with pytest.raises(StateSpaceTooLargeError):
+            scheduler.distribution()
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 20), p=st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_property_always_independent(self, seed, n, p):
+        graph = erdos_renyi_graph(n, p, seed=seed)
+        scheduler = LubyScheduler(graph)
+        rng = np.random.default_rng(seed + 1)
+        selected = np.nonzero(scheduler.sample(rng))[0]
+        assert is_independent_set(graph, selected)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_nonempty_on_nonempty_graphs(self, seed):
+        graph = cycle_graph(6)
+        scheduler = LubyScheduler(graph)
+        rng = np.random.default_rng(seed)
+        # The global rank maximum is always selected.
+        assert scheduler.sample(rng).any()
+
+
+class TestChromaticScheduler:
+    def test_cycles_through_classes(self, rng):
+        graph = path_graph(4)
+        scheduler = ChromaticScheduler(graph, classes=[[0, 2], [1, 3]])
+        first = scheduler.sample(rng)
+        second = scheduler.sample(rng)
+        third = scheduler.sample(rng)
+        assert np.array_equal(np.nonzero(first)[0], [0, 2])
+        assert np.array_equal(np.nonzero(second)[0], [1, 3])
+        assert np.array_equal(third, first)
+
+    def test_default_greedy_classes_valid(self, rng):
+        graph = grid_graph(3, 3)
+        scheduler = ChromaticScheduler(graph)
+        union = set()
+        for _ in range(len(scheduler.classes)):
+            union.update(np.nonzero(scheduler.sample(rng))[0])
+        assert union == set(range(9))
+
+    def test_rejects_non_independent_class(self):
+        with pytest.raises(ModelError, match="not an independent set"):
+            ChromaticScheduler(path_graph(3), classes=[[0, 1], [2]])
+
+    def test_rejects_incomplete_cover(self):
+        with pytest.raises(ModelError, match="cover"):
+            ChromaticScheduler(path_graph(3), classes=[[0], [2]])
+
+    def test_selection_probabilities(self):
+        scheduler = ChromaticScheduler(path_graph(4), classes=[[0, 2], [1, 3]])
+        assert np.allclose(scheduler.selection_probabilities(), 0.5)
+
+
+class TestSingleSiteScheduler:
+    def test_selects_exactly_one(self, rng):
+        scheduler = SingleSiteScheduler(path_graph(5))
+        for _ in range(20):
+            assert scheduler.sample(rng).sum() == 1
+
+    def test_distribution_uniform(self):
+        scheduler = SingleSiteScheduler(path_graph(4))
+        support = scheduler.distribution()
+        assert len(support) == 4
+        assert all(p == pytest.approx(0.25) for _, p in support)
+
+    def test_selection_probabilities(self):
+        scheduler = SingleSiteScheduler(path_graph(5))
+        assert np.allclose(scheduler.selection_probabilities(), 0.2)
+
+    def test_gamma_comparison_luby_beats_single_site(self):
+        """The Luby step's worst gamma 1/(Delta+1) dominates 1/n on large
+        bounded-degree graphs — the source of the Theta(n/Delta) speedup."""
+        graph = grid_graph(5, 5)
+        luby_gamma = LubyScheduler(graph).selection_probabilities().min()
+        single_gamma = SingleSiteScheduler(graph).selection_probabilities().min()
+        assert luby_gamma == pytest.approx(1 / 5)
+        assert single_gamma == pytest.approx(1 / 25)
+        assert luby_gamma > single_gamma

@@ -1,0 +1,208 @@
+"""Experiment E1 as a test battery: exact stationarity and reversibility.
+
+This is the reproduction's verification of the paper's correctness claims:
+
+* Proposition 3.1 — LubyGlauber is reversible with stationary distribution mu;
+* Theorem 4.1 — LocalMetropolis is reversible with stationary distribution mu;
+* the remark that the third filtering rule of LocalMetropolis is *necessary*.
+
+Every test materialises a full transition matrix and compares its stationary
+distribution against the exact Gibbs distribution to ~1e-10.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chains import SingleSiteScheduler
+from repro.chains.transition import (
+    chromatic_sweep_matrix,
+    exact_mixing_time,
+    exact_tv_decay,
+    glauber_transition_matrix,
+    is_reversible,
+    local_metropolis_transition_matrix,
+    luby_glauber_transition_matrix,
+    spectral_gap,
+    stationary_distribution,
+)
+from repro.errors import StateSpaceTooLargeError
+from repro.graphs import cycle_graph, path_graph
+from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf
+
+MODEL_FIXTURES = [
+    "path3_coloring",
+    "triangle_coloring",
+    "path3_hardcore",
+    "path3_ising",
+    "k3_hardcore",
+]
+
+
+def get_model(request, name):
+    return request.getfixturevalue(name)
+
+
+class TestGlauberStationarity:
+    @pytest.mark.parametrize("name", MODEL_FIXTURES)
+    def test_gibbs_is_stationary(self, request, name):
+        mrf = get_model(request, name)
+        matrix = glauber_transition_matrix(mrf)
+        gibbs = exact_gibbs_distribution(mrf)
+        assert np.allclose(gibbs.probs @ matrix, gibbs.probs, atol=1e-12)
+
+    @pytest.mark.parametrize("name", MODEL_FIXTURES)
+    def test_reversible(self, request, name):
+        mrf = get_model(request, name)
+        matrix = glauber_transition_matrix(mrf)
+        gibbs = exact_gibbs_distribution(mrf)
+        assert is_reversible(matrix, gibbs.probs)
+
+
+class TestLubyGlauberStationarity:
+    """Proposition 3.1, verified exactly."""
+
+    @pytest.mark.parametrize("name", MODEL_FIXTURES)
+    def test_gibbs_is_stationary(self, request, name):
+        mrf = get_model(request, name)
+        matrix = luby_glauber_transition_matrix(mrf)
+        gibbs = exact_gibbs_distribution(mrf)
+        assert np.allclose(gibbs.probs @ matrix, gibbs.probs, atol=1e-12)
+
+    @pytest.mark.parametrize("name", MODEL_FIXTURES)
+    def test_reversible(self, request, name):
+        mrf = get_model(request, name)
+        matrix = luby_glauber_transition_matrix(mrf)
+        gibbs = exact_gibbs_distribution(mrf)
+        assert is_reversible(matrix, gibbs.probs)
+
+    @pytest.mark.parametrize("name", MODEL_FIXTURES)
+    def test_converges_from_every_start(self, request, name):
+        """dTV(mu_LG, mu) -> 0 as T -> infinity, from any (even infeasible) start."""
+        mrf = get_model(request, name)
+        matrix = luby_glauber_transition_matrix(mrf)
+        gibbs = exact_gibbs_distribution(mrf)
+        decay = exact_tv_decay(matrix, gibbs, steps=200)
+        assert decay[-1] < 1e-3
+        # Eventually monotone decreasing tail.
+        assert decay[-1] <= decay[100] <= decay[50] + 1e-12
+
+    def test_single_site_scheduler_recovers_glauber(self, path3_coloring):
+        """LubyGlauber with the single-site scheduler *is* Glauber dynamics."""
+        via_luby = luby_glauber_transition_matrix(
+            path3_coloring, scheduler=SingleSiteScheduler(path3_coloring.graph)
+        )
+        direct = glauber_transition_matrix(path3_coloring)
+        assert np.allclose(via_luby, direct, atol=1e-12)
+
+    def test_rows_stochastic(self, triangle_coloring):
+        matrix = luby_glauber_transition_matrix(triangle_coloring)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_state_space_guard(self):
+        mrf = proper_coloring_mrf(path_graph(10), 3)
+        with pytest.raises(StateSpaceTooLargeError):
+            luby_glauber_transition_matrix(mrf, max_states=100)
+
+
+class TestLocalMetropolisStationarity:
+    """Theorem 4.1, verified exactly — including soft (random-filter) models."""
+
+    @pytest.mark.parametrize("name", MODEL_FIXTURES)
+    def test_gibbs_is_stationary(self, request, name):
+        mrf = get_model(request, name)
+        matrix = local_metropolis_transition_matrix(mrf)
+        gibbs = exact_gibbs_distribution(mrf)
+        assert np.allclose(gibbs.probs @ matrix, gibbs.probs, atol=1e-12)
+
+    @pytest.mark.parametrize("name", MODEL_FIXTURES)
+    def test_reversible(self, request, name):
+        mrf = get_model(request, name)
+        matrix = local_metropolis_transition_matrix(mrf)
+        gibbs = exact_gibbs_distribution(mrf)
+        assert is_reversible(matrix, gibbs.probs)
+
+    @pytest.mark.parametrize("name", MODEL_FIXTURES)
+    def test_stationary_distribution_is_gibbs(self, request, name):
+        mrf = get_model(request, name)
+        matrix = local_metropolis_transition_matrix(mrf)
+        gibbs = exact_gibbs_distribution(mrf)
+        pi = stationary_distribution(matrix)
+        assert gibbs.tv_distance(pi) < 1e-9
+
+    def test_third_rule_ablation_breaks_stationarity(self, path3_coloring):
+        """The paper: rule 3 'is necessary to guarantee the reversibility of
+        the chain as well as the uniform stationary distribution'."""
+        gibbs = exact_gibbs_distribution(path3_coloring)
+        ablated = local_metropolis_transition_matrix(
+            path3_coloring, use_third_rule=False
+        )
+        pi = stationary_distribution(ablated)
+        assert gibbs.tv_distance(pi) > 0.05  # clearly wrong distribution
+        assert not is_reversible(ablated, gibbs.probs, atol=1e-8)
+
+    def test_never_moves_feasible_to_infeasible(self, path3_coloring):
+        matrix = local_metropolis_transition_matrix(path3_coloring)
+        gibbs = exact_gibbs_distribution(path3_coloring)
+        feasible = gibbs.probs > 0
+        # Transitions from feasible rows into infeasible columns are zero.
+        assert np.all(matrix[np.ix_(feasible, ~feasible)] == 0.0)
+
+    def test_absorbing_to_feasible(self, triangle_coloring):
+        """From infeasible starts the chain reaches feasibility (condition 6)."""
+        matrix = local_metropolis_transition_matrix(triangle_coloring)
+        gibbs = exact_gibbs_distribution(triangle_coloring)
+        infeasible = np.nonzero(gibbs.probs == 0)[0]
+        power = np.linalg.matrix_power(matrix, 60)
+        feasible_mass = power[:, gibbs.probs > 0].sum(axis=1)
+        assert np.all(feasible_mass[infeasible] > 0.999)
+
+
+class TestChromaticSweep:
+    def test_sweep_preserves_gibbs(self, path3_coloring):
+        """Each colour-class update fixes mu, hence so does the sweep
+        (systematic scan of [17, 18])."""
+        sweep = chromatic_sweep_matrix(path3_coloring, [[0, 2], [1]])
+        gibbs = exact_gibbs_distribution(path3_coloring)
+        assert np.allclose(gibbs.probs @ sweep, gibbs.probs, atol=1e-12)
+
+    def test_sweep_rows_stochastic(self, path3_coloring):
+        sweep = chromatic_sweep_matrix(path3_coloring, [[0, 2], [1]])
+        assert np.allclose(sweep.sum(axis=1), 1.0)
+
+
+class TestSpectralAnalysis:
+    def test_spectral_gap_positive(self, path3_coloring):
+        matrix = luby_glauber_transition_matrix(path3_coloring)
+        gibbs = exact_gibbs_distribution(path3_coloring)
+        gap = spectral_gap(matrix, gibbs.probs)
+        assert 0.0 < gap <= 1.0
+
+    def test_gap_crossover_with_q(self):
+        """Below the LocalMetropolis threshold (q/Delta = 1.5) the filter
+        rejects so often that LubyGlauber has the larger gap; well above it
+        (q/Delta = 4 > alpha*) LocalMetropolis overtakes — the crossover the
+        paper's two theorems predict."""
+        for q, lm_wins in [(3, False), (8, True)]:
+            mrf = proper_coloring_mrf(path_graph(3), q)
+            gibbs = exact_gibbs_distribution(mrf)
+            gap_lg = spectral_gap(luby_glauber_transition_matrix(mrf), gibbs.probs)
+            gap_lm = spectral_gap(
+                local_metropolis_transition_matrix(mrf), gibbs.probs
+            )
+            assert (gap_lm > gap_lg) == lm_wins
+
+    def test_exact_mixing_time_ordering(self, path3_coloring):
+        """tau(eps) is non-increasing in eps and matches the decay curve."""
+        matrix = local_metropolis_transition_matrix(path3_coloring)
+        gibbs = exact_gibbs_distribution(path3_coloring)
+        t_strict = exact_mixing_time(matrix, gibbs, eps=0.01)
+        t_loose = exact_mixing_time(matrix, gibbs, eps=0.25)
+        assert t_loose <= t_strict
+        decay = exact_tv_decay(matrix, gibbs, steps=t_strict)
+        assert decay[t_strict - 1] <= 0.01
+        if t_strict >= 2:
+            assert decay[t_strict - 2] > 0.01
+
+    def test_stationary_distribution_raises_on_non_stochastic(self):
+        with pytest.raises(Exception):
+            stationary_distribution(np.array([[0.5, 0.1], [0.2, 0.8]]))

@@ -1,0 +1,180 @@
+"""Tests for tree BP and the Section 4.2.1 ideal-coupling simulation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.theory import ideal_coupling_expected_disagreement
+from repro.chains.ideal_coupling import (
+    build_ideal_tree,
+    ideal_coupling_step,
+    ideal_coupling_trial_means,
+)
+from repro.errors import InfeasibleStateError, ModelError
+from repro.graphs import binary_tree_graph, cycle_graph, path_graph, random_tree
+from repro.lowerbound import hardcore_tree_occupancies
+from repro.mrf import (
+    MRF,
+    exact_gibbs_distribution,
+    hardcore_mrf,
+    ising_mrf,
+    partition_function,
+    proper_coloring_mrf,
+)
+from repro.mrf.trees import (
+    is_tree_mrf,
+    tree_conditional_marginal,
+    tree_marginal,
+    tree_partition_function,
+)
+
+
+class TestTreeBP:
+    def test_tree_detection(self):
+        assert is_tree_mrf(proper_coloring_mrf(path_graph(5), 3))
+        assert is_tree_mrf(proper_coloring_mrf(binary_tree_graph(2), 3))
+        assert not is_tree_mrf(proper_coloring_mrf(cycle_graph(4), 3))
+
+    def test_partition_matches_brute_force(self):
+        mrf = ising_mrf(binary_tree_graph(2), beta=1.7, field=0.6)
+        assert tree_partition_function(mrf) == pytest.approx(
+            partition_function(mrf), rel=1e-10
+        )
+
+    def test_partition_with_conditioning(self):
+        mrf = hardcore_mrf(binary_tree_graph(2), 1.5)
+        dist = exact_gibbs_distribution(mrf)
+        z = partition_function(mrf)
+        z_pinned = tree_partition_function(mrf, fixed={0: 1})
+        assert z_pinned / z == pytest.approx(dist.marginal(0)[1], rel=1e-10)
+
+    def test_marginal_matches_brute_force(self):
+        mrf = proper_coloring_mrf(binary_tree_graph(2), 4)
+        dist = exact_gibbs_distribution(mrf)
+        for v in (0, 1, 4):
+            assert np.allclose(tree_marginal(mrf, v), dist.marginal(v), atol=1e-12)
+
+    def test_conditional_marginal_matches_brute_force(self):
+        mrf = ising_mrf(binary_tree_graph(2), beta=2.0)
+        dist = exact_gibbs_distribution(mrf)
+        fixed = {3: 1, 6: 0}
+        for v in (0, 1, 2):
+            expected = dist.condition(fixed).marginal(v)
+            assert np.allclose(
+                tree_conditional_marginal(mrf, v, fixed), expected, atol=1e-12
+            )
+
+    def test_impossible_conditioning(self):
+        mrf = proper_coloring_mrf(path_graph(3), 3)
+        with pytest.raises(InfeasibleStateError):
+            tree_marginal(mrf, 2, fixed={0: 0, 1: 0})
+
+    def test_rejects_cycles(self):
+        mrf = proper_coloring_mrf(cycle_graph(4), 3)
+        with pytest.raises(ModelError):
+            tree_partition_function(mrf)
+
+    @given(seed=st.integers(0, 5000), n=st.integers(3, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_trees(self, seed, n):
+        tree = random_tree(n, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        edge = rng.uniform(0.2, 2.0, size=(3, 3))
+        edge = (edge + edge.T) / 2
+        vertex = rng.uniform(0.2, 2.0, size=(n, 3))
+        mrf = MRF(tree, 3, edge, vertex)
+        assert tree_partition_function(mrf) == pytest.approx(
+            partition_function(mrf), rel=1e-9
+        )
+        dist = exact_gibbs_distribution(mrf)
+        v = int(rng.integers(n))
+        assert np.allclose(tree_marginal(mrf, v), dist.marginal(v), atol=1e-10)
+
+    def test_deep_tree_hardcore_approaches_fixed_point(self):
+        """BP on a deep (Delta-1)-ary hardcore tree approaches the q+/q-
+        phase densities of Proposition 5.3 at the root."""
+        delta, lam = 4, 3.0  # above lambda_c(4) = 27/16
+        tree = build_ideal_tree(delta, depth=8, q=4).graph
+        mrf = hardcore_mrf(tree, lam)
+        q_minus, q_plus = hardcore_tree_occupancies(delta, lam)
+        # Pin all even-depth leaves unoccupied <-> the extremal boundary.
+        marginal = tree_marginal(mrf, 0)
+        # The free-boundary root occupancy lies between the two fixed points.
+        assert q_minus - 0.05 <= marginal[1] <= q_plus + 0.05
+
+
+class TestIdealTree:
+    def test_structure(self):
+        tree = build_ideal_tree(delta=3, depth=2, q=5)
+        # Root degree delta; internal degree delta; leaves degree 1.
+        assert tree.graph.degree(0) == 3
+        assert tree.graph.degree(1) == 3
+        assert tree.x[0] == 0 and tree.y[0] == 1
+        disagreements = np.nonzero(tree.x != tree.y)[0]
+        assert list(disagreements) == [0]
+
+    def test_background_avoids_root_colors_and_proper(self):
+        tree = build_ideal_tree(delta=3, depth=3, q=6)
+        assert np.all(tree.x[1:] >= 2)
+        for u, v in tree.graph.edges():
+            assert tree.x[u] != tree.x[v]
+            assert tree.y[u] != tree.y[v]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            build_ideal_tree(1, 2, 5)
+        with pytest.raises(ModelError):
+            build_ideal_tree(3, 0, 5)
+        with pytest.raises(ModelError):
+            build_ideal_tree(3, 2, 3)
+
+
+class TestIdealCoupling:
+    def test_marginal_root_updates_spread_over_colors(self):
+        """Each chain's proposals are marginally uniform (the coupling only
+        correlates them): the root's accepted colours spread widely."""
+        tree = build_ideal_tree(delta=3, depth=2, q=6)
+        roots = []
+        rng = np.random.default_rng(1)
+        for _ in range(3000):
+            new_x, _ = ideal_coupling_step(tree, rng)
+            roots.append(int(new_x[0]))
+        values, _ = np.unique(roots, return_counts=True)
+        assert len(values) >= 4
+
+    def test_root_disagreement_within_paper_bound(self):
+        q, delta = 20, 4  # ratio 5 > 2 + sqrt2
+        tree = build_ideal_tree(delta=delta, depth=3, q=q)
+        stats = ideal_coupling_trial_means(tree, trials=4000, seed=2)
+        bound = 1.0 - (1.0 - delta / q) * (1.0 - 2.0 / q) ** delta
+        assert stats["root_disagreement"] <= bound + 0.03
+
+    def test_depth_decay(self):
+        """Disagreement rates fall off geometrically with depth like
+        (2/q)^l — the percolation term of Section 4.2.1."""
+        q, delta = 16, 4
+        tree = build_ideal_tree(delta=delta, depth=3, q=q)
+        stats = ideal_coupling_trial_means(tree, trials=6000, seed=3)
+        per_depth = stats["per_depth"]
+        assert per_depth[1] < 0.1
+        assert per_depth[2] < per_depth[1] + 0.01
+        paper = 0.5 * (1 - 2 / q) ** (delta - 1) * (2 / q)
+        assert per_depth[1] <= paper + 0.02
+
+    def test_total_expected_disagreement_contracts_above_threshold(self):
+        """Above 2 + sqrt2 the expected disagreement count after one step
+        is < 1 — the path-coupling contraction in its original habitat."""
+        q, delta = 20, 4
+        tree = build_ideal_tree(delta=delta, depth=4, q=q)
+        stats = ideal_coupling_trial_means(tree, trials=4000, seed=4)
+        assert stats["expected_total"] < 1.0
+        closed_form = ideal_coupling_expected_disagreement(q, delta)
+        assert stats["expected_total"] <= closed_form + 0.05
+
+    def test_trials_validation(self):
+        tree = build_ideal_tree(3, 1, 5)
+        with pytest.raises(ModelError):
+            ideal_coupling_trial_means(tree, trials=0)
