@@ -13,10 +13,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import report
-from repro.chains import ChromaticScheduler, LubyScheduler, SingleSiteScheduler
+from repro.chains import LubyScheduler, SingleSiteScheduler
 from repro.chains.transition import (
     chromatic_sweep_matrix,
     exact_mixing_time,

@@ -7,7 +7,6 @@ both CSP chains' step throughput on a dominating-set model.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import report
 from repro.chains.csp_chains import (

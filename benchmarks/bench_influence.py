@@ -8,7 +8,6 @@ tight on cliques).
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import report
 from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph

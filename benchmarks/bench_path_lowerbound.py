@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from benchmarks.conftest import report
 from repro.graphs import path_graph

@@ -8,8 +8,6 @@ are 0 / reversible; we confirm to numerical precision.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import report
 from repro.chains.transition import (

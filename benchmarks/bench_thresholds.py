@@ -13,7 +13,6 @@ Three tables:
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import report
 from repro.analysis.theory import (

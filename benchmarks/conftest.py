@@ -9,7 +9,6 @@ refreshed from a plain ``pytest benchmarks/ --benchmark-only`` run.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"

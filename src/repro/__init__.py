@@ -26,7 +26,7 @@ Quick start::
     coloring = repro.sample(mrf, method="local-metropolis", eps=0.01, seed=7)
 """
 
-from repro.api import METHODS, default_round_budget, sample
+from repro.api import METHODS, default_round_budget, sample, sample_many
 from repro.errors import (
     ConvergenceError,
     InfeasibleStateError,
@@ -69,6 +69,7 @@ __all__ = [
     "potts_mrf",
     "proper_coloring_mrf",
     "sample",
+    "sample_many",
     "uniform_mrf",
     "vertex_cover_mrf",
 ]

@@ -17,7 +17,15 @@ from repro.analysis.diagnostics import (
     gelman_rubin,
     integrated_autocorrelation_time,
 )
-from repro.analysis.empirical import empirical_distribution, marginal_from_samples
+from repro.analysis.empirical import (
+    batch_agreement,
+    batch_empirical_distribution,
+    batch_marginals,
+    batch_max_marginal_error,
+    batch_tv_to_exact,
+    empirical_distribution,
+    marginal_from_samples,
+)
 from repro.analysis.spectral import (
     mixing_time_lower_bound,
     mixing_time_upper_bound,
@@ -37,6 +45,11 @@ from repro.analysis.tv import tv_distance
 __all__ = [
     "alpha_star",
     "autocorrelation",
+    "batch_agreement",
+    "batch_empirical_distribution",
+    "batch_marginals",
+    "batch_max_marginal_error",
+    "batch_tv_to_exact",
     "dobrushin_mixing_bound",
     "effective_sample_size",
     "empirical_distribution",

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
 from repro.errors import ModelError
 

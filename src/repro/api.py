@@ -2,9 +2,13 @@
 
 ``sample(mrf, ...)`` is the one-call entry point: pick an algorithm, run it
 for a round budget derived from the paper's bounds (or an explicit budget),
-and return the configuration.  The heavy lifting lives in
-:mod:`repro.chains`; this facade exists so the examples and downstream users
-do not need to assemble chains by hand.
+and return the configuration.  ``sample_many(mrf, r, ...)`` is its batched
+sibling: it draws ``r`` independent approximate samples as one ``(r, n)``
+batch, dispatching to the replica-ensemble engines of
+:mod:`repro.chains.ensemble` whenever a batched kernel exists for the
+model/method pair.  The heavy lifting lives in :mod:`repro.chains`; this
+facade exists so the examples and downstream users do not need to assemble
+chains by hand.
 """
 
 from __future__ import annotations
@@ -13,13 +17,18 @@ import math
 
 import numpy as np
 
+from repro.chains.ensemble import (
+    EnsembleGlauberDynamics,
+    EnsembleLocalMetropolisColoring,
+    EnsembleLubyGlauberColoring,
+)
 from repro.chains.glauber import GlauberDynamics
 from repro.chains.local_metropolis import LocalMetropolisChain
 from repro.chains.luby_glauber import LubyGlauberChain
 from repro.errors import ModelError
 from repro.mrf.model import MRF
 
-__all__ = ["sample", "default_round_budget", "METHODS"]
+__all__ = ["sample", "sample_many", "default_round_budget", "METHODS"]
 
 METHODS = ("local-metropolis", "luby-glauber", "glauber")
 
@@ -97,3 +106,100 @@ def sample(
         raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
     chain.run(rounds)
     return chain.config.copy()
+
+
+def _uniform_coloring_q(mrf: MRF) -> int | None:
+    """Return ``q`` if ``mrf`` is a uniform proper-colouring model, else None.
+
+    Detects the models whose Gibbs distribution is uniform over proper
+    q-colourings — every edge matrix is a positive constant times
+    ``(J - I)`` and every vertex-activity row is a positive constant —
+    which is exactly when the specialised colouring ensembles of
+    :mod:`repro.chains.ensemble` apply.  Constant rescalings do not change
+    the distribution, so they are accepted.
+    """
+    # Relative comparisons only (atol=0): activities are scale-free, so a
+    # default absolute tolerance would misclassify small-magnitude
+    # non-uniform models as uniform colourings.
+    activity = mrf.vertex_activity
+    if np.any(activity <= 0.0) or not np.allclose(
+        activity, activity[:, :1], rtol=1e-9, atol=0.0
+    ):
+        return None
+    off_diagonal = ~np.eye(mrf.q, dtype=bool)
+    for u, v in mrf.edges:
+        matrix = mrf.edge_activity(u, v)
+        if np.any(np.diagonal(matrix) != 0.0):
+            return None
+        off = matrix[off_diagonal]
+        if np.any(off <= 0.0) or not np.allclose(off, off[0], rtol=1e-9, atol=0.0):
+            return None
+    return mrf.q
+
+
+def sample_many(
+    mrf: MRF,
+    r: int,
+    method: str = "local-metropolis",
+    eps: float = 0.05,
+    rounds: int | None = None,
+    seed: int | np.random.Generator | None = None,
+    initial: np.ndarray | None = None,
+) -> np.ndarray:
+    """Draw ``r`` independent approximate Gibbs samples as an ``(r, n)`` batch.
+
+    The batched counterpart of :func:`sample`: all replicas advance
+    simultaneously through the replica-ensemble engines of
+    :mod:`repro.chains.ensemble`, sharing one RNG stream.  For uniform
+    proper-colouring models the specialised batched kernels are used for
+    every method; for general MRFs ``"glauber"`` uses the batched
+    single-site engine and the two distributed chains fall back to ``r``
+    sequential generic chains fed from the same stream (correct for every
+    model, just not batched).
+
+    Parameters
+    ----------
+    mrf:
+        The target model.
+    r:
+        Number of independent replicas (rows of the returned batch).
+    method, eps, rounds, seed, initial:
+        As in :func:`sample`; ``initial`` may additionally be an ``(r, n)``
+        batch giving each replica its own starting configuration.
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``(r, n)`` int64 array; row ``i`` is replica ``i``'s sample.
+    """
+    if r < 1:
+        raise ModelError(f"sample_many needs r >= 1 replicas, got {r}")
+    if method not in METHODS:
+        raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
+    if rounds is None:
+        rounds = default_round_budget(mrf, method, eps)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if method == "glauber":
+        return EnsembleGlauberDynamics(mrf, r, initial=initial, seed=rng).run(rounds)
+    coloring_q = _uniform_coloring_q(mrf)
+    if coloring_q is not None:
+        ensemble_cls = (
+            EnsembleLocalMetropolisColoring
+            if method == "local-metropolis"
+            else EnsembleLubyGlauberColoring
+        )
+        ensemble = ensemble_cls(mrf.graph, coloring_q, r, initial=initial, seed=rng)
+        return ensemble.run(rounds)
+    # General-MRF fallback: r sequential chains sharing the RNG stream.
+    chain_cls = LocalMetropolisChain if method == "local-metropolis" else LubyGlauberChain
+    initial = None if initial is None else np.asarray(initial, dtype=np.int64)
+    if initial is not None and initial.ndim == 2 and initial.shape != (r, mrf.n):
+        raise ModelError(
+            f"initial batch must have shape ({r}, {mrf.n}), got {initial.shape}"
+        )
+    batch = np.empty((r, mrf.n), dtype=np.int64)
+    for i in range(r):
+        start = initial if initial is None or initial.ndim == 1 else initial[i]
+        chain = chain_cls(mrf, initial=start, seed=rng)
+        batch[i] = chain.run(rounds)
+    return batch

@@ -12,6 +12,14 @@ The paper's two distributed chains:
   pluggable independent-set scheduler (Luby step by default);
 * :class:`repro.chains.local_metropolis.LocalMetropolisChain` — Algorithm 2.
 
+Batched replica ensembles (:mod:`repro.chains.ensemble`):
+
+* :class:`repro.chains.ensemble.EnsembleLocalMetropolisColoring` and
+  :class:`repro.chains.ensemble.EnsembleLubyGlauberColoring` — both
+  colouring fast paths advancing R independent replicas per step;
+* :class:`repro.chains.ensemble.EnsembleGlauberDynamics` — batched
+  single-site Glauber for general pairwise MRFs.
+
 Verification machinery:
 
 * :mod:`repro.chains.transition` — exact transition matrices, stationary
@@ -21,6 +29,11 @@ Verification machinery:
 """
 
 from repro.chains.base import Chain, greedy_feasible_config, random_config
+from repro.chains.ensemble import (
+    EnsembleGlauberDynamics,
+    EnsembleLocalMetropolisColoring,
+    EnsembleLubyGlauberColoring,
+)
 from repro.chains.glauber import GlauberDynamics
 from repro.chains.local_metropolis import LocalMetropolisChain
 from repro.chains.luby_glauber import LubyGlauberChain
@@ -35,6 +48,9 @@ from repro.chains.schedulers import (
 __all__ = [
     "Chain",
     "ChromaticScheduler",
+    "EnsembleGlauberDynamics",
+    "EnsembleLocalMetropolisColoring",
+    "EnsembleLubyGlauberColoring",
     "GlauberDynamics",
     "IndependentSetScheduler",
     "LocalMetropolisChain",

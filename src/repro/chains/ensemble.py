@@ -1,0 +1,457 @@
+"""Batched replica-ensemble engines: advance R independent chains at once.
+
+Every empirical claim in this reproduction (TV decay, marginal error,
+agreement curves) averages over hundreds-to-thousands of *independent*
+replicas of the same chain.  Running those replicas one
+:class:`~repro.chains.fastpaths.FastLocalMetropolisColoring` object at a
+time leaves almost all the throughput on the table: per-round numpy-call
+overhead dominates once ``n`` is modest, and per-chain construction
+(greedy colouring, edge-array setup) is paid R times.
+
+The ensembles in this module store all replicas in one array and advance
+them with single whole-ensemble numpy operations:
+
+* :class:`EnsembleLocalMetropolisColoring` — Algorithm 2 for proper
+  q-colourings, R replicas per step;
+* :class:`EnsembleLubyGlauberColoring` — Algorithm 1 for proper
+  q-colourings, with the per-vertex Python neighbour loop of the
+  single-replica fast path replaced by CSR-style neighbour arrays, so the
+  rejection resampling of *all* pending (replica, vertex) pairs is one
+  vectorised pass per rejection round;
+* :class:`EnsembleGlauberDynamics` — batched single-site heat-bath Glauber
+  for *general* pairwise MRFs (Ising, hardcore, ...), so ensembles are not
+  colouring-only.
+
+Layout and exactness contract
+-----------------------------
+
+Publicly an ensemble is an ``(R, n)`` batch: ``config`` returns an
+``(R, n)`` int64 array, and ``run(steps)`` returns a fresh ``(R, n)``
+copy.  Internally the colouring ensembles store the transposed
+*vertex-major* ``(n, R)`` layout in the smallest integer dtype that holds
+``q``: every per-edge operation then gathers contiguous rows, and the
+edge-to-vertex "any incident edge failed" reduction is a sparse
+incidence-matrix product — both memory-bandwidth bound rather than
+Python-overhead bound.
+
+Each replica evolves by exactly the same Markov kernel as the
+corresponding sequential chain (same proposal distribution, same filters,
+same tie-breaking rules), so replica ``i`` is *distributionally* identical
+to a sequential run; the test-suite validates this with exact-stationarity
+chi-squared tests and cross-implementation agreement.  Replicas are
+mutually independent: all randomness is drawn from one shared RNG stream,
+but no value is reused across replicas.  For
+:class:`EnsembleGlauberDynamics` the equivalence is even bitwise: with
+``replicas=1``, the same seed and the same initial configuration it
+reproduces :class:`~repro.chains.glauber.GlauberDynamics` state-for-state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.chains.base import greedy_feasible_config
+from repro.chains.fastpaths import (
+    build_csr_neighbours,
+    expand_neighbour_slots,
+    greedy_coloring,
+    sorted_edge_arrays,
+)
+from repro.errors import InfeasibleStateError, ModelError
+from repro.graphs.structure import check_vertex_labels
+from repro.mrf.model import MRF
+
+__all__ = [
+    "EnsembleLocalMetropolisColoring",
+    "EnsembleLubyGlauberColoring",
+    "EnsembleGlauberDynamics",
+]
+
+
+def _spin_dtype(q: int) -> np.dtype:
+    """Smallest signed integer dtype that holds spins ``0..q-1``.
+
+    Signed so that the accept-mask blend (``x ^ ((x ^ p) & mask)`` with an
+    all-ones mask) works unchanged, and at least as small as possible: the
+    ensemble kernels are memory-bound, so halving the element size is a
+    direct throughput win.
+    """
+    if q <= 127:
+        return np.dtype(np.int8)
+    if q <= 32_767:
+        return np.dtype(np.int16)
+    return np.dtype(np.int64)
+
+
+def _draw_uniform_spins(
+    rng: np.random.Generator, q: int, size, dtype: np.dtype
+) -> np.ndarray:
+    """Uniform spins in ``0..q-1`` in ``dtype`` (generated via int16 when
+    narrower — numpy's int8 bounded-integer path is measurably slower)."""
+    if dtype.itemsize < 2:
+        return rng.integers(0, q, size=size, dtype=np.int16).astype(dtype)
+    return rng.integers(0, q, size=size, dtype=dtype)
+
+
+class _EnsembleColoringBase:
+    """Shared state for the batched colouring chains.
+
+    Parameters
+    ----------
+    graph:
+        Simple graph with vertices ``0..n-1``.
+    q:
+        Number of colours.
+    replicas:
+        Number of independent replicas R advanced per step.
+    initial:
+        ``None`` (greedy colouring replicated to all replicas), a length-n
+        configuration shared by all replicas, or an ``(R, n)`` batch giving
+        each replica its own start.
+    seed:
+        Seed or Generator for the single shared RNG stream.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        q: int,
+        replicas: int,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        check_vertex_labels(graph)
+        if q < 2:
+            raise ModelError(f"colouring needs q >= 2, got {q}")
+        if replicas < 1:
+            raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
+        self.n = graph.number_of_nodes()
+        self.q = int(q)
+        self.replicas = int(replicas)
+        self.graph = graph
+        self._dtype = _spin_dtype(self.q)
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+
+        self._eu, self._ev = sorted_edge_arrays(graph)
+        self._m = len(self._eu)
+        self._build_adjacency()
+        self._config = self._initial_batch(initial)
+        self.steps_taken = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_adjacency(self) -> None:
+        """CSR neighbour arrays plus the one-sided edge incidence matrices.
+
+        ``_side_u @ flags`` scatters a per-edge ``(m, R)`` flag array onto
+        each edge's u endpoint (``_side_v`` likewise); their sum is the full
+        incidence used for "any incident edge failed" reductions.  Sparse
+        matmul is the fastest edge-to-vertex scatter available from numpy
+        land — ``np.logical_or.reduceat`` is ~50x slower on the same data.
+        """
+        n, m = self.n, self._m
+        self._degrees, self._indptr, self._csr_indices = build_csr_neighbours(
+            self._eu, self._ev, n
+        )
+        if m:
+            ones = np.ones(m, dtype=np.int32)
+            arange = np.arange(m)
+            self._side_u = sp.csr_matrix((ones, (self._eu, arange)), shape=(n, m))
+            self._side_v = sp.csr_matrix((ones, (self._ev, arange)), shape=(n, m))
+            self._incidence = (self._side_u + self._side_v).tocsr()
+        else:
+            self._side_u = self._side_v = self._incidence = None
+
+    def _initial_batch(self, initial) -> np.ndarray:
+        n, q, r = self.n, self.q, self.replicas
+        if initial is None:
+            base = greedy_coloring(self.graph, q)
+            return np.repeat(base[:, None], r, axis=1).astype(self._dtype)
+        config = np.asarray(initial, dtype=np.int64)
+        if config.shape == (n,):
+            config = np.repeat(config[:, None], r, axis=1)
+        elif config.shape == (r, n):
+            config = config.T.copy()
+        else:
+            raise ModelError(
+                f"initial configuration must have shape ({n},) or ({r}, {n}), "
+                f"got {config.shape}"
+            )
+        if np.any(config < 0) or np.any(config >= q):
+            raise ModelError(f"initial colours must lie in 0..{q - 1}")
+        return config.astype(self._dtype)
+
+    # ------------------------------------------------------------------
+    # batch views and diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> np.ndarray:
+        """The current ``(R, n)`` batch (an int64 copy — safe to mutate)."""
+        return self._config.T.astype(np.int64)
+
+    def monochromatic_edges(self) -> np.ndarray:
+        """Per-replica count of improper (monochromatic) edges, shape ``(R,)``."""
+        if self._m == 0:
+            return np.zeros(self.replicas, dtype=np.int64)
+        return (self._config[self._eu] == self._config[self._ev]).sum(axis=0)
+
+    def proper_mask(self) -> np.ndarray:
+        """Boolean ``(R,)`` mask of replicas whose colouring is proper."""
+        return self.monochromatic_edges() == 0
+
+    def is_proper(self) -> bool:
+        """Return True iff *every* replica's colouring is proper."""
+        return bool(self.proper_mask().all())
+
+    def run(self, steps: int) -> np.ndarray:
+        """Advance all replicas ``steps`` rounds; return the ``(R, n)`` batch."""
+        for _ in range(steps):
+            self.step()
+        return self.config
+
+    def step(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class EnsembleLocalMetropolisColoring(_EnsembleColoringBase):
+    """Batched Algorithm 2 for proper q-colourings.
+
+    One step advances all R replicas by one LocalMetropolis round: every
+    (replica, vertex) pair proposes a uniform colour, every (replica, edge)
+    pair applies the three deterministic filtering rules of Section 4.2,
+    and a vertex accepts iff none of its incident edges failed.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        q: int,
+        replicas: int,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(graph, q, replicas, initial=initial, seed=seed)
+        m, r = self._m, self.replicas
+        self._pu = np.empty((m, r), dtype=self._dtype)
+        self._pv = np.empty((m, r), dtype=self._dtype)
+        self._xu = np.empty((m, r), dtype=self._dtype)
+        self._xv = np.empty((m, r), dtype=self._dtype)
+        self._failed = np.empty((m, r), dtype=bool)
+        self._scratch = np.empty((m, r), dtype=bool)
+
+    def step(self) -> None:
+        proposals = _draw_uniform_spins(
+            self.rng, self.q, (self.n, self.replicas), self._dtype
+        )
+        if self._m == 0:
+            self._config[...] = proposals
+            self.steps_taken += 1
+            return
+        np.take(proposals, self._eu, axis=0, out=self._pu)
+        np.take(proposals, self._ev, axis=0, out=self._pv)
+        np.take(self._config, self._eu, axis=0, out=self._xu)
+        np.take(self._config, self._ev, axis=0, out=self._xv)
+        failed = np.equal(self._pu, self._pv, out=self._failed)
+        np.logical_or(failed, np.equal(self._pu, self._xv, out=self._scratch), out=failed)
+        np.logical_or(failed, np.equal(self._pv, self._xu, out=self._scratch), out=failed)
+        # (n, R) count of failed incident edges; a vertex accepts iff zero.
+        blocked_counts = self._incidence @ failed.view(np.uint8)
+        mask = (blocked_counts == 0).astype(self._dtype)
+        np.negative(mask, out=mask)  # 0 where blocked, all-ones where accepted
+        # Branch-free masked assignment: config ^= (config ^ proposals) & mask.
+        np.bitwise_xor(self._config, proposals, out=proposals)
+        proposals &= mask
+        self._config ^= proposals
+        self.steps_taken += 1
+
+
+class EnsembleLubyGlauberColoring(_EnsembleColoringBase):
+    """Batched Algorithm 1 for proper q-colourings.
+
+    One step advances all R replicas by one LubyGlauber round: each replica
+    draws its own Luby independent set, then every selected (replica,
+    vertex) pair resamples a uniform *available* colour by vectorised
+    rejection.  The rejection pass checks every pending pair against its
+    neighbours' current colours through flat CSR neighbour arrays — one
+    gather + one segmented reduction per rejection round, no per-vertex
+    Python loop — and the amount of work decays geometrically as pairs
+    accept.
+    """
+
+    def _luby_select(self) -> np.ndarray:
+        """Per-replica Luby step: i.i.d. ranks, strict local maxima win.
+
+        Returns an ``(n, R)`` boolean mask; each column is an independent
+        set (ties lose on both sides, exactly as the sequential kernels).
+        """
+        if self._m == 0:
+            return np.ones((self.n, self.replicas), dtype=bool)
+        ranks = self.rng.random((self.n, self.replicas), dtype=np.float32)
+        ru = ranks[self._eu]
+        rv = ranks[self._ev]
+        lose_counts = self._side_u @ (ru <= rv).view(np.uint8)
+        lose_counts += self._side_v @ (rv <= ru).view(np.uint8)
+        return lose_counts == 0
+
+    def step(self) -> None:
+        v_idx, r_idx = np.nonzero(self._luby_select())
+        result = self._config.copy()
+        guard = 0
+        while v_idx.size:
+            draws = _draw_uniform_spins(self.rng, self.q, v_idx.size, self._dtype)
+            if self._m:
+                # Expand each pending pair to its CSR neighbour slots.  The
+                # neighbours of a selected vertex are unselected (Luby step),
+                # so their colours are fixed for the whole resampling pass.
+                pair_of_slot, slots = expand_neighbour_slots(
+                    v_idx, self._degrees, self._indptr
+                )
+                neighbour_spins = self._config[
+                    self._csr_indices[slots], np.repeat(r_idx, self._degrees[v_idx])
+                ]
+                hits = neighbour_spins == draws[pair_of_slot]
+                conflict = np.bincount(pair_of_slot[hits], minlength=v_idx.size) > 0
+            else:
+                conflict = np.zeros(v_idx.size, dtype=bool)
+            ok = ~conflict
+            result[v_idx[ok], r_idx[ok]] = draws[ok]
+            # Carry only the conflicted pairs into the next rejection round —
+            # the work per round decays geometrically with the pending set.
+            v_idx, r_idx = v_idx[conflict], r_idx[conflict]
+            guard += 1
+            if guard > 200 * self.q:
+                raise ModelError(
+                    "rejection sampling stalled: some vertex has no available "
+                    "colour (needs q >= Delta + 1)"
+                )
+        self._config = result
+        self.steps_taken += 1
+
+
+class EnsembleGlauberDynamics:
+    """Batched single-site heat-bath Glauber for general pairwise MRFs.
+
+    One step advances *each* replica by one single-site update: every
+    replica independently picks a uniform vertex and resamples it from the
+    conditional marginal of paper eq. (2).  All R conditional weight
+    vectors are assembled with padded neighbour arrays (one vectorised pass
+    per neighbour position, bounded by the maximum degree) and sampled with
+    one vectorised inverse-CDF — no per-replica Python loop.
+
+    With ``replicas=1`` this consumes the RNG stream in exactly the same
+    order as :class:`repro.chains.glauber.GlauberDynamics` and reproduces
+    it bitwise (same seed, same initial configuration) — the strongest form
+    of the ensemble-vs-sequential exactness contract.
+    """
+
+    def __init__(
+        self,
+        mrf: MRF,
+        replicas: int,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
+        self.mrf = mrf
+        self.replicas = int(replicas)
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+        n, q, r = mrf.n, mrf.q, self.replicas
+        if initial is None:
+            base = greedy_feasible_config(mrf, self.rng)
+            config = np.repeat(base[None, :], r, axis=0)
+        else:
+            config = np.asarray(initial, dtype=np.int64)
+            if config.shape == (n,):
+                config = np.repeat(config[None, :], r, axis=0)
+            elif config.shape == (r, n):
+                config = config.copy()
+            else:
+                raise ModelError(
+                    f"initial configuration must have shape ({n},) or ({r}, {n}), "
+                    f"got {config.shape}"
+                )
+            if np.any(config < 0) or np.any(config >= q):
+                raise ModelError(f"initial spins must lie in 0..{q - 1}")
+        self._config = config.astype(np.int64)
+        # Padded neighbour table (-1 pad) plus a per-slot index into the
+        # deduplicated stack of edge-activity matrices, so heterogeneous
+        # models cost no more than shared-matrix ones.
+        max_degree = mrf.max_degree
+        self._neighbour_pad = np.full((n, max(max_degree, 1)), -1, dtype=np.int64)
+        self._activity_index = np.zeros((n, max(max_degree, 1)), dtype=np.int64)
+        matrices: list[np.ndarray] = []
+        matrix_ids: dict[int, int] = {}
+        for v in range(n):
+            for k, u in enumerate(mrf.neighbors(v)):
+                matrix = mrf.edge_activity(u, v)
+                key = id(matrix)
+                if key not in matrix_ids:
+                    matrix_ids[key] = len(matrices)
+                    matrices.append(np.asarray(matrix, dtype=float))
+                self._neighbour_pad[v, k] = u
+                self._activity_index[v, k] = matrix_ids[key]
+        self._activities = (
+            np.stack(matrices) if matrices else np.ones((1, q, q))
+        )
+        self.steps_taken = 0
+
+    @property
+    def config(self) -> np.ndarray:
+        """The current ``(R, n)`` batch (a copy — safe to mutate)."""
+        return self._config.copy()
+
+    def step(self) -> None:
+        """One single-site heat-bath update in every replica."""
+        r, q = self.replicas, self.mrf.q
+        vertices = self.rng.integers(self.mrf.n, size=r)
+        # Conditional weights b_v(c) * prod_u A_uv(c, X_u), eq. (2), built
+        # in ascending-neighbour order (bitwise-matching the sequential
+        # implementation's float operation order).
+        weights = self.mrf.vertex_activity[vertices].copy()
+        rows = np.arange(r)
+        for k in range(self._neighbour_pad.shape[1]):
+            neighbour = self._neighbour_pad[vertices, k]
+            valid = neighbour >= 0
+            if not np.any(valid):
+                continue
+            spins = self._config[rows[valid], neighbour[valid]]
+            weights[valid] *= self._activities[
+                self._activity_index[vertices[valid], k], :, spins
+            ]
+        totals = weights.sum(axis=1)
+        if np.any(totals <= 0.0):
+            bad = int(vertices[np.argmax(totals <= 0.0)])
+            raise InfeasibleStateError(
+                f"conditional marginal at vertex {bad} is undefined: all {q} "
+                "spins have zero weight given the neighbours' spins"
+            )
+        cdf = np.cumsum(weights / totals[:, None], axis=1)
+        uniforms = self.rng.random(r)
+        spins = (cdf <= uniforms[:, None]).sum(axis=1)
+        np.clip(spins, 0, q - 1, out=spins)
+        self._config[rows, vertices] = spins
+        self.steps_taken += 1
+
+    def run(self, steps: int) -> np.ndarray:
+        """Advance all replicas ``steps`` single-site updates; return the batch."""
+        for _ in range(steps):
+            self.step()
+        return self.config
+
+    def is_feasible(self) -> np.ndarray:
+        """Per-replica feasibility mask, shape ``(R,)``."""
+        return np.array(
+            [self.mrf.is_feasible(self._config[i]) for i in range(self.replicas)]
+        )

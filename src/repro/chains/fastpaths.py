@@ -33,7 +33,67 @@ __all__ = [
     "FastLocalMetropolisColoring",
     "FastLubyGlauberColoring",
     "FastCoupledLocalMetropolis",
+    "sorted_edge_arrays",
+    "build_csr_neighbours",
+    "expand_neighbour_slots",
+    "greedy_coloring",
 ]
+
+
+def sorted_edge_arrays(graph: nx.Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Return the edge endpoints as two sorted int64 arrays (u < v per edge)."""
+    edges = np.array(sorted((min(u, v), max(u, v)) for u, v in graph.edges()))
+    if edges.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    return edges[:, 0].astype(np.int64), edges[:, 1].astype(np.int64)
+
+
+def build_csr_neighbours(
+    edge_u: np.ndarray, edge_v: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR-style neighbour arrays from edge lists.
+
+    Returns ``(degrees, indptr, indices)``: the neighbours of vertex ``v``
+    are ``indices[indptr[v]:indptr[v + 1]]``.  Shared by the single-replica
+    fast paths and the batched ensembles so the two kernels cannot drift.
+    """
+    owners = np.concatenate([edge_u, edge_v])
+    degrees = np.bincount(owners, minlength=n).astype(np.int64)
+    order = np.argsort(owners, kind="stable")
+    indices = np.concatenate([edge_v, edge_u])[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    return degrees, indptr, indices
+
+
+def expand_neighbour_slots(
+    vertices: np.ndarray, degrees: np.ndarray, indptr: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand each vertex in ``vertices`` to its CSR neighbour slots.
+
+    Returns ``(pair_of_slot, slots)``: entry ``k`` of a per-slot array
+    belongs to ``vertices[pair_of_slot[k]]`` and addresses neighbour
+    ``indices[slots[k]]``.  The core of the vectorised rejection resample.
+    """
+    deg = degrees[vertices]
+    pair_of_slot = np.repeat(np.arange(vertices.size), deg)
+    within = np.arange(pair_of_slot.size) - np.repeat(np.cumsum(deg) - deg, deg)
+    slots = np.repeat(indptr[vertices], deg) + within
+    return pair_of_slot, slots
+
+
+def greedy_coloring(graph: nx.Graph, q: int) -> np.ndarray:
+    """First-fit greedy colouring in vertex order (proper for q >= Delta + 1)."""
+    n = graph.number_of_nodes()
+    config = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        used = {int(config[u]) for u in graph.neighbors(v) if u < v}
+        for color in range(q):
+            if color not in used:
+                config[v] = color
+                break
+    return config
 
 
 class _FastColoringBase:
@@ -51,12 +111,13 @@ class _FastColoringBase:
             raise ModelError(f"colouring needs q >= 2, got {q}")
         self.n = graph.number_of_nodes()
         self.q = int(q)
-        edges = np.array(sorted((min(u, v), max(u, v)) for u, v in graph.edges()))
-        if edges.size == 0:
-            edges = edges.reshape(0, 2)
-        self.edge_u = edges[:, 0].astype(np.int64) if len(edges) else np.zeros(0, dtype=np.int64)
-        self.edge_v = edges[:, 1].astype(np.int64) if len(edges) else np.zeros(0, dtype=np.int64)
+        self.edge_u, self.edge_v = sorted_edge_arrays(graph)
         self.graph = graph
+        # CSR-style neighbour arrays let the Luby resample check all pending
+        # vertices in one vectorised pass.
+        self._degrees, self._indptr, self._csr_indices = build_csr_neighbours(
+            self.edge_u, self.edge_v, self.n
+        )
         if isinstance(seed, np.random.Generator):
             self.rng = seed
         else:
@@ -73,14 +134,7 @@ class _FastColoringBase:
         self.steps_taken = 0
 
     def _greedy_coloring(self) -> np.ndarray:
-        config = np.zeros(self.n, dtype=np.int64)
-        for v in range(self.n):
-            used = {int(config[u]) for u in self.graph.neighbors(v) if u < v}
-            for color in range(self.q):
-                if color not in used:
-                    config[v] = color
-                    break
-        return config
+        return greedy_coloring(self.graph, self.q)
 
     def monochromatic_edges(self) -> int:
         """Return the number of improper (monochromatic) edges."""
@@ -93,10 +147,15 @@ class _FastColoringBase:
         return self.monochromatic_edges() == 0
 
     def run(self, steps: int) -> np.ndarray:
-        """Advance ``steps`` rounds; return the configuration."""
+        """Advance ``steps`` rounds; return a *copy* of the configuration.
+
+        Returning a copy (matching :func:`repro.api.sample`) keeps callers
+        from silently corrupting the live chain state through the returned
+        array.
+        """
         for _ in range(steps):
             self.step()
-        return self.config
+        return self.config.copy()
 
     def step(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -146,20 +205,19 @@ class FastLubyGlauberColoring(_FastColoringBase):
         # avoiding every neighbour's *current* colour.  The neighbours of a
         # selected vertex are unselected (independent set), so their colours
         # are fixed throughout; each accepted colour is exactly a draw from
-        # the conditional marginal (uniform over available colours).
+        # the conditional marginal (uniform over available colours).  The
+        # neighbour check expands each pending vertex to its CSR neighbour
+        # slots — one gather and one bincount per rejection round, with the
+        # work decaying geometrically as vertices accept.
         result = self.config.copy()
         guard = 0
         while pending.size:
             proposals = self.rng.integers(0, self.q, size=pending.size)
-            keep = np.ones(pending.size, dtype=bool)
-            # Check against neighbour colours (adjacency loop in Python,
-            # but only over still-pending vertices — geometric decay).
-            for index, v in enumerate(pending):
-                proposal = proposals[index]
-                for u in self.graph.neighbors(int(v)):
-                    if self.config[u] == proposal:
-                        keep[index] = False
-                        break
+            pair_of_slot, slots = expand_neighbour_slots(
+                pending, self._degrees, self._indptr
+            )
+            hits = self.config[self._csr_indices[slots]] == proposals[pair_of_slot]
+            keep = np.bincount(pair_of_slot[hits], minlength=pending.size) == 0
             accepted = pending[keep]
             result[accepted] = proposals[keep]
             pending = pending[~keep]

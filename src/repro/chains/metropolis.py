@@ -11,7 +11,6 @@ LocalMetropolis edge filter.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.chains.base import Chain
 from repro.chains.glauber import sample_spin

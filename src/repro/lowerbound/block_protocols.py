@@ -20,7 +20,6 @@ certificate from above.
 
 from __future__ import annotations
 
-import itertools
 
 import numpy as np
 

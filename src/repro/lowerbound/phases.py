@@ -15,7 +15,6 @@
 
 from __future__ import annotations
 
-import math
 from collections.abc import Sequence
 
 from repro.errors import ConvergenceError, ModelError

@@ -7,6 +7,11 @@ import pytest
 
 from repro.analysis import (
     alpha_star,
+    batch_agreement,
+    batch_empirical_distribution,
+    batch_marginals,
+    batch_max_marginal_error,
+    batch_tv_to_exact,
     dobrushin_mixing_bound,
     empirical_distribution,
     empirical_mixing_time,
@@ -72,6 +77,50 @@ class TestEmpirical:
         samples = [(0, 1), (1, 1), (2, 1), (0, 1)]
         marginal = marginal_from_samples(samples, 0, 3)
         assert np.allclose(marginal, [0.5, 0.25, 0.25])
+
+
+class TestBatchEstimators:
+    """The ensemble-native (R, n) estimators agree with the per-sample ones."""
+
+    def test_batch_empirical_distribution_matches_loop_version(self):
+        batch = np.array([[0, 0], [0, 1], [0, 1], [1, 1]])
+        batched = batch_empirical_distribution(batch, 2)
+        looped = empirical_distribution([tuple(row) for row in batch], 2, 2)
+        assert np.allclose(batched.probs, looped.probs)
+
+    def test_batch_marginals_matches_loop_version(self):
+        rng = np.random.default_rng(0)
+        batch = rng.integers(0, 3, size=(50, 4))
+        marginals = batch_marginals(batch, 3)
+        assert marginals.shape == (4, 3)
+        assert np.allclose(marginals.sum(axis=1), 1.0)
+        for v in range(4):
+            looped = marginal_from_samples([tuple(row) for row in batch], v, 3)
+            assert np.allclose(marginals[v], looped)
+
+    def test_batch_tv_and_marginal_error(self, path3_coloring):
+        gibbs = exact_gibbs_distribution(path3_coloring)
+        exact_batch = np.array(gibbs.sample(np.random.default_rng(1), size=2000))
+        assert batch_tv_to_exact(exact_batch, gibbs) < 0.06
+        assert batch_max_marginal_error(exact_batch, gibbs) < 0.05
+        # A point-mass batch is far from the Gibbs distribution.
+        degenerate = np.tile(np.array([0, 1, 0]), (100, 1))
+        assert batch_tv_to_exact(degenerate, gibbs) > 0.9
+
+    def test_batch_agreement(self):
+        x = np.array([[0, 1, 2], [1, 1, 2]])
+        y = np.array([[0, 2, 2], [1, 1, 0]])
+        assert np.allclose(batch_agreement(x, y), [1.0, 0.5, 0.5])
+
+    def test_batch_validation(self):
+        with pytest.raises(ModelError):
+            batch_empirical_distribution(np.array([0, 1, 0]), 2)
+        with pytest.raises(ModelError):
+            batch_marginals(np.array([[0, 1, 5]]), 3)
+        with pytest.raises(ModelError):
+            batch_empirical_distribution(np.zeros((0, 3), dtype=int), 2)
+        with pytest.raises(ModelError):
+            batch_agreement(np.zeros((2, 3)), np.zeros((3, 2)))
 
 
 class TestConvergenceMachinery:

@@ -39,6 +39,44 @@ class TestSample:
         assert np.array_equal(a, b)
 
 
+class TestSampleMany:
+    def test_matches_sample_contract(self):
+        mrf = proper_coloring_mrf(grid_graph(4, 4), 16)
+        batch = repro.sample_many(mrf, 8, seed=0)
+        assert batch.shape == (8, 16)
+        assert batch.dtype == np.int64
+        assert all(mrf.is_feasible(row) for row in batch)
+
+    def test_returns_copy_per_call(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 5)
+        batch = repro.sample_many(mrf, 4, rounds=3, seed=1)
+        mutated = batch.copy()
+        mutated[:] = 0
+        assert not np.array_equal(repro.sample_many(mrf, 4, rounds=3, seed=1), mutated)
+
+    def test_replica_count_one_allowed(self):
+        mrf = proper_coloring_mrf(cycle_graph(6), 5)
+        batch = repro.sample_many(mrf, 1, rounds=4, seed=2)
+        assert batch.shape == (1, 6)
+
+    def test_coloring_detection_is_scale_free(self):
+        """The batched-kernel dispatch must compare activities by ratio:
+        a rescaled uniform colouring is still a colouring, while a
+        tiny-magnitude *non*-uniform model is not (regression for the
+        absolute-tolerance bug)."""
+        from repro.api import _uniform_coloring_q
+        from repro.graphs import path_graph
+        from repro.mrf import MRF
+
+        q = 3
+        scaled = 1e-9 * (np.ones((q, q)) - np.eye(q))
+        assert _uniform_coloring_q(MRF(path_graph(3), q, scaled, np.full(q, 7.0))) == q
+        lopsided = np.array(
+            [[0.0, 1e-9, 5e-9], [1e-9, 0.0, 1e-9], [5e-9, 1e-9, 0.0]]
+        )
+        assert _uniform_coloring_q(MRF(path_graph(3), q, lopsided, np.ones(q))) is None
+
+
 class TestBudget:
     def test_shapes(self):
         small = proper_coloring_mrf(cycle_graph(8), 6)

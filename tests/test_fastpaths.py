@@ -146,6 +146,24 @@ class TestDistributionalAgreement:
         assert gibbs.tv_distance(generic_emp) < 0.06
 
 
+class TestRunReturnsCopy:
+    def test_run_result_is_detached_from_chain_state(self):
+        """Regression: run() used to return the live config array, so
+        callers could silently corrupt the chain state."""
+        chain = FastLocalMetropolisColoring(cycle_graph(8), 5, seed=12)
+        returned = chain.run(3)
+        snapshot = chain.config.copy()
+        returned[:] = 0
+        assert np.array_equal(chain.config, snapshot)
+
+    def test_luby_run_result_is_detached(self):
+        chain = FastLubyGlauberColoring(cycle_graph(8), 5, seed=13)
+        returned = chain.run(3)
+        snapshot = chain.config.copy()
+        returned += 1
+        assert np.array_equal(chain.config, snapshot)
+
+
 class TestScale:
     def test_large_instance_runs(self):
         """10k vertices, a few rounds, still proper — the point of the fast path."""

@@ -1,7 +1,5 @@
 """Behavioural tests for the sequential chains (Glauber, Metropolis)."""
 
-import numpy as np
-import pytest
 
 from repro.analysis import empirical_distribution
 from repro.chains import GlauberDynamics, MetropolisChain

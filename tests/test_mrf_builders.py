@@ -1,6 +1,5 @@
 """Tests for the named model builders (repro.mrf.builders)."""
 
-import itertools
 
 import numpy as np
 import pytest

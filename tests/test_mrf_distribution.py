@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ModelError, StateSpaceTooLargeError
 from repro.graphs import path_graph
-from repro.mrf import exact_gibbs_distribution, ising_mrf, proper_coloring_mrf
+from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf
 from repro.mrf.distribution import GibbsDistribution, config_index, index_config
 
 

@@ -17,9 +17,7 @@ calculations (Sections 3 and 4.1) as testing gets.
 
 import itertools
 
-import networkx as nx
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

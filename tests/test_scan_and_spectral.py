@@ -15,7 +15,6 @@ from repro.chains.transition import (
     local_metropolis_transition_matrix,
     luby_glauber_transition_matrix,
     spectral_gap,
-    stationary_distribution,
 )
 from repro.errors import ModelError
 from repro.graphs import cycle_graph, path_graph

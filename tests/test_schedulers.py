@@ -1,6 +1,5 @@
 """Tests for independent-set schedulers, with hypothesis properties."""
 
-import math
 
 import numpy as np
 import pytest

@@ -26,7 +26,7 @@ from repro.chains.transition import (
     stationary_distribution,
 )
 from repro.errors import StateSpaceTooLargeError
-from repro.graphs import cycle_graph, path_graph
+from repro.graphs import path_graph
 from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf
 
 MODEL_FIXTURES = [

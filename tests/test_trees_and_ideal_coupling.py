@@ -1,6 +1,5 @@
 """Tests for tree BP and the Section 4.2.1 ideal-coupling simulation."""
 
-import math
 
 import numpy as np
 import pytest
