@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate.
+
+Compares freshly emitted ``BENCH_*.json`` files (written at the repo root by
+the benchmark runs — see ``write_bench_json`` in ``benchmarks/conftest.py``)
+against the committed baselines under ``benchmarks/baselines/`` and exits
+non-zero if any shared metric regressed by more than the tolerance
+(default 30%; override with ``REPRO_BENCH_TOLERANCE``, a fraction).
+
+All metrics are higher-is-better throughput numbers (ops/sec, speedups).
+A current/baseline pair is only compared when both runs used the same
+sizes (matching ``smoke`` flags) — comparing a CI smoke run against a
+full-size baseline would be meaningless.  Metrics present on only one side
+are reported but do not fail the gate, so adding a new series does not
+require regenerating every baseline in the same commit.
+
+Usage::
+
+    python benchmarks/check_regression.py [BENCH_E12.json BENCH_E13.json ...]
+
+With no arguments, every ``BENCH_*.json`` at the repo root is checked.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINES_DIR = Path(__file__).resolve().parent / "baselines"
+DEFAULT_TOLERANCE = 0.30
+
+
+def load(path: Path) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if "metrics" not in payload or not isinstance(payload["metrics"], dict):
+        raise SystemExit(f"error: {path} has no 'metrics' mapping")
+    return payload
+
+
+def check_file(current_path: Path, tolerance: float) -> list[str]:
+    """Return a list of regression messages for one BENCH_*.json file."""
+    current = load(current_path)
+    baseline_path = BASELINES_DIR / current_path.name
+    if not baseline_path.exists():
+        print(f"  {current_path.name}: no committed baseline — skipping")
+        return []
+    baseline = load(baseline_path)
+    if bool(current.get("smoke")) != bool(baseline.get("smoke")):
+        print(
+            f"  {current_path.name}: smoke={current.get('smoke')} vs baseline "
+            f"smoke={baseline.get('smoke')} — sizes differ, skipping comparison"
+        )
+        return []
+    regressions: list[str] = []
+    shared = sorted(set(current["metrics"]) & set(baseline["metrics"]))
+    for name in sorted(set(current["metrics"]) ^ set(baseline["metrics"])):
+        side = "current" if name in current["metrics"] else "baseline"
+        print(f"  {current_path.name}: metric {name!r} only in {side} — not compared")
+    for name in shared:
+        now = float(current["metrics"][name])
+        then = float(baseline["metrics"][name])
+        floor = then * (1.0 - tolerance)
+        status = "ok"
+        if now < floor:
+            status = "REGRESSED"
+            regressions.append(
+                f"{current_path.name}: {name} = {now:.4g} < {floor:.4g} "
+                f"(baseline {then:.4g}, tolerance {tolerance:.0%})"
+            )
+        print(f"  {current_path.name}: {name}: {now:.4g} vs {then:.4g} [{status}]")
+    return regressions
+
+
+def main(argv: list[str]) -> int:
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    if argv:
+        paths = [Path(arg) if Path(arg).is_absolute() else REPO_ROOT / arg for arg in argv]
+    else:
+        paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("error: no BENCH_*.json files to check", file=sys.stderr)
+        return 1
+    print(f"benchmark-regression gate (tolerance {tolerance:.0%})")
+    regressions: list[str] = []
+    for path in paths:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 1
+        regressions.extend(check_file(path, tolerance))
+    if regressions:
+        print("\nFAIL: benchmark regressions detected:", file=sys.stderr)
+        for message in regressions:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

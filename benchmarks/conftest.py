@@ -9,9 +9,11 @@ refreshed from a plain ``pytest benchmarks/ --benchmark-only`` run.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def report(experiment: str, title: str, lines: list[str]) -> None:
@@ -22,3 +24,24 @@ def report(experiment: str, title: str, lines: list[str]) -> None:
     print("\n" + body)
     with open(RESULTS_DIR / f"{experiment}.txt", "w") as handle:
         handle.write(body)
+
+
+def write_bench_json(experiment: str, metrics: dict[str, float], smoke: bool) -> Path:
+    """Write the machine-readable ``BENCH_<experiment>.json`` at the repo root.
+
+    The JSON is the contract of the CI benchmark-regression gate
+    (``benchmarks/check_regression.py``): ``metrics`` maps metric names to
+    higher-is-better throughput numbers (ops/sec, speedups), and ``smoke``
+    records whether the run used the CI smoke sizes — the gate only
+    compares runs whose smoke flags match the committed baseline's.
+    """
+    path = REPO_ROOT / f"BENCH_{experiment}.json"
+    payload = {
+        "experiment": experiment,
+        "smoke": bool(smoke),
+        "metrics": {name: float(value) for name, value in metrics.items()},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -26,7 +26,7 @@ Quick start::
     coloring = repro.sample(mrf, method="local-metropolis", eps=0.01, seed=7)
 """
 
-from repro.api import METHODS, default_round_budget, sample, sample_many
+from repro.api import ENGINES, METHODS, default_round_budget, sample, sample_many
 from repro.errors import (
     ConvergenceError,
     InfeasibleStateError,
@@ -51,6 +51,7 @@ from repro.mrf import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ENGINES",
     "METHODS",
     "MRF",
     "ConvergenceError",

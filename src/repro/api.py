@@ -28,9 +28,17 @@ from repro.chains.luby_glauber import LubyGlauberChain
 from repro.errors import ModelError
 from repro.mrf.model import MRF
 
-__all__ = ["sample", "sample_many", "default_round_budget", "METHODS"]
+__all__ = ["sample", "sample_many", "default_round_budget", "ENGINES", "METHODS"]
 
 METHODS = ("local-metropolis", "luby-glauber", "glauber")
+
+#: Execution engines for :func:`sample`.  ``"chain"`` advances a global
+#: configuration directly (the analyst's view; fastest for one sample);
+#: ``"reference"`` and ``"vectorized"`` execute the genuine LOCAL-model
+#: message-passing protocol of :mod:`repro.distributed` on the
+#: :mod:`repro.local` runtime — per-node dict semantics vs whole-graph
+#: array rounds respectively.
+ENGINES = ("chain", "reference", "vectorized")
 
 #: Safety factor applied to the heuristic round budgets.  The paper's
 #: theorems give O(.) bounds; the constants here were validated against the
@@ -72,6 +80,7 @@ def sample(
     rounds: int | None = None,
     seed: int | np.random.Generator | None = None,
     initial: np.ndarray | None = None,
+    engine: str = "chain",
 ):
     """Draw one approximate Gibbs sample from ``mrf``.
 
@@ -88,22 +97,50 @@ def sample(
         Explicit number of chain iterations; overrides the budget heuristic.
     seed, initial:
         Chain seeding and starting configuration.
+    engine:
+        ``"chain"`` (default) advances a global configuration directly;
+        ``"reference"`` / ``"vectorized"`` run the LOCAL-model
+        message-passing protocol on the corresponding runtime engine.  The
+        two distributed methods support all three engines; ``"glauber"``
+        has no LOCAL protocol and only supports ``"chain"``.
 
     Returns
     -------
     numpy.ndarray
         The sampled configuration (length ``n`` spin array).
     """
+    if engine not in ENGINES:
+        raise ModelError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if method not in METHODS:
+        raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
     if rounds is None:
         rounds = default_round_budget(mrf, method, eps)
+    if engine != "chain":
+        if method == "glauber":
+            raise ModelError(
+                "method 'glauber' has no LOCAL-model protocol; use engine='chain'"
+            )
+        from repro.distributed.sampling_protocols import (
+            run_local_metropolis_protocol,
+            run_luby_glauber_protocol,
+        )
+
+        if isinstance(seed, np.random.Generator):
+            # The LOCAL runtimes seed from a SeedSequence; derive one draw.
+            seed = int(seed.integers(np.iinfo(np.int64).max))
+        runner = (
+            run_local_metropolis_protocol
+            if method == "local-metropolis"
+            else run_luby_glauber_protocol
+        )
+        config, _ = runner(mrf, rounds, seed=seed, initial=initial, engine=engine)
+        return config
     if method == "local-metropolis":
         chain = LocalMetropolisChain(mrf, initial=initial, seed=seed)
     elif method == "luby-glauber":
         chain = LubyGlauberChain(mrf, initial=initial, seed=seed)
-    elif method == "glauber":
-        chain = GlauberDynamics(mrf, initial=initial, seed=seed)
     else:
-        raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
+        chain = GlauberDynamics(mrf, initial=initial, seed=seed)
     chain.run(rounds)
     return chain.config.copy()
 

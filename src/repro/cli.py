@@ -92,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     sample = sub.add_parser("sample", help="draw one approximate Gibbs sample")
     _add_model_arguments(sample)
     sample.add_argument("--method", choices=repro.METHODS, default="local-metropolis")
+    sample.add_argument(
+        "--engine",
+        choices=repro.ENGINES,
+        default="chain",
+        help="execution engine: direct chain, or the LOCAL-model protocol "
+        "on the reference (per-node) or vectorized (array) runtime",
+    )
     sample.add_argument("--eps", type=float, default=0.05)
     sample.add_argument("--rounds", type=int, default=None)
 
@@ -109,10 +116,15 @@ def _command_sample(args: argparse.Namespace) -> int:
     if rounds is None:
         rounds = repro.default_round_budget(mrf, args.method, args.eps)
     config = repro.sample(
-        mrf, method=args.method, eps=args.eps, rounds=args.rounds, seed=args.seed
+        mrf,
+        method=args.method,
+        eps=args.eps,
+        rounds=args.rounds,
+        seed=args.seed,
+        engine=args.engine,
     )
     print(f"model   : {mrf.name} on {args.graph} (n={mrf.n}, Delta={mrf.max_degree})")
-    print(f"method  : {args.method}   rounds: {rounds}")
+    print(f"method  : {args.method}   engine: {args.engine}   rounds: {rounds}")
     print(f"feasible: {mrf.is_feasible(config)}")
     print("sample  :", " ".join(str(int(s)) for s in config))
     return 0

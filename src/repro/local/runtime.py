@@ -7,11 +7,12 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import ProtocolError
 from repro.local.network import Network
 from repro.local.protocol import NodeContext, Protocol
 from repro.local.rng import spawn_node_rngs
 
-__all__ = ["RunStats", "run_protocol"]
+__all__ = ["ENGINES", "RunStats", "run_protocol"]
 
 
 @dataclass
@@ -40,19 +41,22 @@ class RunStats:
 
 
 def _payload_atoms(message: Any) -> int:
-    """Count scalar atoms in a message payload (dicts/lists/tuples recurse)."""
+    """Count scalar atoms in a message payload (dicts/lists/tuples recurse).
+
+    numpy is referenced through the module-level import — this runs once per
+    delivered message, so an inner ``import numpy`` would put registry
+    lookups on the hottest loop of the reference engine.
+    """
     if isinstance(message, dict):
         return sum(_payload_atoms(key) + _payload_atoms(value) for key, value in message.items())
     if isinstance(message, (list, tuple, set)):
         return sum(_payload_atoms(item) for item in message)
-    try:
-        import numpy as _np
-
-        if isinstance(message, _np.ndarray):
-            return int(message.size)
-    except ImportError:  # pragma: no cover - numpy is a hard dependency
-        pass
+    if isinstance(message, np.ndarray):
+        return int(message.size)
     return 1
+
+
+ENGINES = ("reference", "vectorized")
 
 
 def run_protocol(
@@ -61,7 +65,9 @@ def run_protocol(
     rounds: int,
     seed: int | np.random.SeedSequence | None = None,
     private_inputs: list[Any] | None = None,
-) -> tuple[list[Any], RunStats]:
+    engine: str = "reference",
+    collect_stats: bool = True,
+) -> tuple[list[Any] | np.ndarray, RunStats]:
     """Execute ``protocol`` on ``network`` for ``rounds`` synchronous rounds.
 
     Parameters
@@ -77,13 +83,44 @@ def run_protocol(
     private_inputs:
         Optional per-node private inputs (length ``n``); ``None`` gives every
         node ``None``.
+    engine:
+        ``"reference"`` (default) runs the per-node dict-based semantics;
+        ``"vectorized"`` dispatches to the protocol's array-form counterpart
+        (:meth:`Protocol.as_vectorized`), which must exist.
+    collect_stats:
+        When False, skip the per-message payload walk entirely —
+        ``max_message_atoms`` and ``messages_per_round`` stay empty, but
+        ``rounds`` and ``messages`` are still counted (they are free).
 
     Returns
     -------
     (outputs, stats):
-        ``outputs[v]`` is node ``v``'s output; ``stats`` is the round and
-        message accounting.
+        ``outputs[v]`` is node ``v``'s output (a list for the reference
+        engine, an ``(n,)`` ndarray for the vectorized engine); ``stats``
+        is the round and message accounting.
     """
+    if engine not in ENGINES:
+        raise ProtocolError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine == "vectorized":
+        from repro.local.vectorized import VectorizedProtocol, run_vectorized
+
+        if isinstance(protocol, VectorizedProtocol):
+            vectorized = protocol
+        else:
+            vectorized = protocol.as_vectorized()
+            if vectorized is None:
+                raise ProtocolError(
+                    f"{type(protocol).__name__} has no vectorized form; "
+                    "use engine='reference'"
+                )
+        return run_vectorized(
+            vectorized,
+            network,
+            rounds,
+            seed=seed,
+            private_inputs=private_inputs,
+            collect_stats=collect_stats,
+        )
     n = network.n
     rngs = spawn_node_rngs(seed, n)
     if private_inputs is None:
@@ -116,17 +153,19 @@ def run_protocol(
         inboxes: list[dict[int, Any]] = [{} for _ in range(n)]
         round_messages = 0
         for sender, outbox in enumerate(outboxes):
+            round_messages += len(outbox)
             for target, message in outbox.items():
                 inboxes[target][sender] = message
-                round_messages += 1
-                atoms = _payload_atoms(message)
-                if atoms > stats.max_message_atoms:
-                    stats.max_message_atoms = atoms
+                if collect_stats:
+                    atoms = _payload_atoms(message)
+                    if atoms > stats.max_message_atoms:
+                        stats.max_message_atoms = atoms
         for ctx in contexts:
             protocol.deliver(ctx, round_index, inboxes[ctx.node])
         stats.rounds += 1
         stats.messages += round_messages
-        stats.messages_per_round.append(round_messages)
+        if collect_stats:
+            stats.messages_per_round.append(round_messages)
 
     outputs = [protocol.finalize(ctx) for ctx in contexts]
     return outputs, stats

@@ -1,0 +1,197 @@
+"""Array-form round handlers for the LOCAL-model simulator.
+
+The reference runtime (:func:`repro.local.runtime.run_protocol` with
+``engine="reference"``) drives one :class:`~repro.local.protocol.NodeContext`
+per vertex and materialises every message as a Python dict entry.  That is
+the right executable *definition* of the LOCAL model, but it pays
+per-vertex, per-message interpreter overhead every round — orders of
+magnitude slower than the batched chain engines once ``n`` reaches the
+graph sizes the paper's round-complexity experiments need.
+
+This module is the vectorized counterpart.  A :class:`VectorizedProtocol`
+declares whole-graph *round handlers*: state lives in ``(n,)``/``(n, k)``
+ndarrays, neighbour access goes through the CSR adjacency arrays shared
+with :mod:`repro.chains.ensemble`, and one :meth:`VectorizedProtocol.round`
+call advances every vertex simultaneously.  Because the protocols the paper
+studies broadcast a constant-size message to every neighbour each round,
+the :class:`~repro.local.runtime.RunStats` accounting does not need to
+touch payloads at all — rounds, message counts and the per-message atom
+bound are computed *analytically* from the CSR structure, and the
+test-suite pins them to the reference engine's measured values.
+
+The semantic contract is distributional, not bitwise: a vectorized protocol
+must realise the same per-round Markov kernel as its reference counterpart
+(same proposal distributions, same filters, same tie-breaking), but it may
+consume randomness from one shared stream instead of ``n`` per-node
+streams.  Equivalence tests in ``tests/test_vectorized_engine.py`` verify
+matching marginals at matched round budgets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from repro.chains.fastpaths import build_csr_neighbours, sorted_edge_arrays
+from repro.errors import ProtocolError
+from repro.local.network import Network
+from repro.local.rng import root_seed_sequence
+
+__all__ = ["VectorizedContext", "VectorizedProtocol", "run_vectorized"]
+
+
+class VectorizedContext:
+    """Whole-graph view handed to a :class:`VectorizedProtocol`.
+
+    The array analogue of :class:`~repro.local.protocol.NodeContext`: one
+    context describes *all* vertices at once.  It exposes exactly the
+    information the LOCAL model grants — the topology (as edge lists and
+    CSR adjacency arrays), the global bounds on ``n`` and ``Delta``, the
+    private inputs, and randomness — nothing a per-node protocol could not
+    also see.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    edge_u, edge_v:
+        Sorted edge endpoint arrays (``u < v`` per edge), length ``m``.
+    m:
+        Number of edges.
+    degrees, indptr, csr_indices:
+        CSR adjacency: the neighbours of ``v`` are
+        ``csr_indices[indptr[v]:indptr[v + 1]]`` (same layout as
+        :func:`repro.chains.fastpaths.build_csr_neighbours`).
+    rng:
+        One shared :class:`numpy.random.Generator` for the whole execution.
+    private_inputs:
+        The per-node private inputs (length ``n`` list).
+    n_bound, delta_bound:
+        The global upper bounds the paper's Section 2.1 grants every node.
+    state:
+        Free-form array storage owned by the protocol.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rng: np.random.Generator,
+        private_inputs: list[Any],
+    ) -> None:
+        self.n = network.n
+        self.edge_u, self.edge_v = sorted_edge_arrays(network.graph)
+        self.m = len(self.edge_u)
+        self.degrees, self.indptr, self.csr_indices = build_csr_neighbours(
+            self.edge_u, self.edge_v, self.n
+        )
+        self.rng = rng
+        self.private_inputs = private_inputs
+        self.n_bound = self.n
+        self.delta_bound = network.max_degree
+        self.state: dict[str, Any] = {}
+
+    def scatter_edge_flags(self, flags: np.ndarray) -> np.ndarray:
+        """Count, per vertex, how many incident edges have ``flags`` set.
+
+        ``flags`` is a boolean ``(m,)`` array; the result is an ``(n,)``
+        int64 array.  This is the edge-to-vertex reduction both paper
+        protocols need ("did any incident edge fail its check?").
+        """
+        if self.m == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        endpoints = np.concatenate([self.edge_u[flags], self.edge_v[flags]])
+        return np.bincount(endpoints, minlength=self.n).astype(np.int64)
+
+
+class VectorizedProtocol(ABC):
+    """Whole-graph behaviour of a synchronous LOCAL algorithm.
+
+    Subclasses implement three handlers mirroring the reference
+    :class:`~repro.local.protocol.Protocol` lifecycle, but over arrays:
+
+    1. :meth:`initialize` builds the state arrays from the private inputs;
+    2. :meth:`round` advances every vertex by one synchronous round;
+    3. :meth:`finalize` returns the ``(n,)`` output array.
+
+    Message accounting is declared, not measured: ``message_atoms`` is the
+    per-message payload size in scalar atoms, and :meth:`round_messages`
+    returns the number of point-to-point messages a round delivers (the
+    default — every vertex messages each neighbour — covers both paper
+    protocols, whose reference implementations broadcast every round).
+    """
+
+    #: Scalar atoms per message, matching the reference protocol's payload.
+    message_atoms: int = 1
+
+    @abstractmethod
+    def initialize(self, ctx: VectorizedContext) -> None:
+        """Build the state arrays in ``ctx.state`` before round 1."""
+
+    @abstractmethod
+    def round(self, ctx: VectorizedContext, round_index: int) -> None:
+        """Advance all vertices by one synchronous communication round."""
+
+    @abstractmethod
+    def finalize(self, ctx: VectorizedContext) -> np.ndarray:
+        """Return the per-vertex outputs after the final round."""
+
+    def round_messages(self, ctx: VectorizedContext) -> int:
+        """Messages delivered per round (default: full neighbour broadcast)."""
+        return 2 * ctx.m
+
+
+def run_vectorized(
+    protocol: VectorizedProtocol,
+    network: Network,
+    rounds: int,
+    seed: int | np.random.SeedSequence | None = None,
+    private_inputs: list[Any] | None = None,
+    collect_stats: bool = True,
+) -> tuple[np.ndarray, "RunStats"]:
+    """Execute a vectorized protocol for ``rounds`` synchronous rounds.
+
+    The vectorized sibling of :func:`repro.local.runtime.run_protocol`
+    (which dispatches here for ``engine="vectorized"``).  Statistics are
+    analytic — :meth:`VectorizedProtocol.round_messages` per round and the
+    declared ``message_atoms`` bound — so they cost nothing either way;
+    ``collect_stats=False`` nevertheless leaves ``messages_per_round`` and
+    ``max_message_atoms`` at their defaults so the two engines report
+    identical stats under identical flags.
+
+    Returns ``(outputs, stats)`` with ``outputs`` an ``(n,)`` ndarray.
+    """
+    from repro.local.runtime import RunStats
+
+    if not isinstance(protocol, VectorizedProtocol):
+        raise ProtocolError(
+            f"run_vectorized needs a VectorizedProtocol, got {type(protocol).__name__}"
+        )
+    n = network.n
+    if private_inputs is None:
+        private_inputs = [None] * n
+    if len(private_inputs) != n:
+        raise ValueError(f"private_inputs must have length {n}")
+    rng = np.random.default_rng(root_seed_sequence(seed))
+    ctx = VectorizedContext(network, rng, private_inputs)
+    protocol.initialize(ctx)
+
+    stats = RunStats()
+    for round_index in range(1, rounds + 1):
+        protocol.round(ctx, round_index)
+        round_messages = protocol.round_messages(ctx)
+        stats.rounds += 1
+        stats.messages += round_messages
+        if collect_stats:
+            stats.messages_per_round.append(round_messages)
+    if collect_stats and stats.messages > 0:
+        stats.max_message_atoms = int(protocol.message_atoms)
+
+    outputs = np.asarray(protocol.finalize(ctx))
+    if outputs.shape[:1] != (n,):
+        raise ProtocolError(
+            f"vectorized finalize must return {n} per-vertex outputs, "
+            f"got shape {outputs.shape}"
+        )
+    return outputs, stats
