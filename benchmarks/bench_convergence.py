@@ -1,0 +1,104 @@
+"""E14 — convergence-pipeline throughput: ensemble-native vs per-chain TV curves.
+
+The TV-decay curves behind the paper's mixing story used to be measured by
+stepping ``n_chains`` Python chain objects in nested loops.  The
+ensemble-native pipeline (``repro.analysis.convergence`` on top of the
+batched engines of ``repro.chains.ensemble``) measures the same curve with
+whole-``(R, n)``-batch operations.  This experiment times both
+implementations producing the same TV curve on a uniform-colouring model
+at R replicas, asserts the tentpole acceptance criterion — the
+ensemble-native curve is ≥ 10x faster at R = 512 — and checks the two
+curves agree within sampling noise (the equivalence test in
+``tests/test_convergence_ensemble.py`` pins this distributionally).
+
+Set ``REPRO_BENCH_SMOKE=1`` for CI-smoke sizes; the 10x assertion is only
+enforced at full size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import report, write_bench_json
+from repro.analysis.convergence import ensemble_tv_curve
+from repro.api import make_ensemble
+from repro.chains.local_metropolis import LocalMetropolisChain
+from repro.graphs import cycle_graph
+from repro.mrf import exact_gibbs_distribution, proper_coloring_mrf
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: Best-of-k timing under smoke, as in E12/E13: tiny CI sizes finish in
+#: milliseconds where scheduler noise alone can fake a regression.
+REPEATS = 3 if SMOKE else 1
+
+N = 4
+Q = 3
+REPLICAS = 128 if SMOKE else 512
+CHECKPOINTS = [1, 2, 4] if SMOKE else [1, 2, 4, 8, 16]
+SEED = 20170625
+
+
+def _curves() -> tuple[dict[str, float], list[tuple[int, float]], list[tuple[int, float]]]:
+    mrf = proper_coloring_mrf(cycle_graph(N), Q)
+    target = exact_gibbs_distribution(mrf)
+    initial = np.zeros(N, dtype=np.int64)  # worst-ish common start
+
+    def factory(rng):
+        return LocalMetropolisChain(mrf, initial=initial, seed=rng)
+
+    total_steps = REPLICAS * CHECKPOINTS[-1]
+    best_ensemble = best_per_chain = 0.0
+    curve_ensemble = curve_per_chain = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        ensemble = make_ensemble(
+            mrf, REPLICAS, method="local-metropolis", seed=SEED, initial=initial
+        )
+        curve_ensemble = ensemble_tv_curve(ensemble, target, checkpoints=CHECKPOINTS)
+        best_ensemble = max(best_ensemble, total_steps / (time.perf_counter() - start))
+
+        start = time.perf_counter()
+        curve_per_chain = ensemble_tv_curve(
+            factory, target, n_chains=REPLICAS, checkpoints=CHECKPOINTS, seed=SEED
+        )
+        best_per_chain = max(best_per_chain, total_steps / (time.perf_counter() - start))
+    metrics = {
+        "ensemble_replica_rounds_per_sec": best_ensemble,
+        "per_chain_replica_rounds_per_sec": best_per_chain,
+        "convergence_speedup": best_ensemble / best_per_chain,
+    }
+    return metrics, curve_ensemble, curve_per_chain
+
+
+def test_convergence_pipeline_throughput():
+    metrics, curve_ensemble, curve_per_chain = _curves()
+    speedup = metrics["convergence_speedup"]
+    divergence = max(
+        abs(tv_e - tv_c)
+        for (_, tv_e), (_, tv_c) in zip(curve_ensemble, curve_per_chain)
+    )
+    write_bench_json("E14", metrics, smoke=SMOKE)
+    lines = [
+        f"cycle({N}) graph, q={Q} colouring, R={REPLICAS} replicas,",
+        f"checkpoints {CHECKPOINTS}; replica-rounds/sec per implementation",
+        f"{'implementation':>18} {'rounds/sec':>12}",
+        f"{'ensemble-native':>18} {metrics['ensemble_replica_rounds_per_sec']:>12.3g}",
+        f"{'per-chain':>18} {metrics['per_chain_replica_rounds_per_sec']:>12.3g}",
+        "",
+        "claim: the ensemble-native TV-decay pipeline measures the same",
+        "curve as the per-chain implementation at >= 10x the throughput.",
+        f"measured: {speedup:.1f}x speedup, max TV divergence {divergence:.3f}.",
+    ]
+    report("E14", "convergence-pipeline throughput (ensemble vs per-chain)", lines)
+    assert divergence < 0.1, (
+        f"ensemble-native and per-chain TV curves diverge by {divergence:.3f}"
+    )
+    if not SMOKE:
+        assert speedup >= 10.0, (
+            f"ensemble-native convergence speedup {speedup:.1f}x at R={REPLICAS} "
+            "is below the 10x acceptance criterion"
+        )

@@ -75,8 +75,25 @@ def check_file(current_path: Path, tolerance: float) -> list[str]:
     return regressions
 
 
+def parse_tolerance(raw: str | None) -> float:
+    """Parse ``REPRO_BENCH_TOLERANCE`` into a fraction, exiting cleanly on junk."""
+    if raw is None:
+        return DEFAULT_TOLERANCE
+    try:
+        tolerance = float(raw)
+    except ValueError:
+        raise SystemExit(
+            f"error: REPRO_BENCH_TOLERANCE must be a fraction like 0.3, got {raw!r}"
+        ) from None
+    if not 0.0 <= tolerance < 1.0:
+        raise SystemExit(
+            f"error: REPRO_BENCH_TOLERANCE must lie in [0, 1), got {tolerance}"
+        )
+    return tolerance
+
+
 def main(argv: list[str]) -> int:
-    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    tolerance = parse_tolerance(os.environ.get("REPRO_BENCH_TOLERANCE"))
     if argv:
         paths = [Path(arg) if Path(arg).is_absolute() else REPO_ROOT / arg for arg in argv]
     else:

@@ -26,7 +26,16 @@ Quick start::
     coloring = repro.sample(mrf, method="local-metropolis", eps=0.01, seed=7)
 """
 
-from repro.api import ENGINES, METHODS, default_round_budget, sample, sample_many
+from repro.api import (
+    ENGINES,
+    METHODS,
+    default_round_budget,
+    make_ensemble,
+    mixing_time,
+    sample,
+    sample_many,
+    tv_curve,
+)
 from repro.errors import (
     ConvergenceError,
     InfeasibleStateError,
@@ -67,10 +76,13 @@ __all__ = [
     "independent_set_mrf",
     "ising_mrf",
     "list_coloring_mrf",
+    "make_ensemble",
+    "mixing_time",
     "potts_mrf",
     "proper_coloring_mrf",
     "sample",
     "sample_many",
+    "tv_curve",
     "uniform_mrf",
     "vertex_cover_mrf",
 ]

@@ -10,9 +10,16 @@
   ``2 + sqrt(2)`` and ``alpha* ≈ 3.634``.
 """
 
-from repro.analysis.convergence import empirical_mixing_time, ensemble_tv_curve
+from repro.analysis.convergence import (
+    SequentialChainEnsemble,
+    empirical_mixing_time,
+    ensemble_agreement_curve,
+    ensemble_scalar_trajectory,
+    ensemble_tv_curve,
+)
 from repro.analysis.diagnostics import (
     autocorrelation,
+    batch_effective_sample_size,
     effective_sample_size,
     gelman_rubin,
     integrated_autocorrelation_time,
@@ -43,9 +50,11 @@ from repro.analysis.theory import (
 from repro.analysis.tv import tv_distance
 
 __all__ = [
+    "SequentialChainEnsemble",
     "alpha_star",
     "autocorrelation",
     "batch_agreement",
+    "batch_effective_sample_size",
     "batch_empirical_distribution",
     "batch_marginals",
     "batch_max_marginal_error",
@@ -54,6 +63,8 @@ __all__ = [
     "effective_sample_size",
     "empirical_distribution",
     "empirical_mixing_time",
+    "ensemble_agreement_curve",
+    "ensemble_scalar_trajectory",
     "ensemble_tv_curve",
     "gelman_rubin",
     "global_coupling_contraction",

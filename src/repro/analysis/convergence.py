@@ -1,73 +1,251 @@
-"""Convergence measurement for chain ensembles.
+"""Ensemble-native convergence measurement.
 
-For state spaces small enough to hold the exact Gibbs distribution, the
-cleanest empirical picture of ``tau(eps)`` runs an ensemble of independent
-chains from a common worst-ish start and traces the TV distance between the
-ensemble's empirical distribution and the exact target as rounds progress.
+The paper's empirical story is told through TV-decay and mixing-time
+curves: run many independent replicas of a chain from a common worst-ish
+start and trace the distance between the ensemble's empirical distribution
+and the exact target as rounds progress.  This module measures those
+curves *on top of the replica-ensemble engines* of
+:mod:`repro.chains.ensemble` — every checkpoint is one ``advance`` of a
+whole ``(R, n)`` batch plus one whole-batch estimator call from
+:mod:`repro.analysis.empirical`, never a per-chain Python loop.
+
+Any object exposing ``advance(steps)`` and an ``(R, n)`` ``config`` batch
+(the :class:`~repro.chains.ensemble.EnsembleTrajectoryMixin` protocol)
+works as a source.  For models with no batched kernel,
+:class:`SequentialChainEnsemble` adapts ``R`` ordinary sequential chains
+behind the same protocol — the old per-chain implementation survives only
+as this generic-model fallback, and every convergence function accepts
+either an ensemble or a legacy ``chain_factory(rng)`` callable (which is
+wrapped in the fallback automatically).
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
-from repro.analysis.empirical import empirical_distribution
-from repro.errors import ConvergenceError
+from repro.analysis.empirical import batch_agreement, batch_tv_to_exact
+from repro.chains.ensemble import EnsembleTrajectoryMixin
+from repro.errors import ConvergenceError, ModelError
 from repro.mrf.distribution import GibbsDistribution
 
-__all__ = ["ensemble_tv_curve", "empirical_mixing_time"]
+__all__ = [
+    "SequentialChainEnsemble",
+    "ensemble_tv_curve",
+    "ensemble_agreement_curve",
+    "ensemble_scalar_trajectory",
+    "empirical_mixing_time",
+]
+
+
+class SequentialChainEnsemble(EnsembleTrajectoryMixin):
+    """Generic-model fallback: R sequential chains behind the ensemble protocol.
+
+    Wraps ``chain_factory(rng)`` — any callable returning an object with
+    ``step()`` and a length-n ``config`` — behind
+    :class:`repro.chains.ensemble.EnsembleTrajectoryMixin`, so the
+    convergence machinery is written once against ensembles and still
+    covers models with no batched kernel.  Each chain gets an independent
+    child stream of one :class:`numpy.random.SeedSequence`.
+    """
+
+    def __init__(
+        self,
+        chain_factory: Callable[[np.random.Generator], object],
+        replicas: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
+        if isinstance(seed, np.random.Generator):
+            seed = int(seed.integers(np.iinfo(np.int64).max))
+        root = np.random.SeedSequence(seed)
+        self._chains = [
+            chain_factory(np.random.default_rng(child)) for child in root.spawn(replicas)
+        ]
+        self.replicas = int(replicas)
+        self.steps_taken = 0
+
+    @property
+    def config(self) -> np.ndarray:
+        """The current ``(R, n)`` batch (an int64 copy — safe to mutate)."""
+        return np.stack(
+            [np.asarray(chain.config, dtype=np.int64) for chain in self._chains]
+        )
+
+    def step(self) -> None:
+        """Advance every chain by one round."""
+        for chain in self._chains:
+            chain.step()
+        self.steps_taken += 1
+
+    def advance(self, steps: int):
+        """Advance all chains ``steps`` rounds; returns ``self`` for chaining."""
+        if steps < 0:
+            raise ModelError(f"advance needs steps >= 0, got {steps}")
+        # Per-chain inner loop: each chain owns its RNG, so chain-major and
+        # round-major orders produce identical trajectories, and chain-major
+        # avoids R attribute lookups per round.
+        for chain in self._chains:
+            for _ in range(steps):
+                chain.step()
+        self.steps_taken += steps
+        return self
+
+
+def _validate_checkpoints(checkpoints: Sequence[int]) -> None:
+    if checkpoints is None or len(checkpoints) == 0:
+        raise ConvergenceError("checkpoints must be a non-empty list of rounds")
+    previous = 0
+    for checkpoint in checkpoints:
+        if int(checkpoint) != checkpoint or checkpoint < 1:
+            raise ConvergenceError(
+                f"checkpoints must be positive integers, got {checkpoint!r}"
+            )
+        if checkpoint <= previous:
+            raise ConvergenceError(
+                f"checkpoints must be strictly increasing, got {list(checkpoints)!r}"
+            )
+        previous = int(checkpoint)
+
+
+def _as_ensemble(source, n_chains: int | None, seed) -> object:
+    """Coerce ``source`` into the ensemble protocol.
+
+    A callable is treated as a legacy ``chain_factory(rng)`` and wrapped in
+    the :class:`SequentialChainEnsemble` fallback (requires ``n_chains``);
+    anything else must already expose ``advance``/``config``.
+    """
+    if callable(source) and not hasattr(source, "advance"):
+        if n_chains is None or n_chains < 1:
+            raise ConvergenceError(
+                "a chain factory needs n_chains >= 1 to build the fallback ensemble"
+            )
+        return SequentialChainEnsemble(source, n_chains, seed=seed)
+    if not hasattr(source, "advance") or not hasattr(source, "config"):
+        raise ConvergenceError(
+            "source must be an ensemble (advance/config) or a chain_factory(rng) "
+            f"callable, got {type(source).__name__}"
+        )
+    return source
 
 
 def ensemble_tv_curve(
-    chain_factory: Callable[[np.random.Generator], object],
+    source,
     target: GibbsDistribution,
-    n_chains: int,
-    checkpoints: list[int],
+    n_chains: int | None = None,
+    checkpoints: Sequence[int] | None = None,
     seed: int | None = None,
 ) -> list[tuple[int, float]]:
     """TV between the ensemble empirical distribution and ``target`` over time.
 
     Parameters
     ----------
-    chain_factory:
-        ``chain_factory(rng)`` builds a fresh chain (anything exposing
-        ``step()`` and ``config``); all chains should share the same initial
-        configuration for a worst-case-style curve.
+    source:
+        Either a replica ensemble (anything exposing ``advance(steps)`` and
+        an ``(R, n)`` ``config`` batch — see :mod:`repro.chains.ensemble`)
+        or a legacy ``chain_factory(rng)`` callable, which is wrapped in the
+        :class:`SequentialChainEnsemble` generic-model fallback.
     target:
-        The exact Gibbs distribution.
+        The exact Gibbs distribution (``q**n`` must be enumerable).
     n_chains:
-        Ensemble size; the TV estimate's noise floor scales like
+        Ensemble size — required with a chain factory, ignored for a
+        prebuilt ensemble.  The TV estimate's noise floor scales like
         ``sqrt(#states / n_chains)``.
     checkpoints:
-        Sorted round counts at which to measure.
+        Strictly increasing positive round counts at which to measure,
+        relative to the source's current position.
+    seed:
+        Seeds the fallback ensemble; ignored for a prebuilt ensemble.
 
     Returns
     -------
     List of ``(round, tv)`` pairs.
     """
-    if not checkpoints or sorted(checkpoints) != list(checkpoints):
-        raise ConvergenceError("checkpoints must be a non-empty sorted list")
-    root = np.random.SeedSequence(seed)
-    chains = [chain_factory(np.random.default_rng(child)) for child in root.spawn(n_chains)]
+    _validate_checkpoints(checkpoints)
+    ensemble = _as_ensemble(source, n_chains, seed)
     curve: list[tuple[int, float]] = []
-    current_round = 0
+    previous = 0
     for checkpoint in checkpoints:
-        for chain in chains:
-            for _ in range(checkpoint - current_round):
-                chain.step()
-        current_round = checkpoint
-        empirical = empirical_distribution(
-            (tuple(int(s) for s in chain.config) for chain in chains),
-            target.n,
-            target.q,
-        )
-        curve.append((checkpoint, target.tv_distance(empirical)))
+        ensemble.advance(int(checkpoint) - previous)
+        previous = int(checkpoint)
+        curve.append((previous, batch_tv_to_exact(ensemble.config, target)))
     return curve
 
 
+def ensemble_agreement_curve(
+    ensemble_x,
+    ensemble_y,
+    checkpoints: Sequence[int],
+) -> list[tuple[int, float]]:
+    """Mean per-vertex agreement of two coupled twin ensembles over time.
+
+    Advance two ensembles in lockstep and record
+    ``batch_agreement(X, Y).mean()`` — the fraction of (replica, vertex)
+    pairs on which the twins agree — at each checkpoint.  Constructing the
+    twins with the *same integer seed* but different initial batches gives
+    the common-random-numbers grand coupling whose coalescence the paper's
+    agreement curves trace; independent seeds give the stationary overlap
+    instead.
+
+    Returns a list of ``(round, mean_agreement)`` pairs.
+    """
+    _validate_checkpoints(checkpoints)
+    for name, ensemble in (("ensemble_x", ensemble_x), ("ensemble_y", ensemble_y)):
+        if not hasattr(ensemble, "advance") or not hasattr(ensemble, "config"):
+            raise ConvergenceError(f"{name} does not expose the ensemble protocol")
+    curve: list[tuple[int, float]] = []
+    previous = 0
+    for checkpoint in checkpoints:
+        delta = int(checkpoint) - previous
+        ensemble_x.advance(delta)
+        ensemble_y.advance(delta)
+        previous = int(checkpoint)
+        agreement = batch_agreement(ensemble_x.config, ensemble_y.config)
+        curve.append((previous, float(agreement.mean())))
+    return curve
+
+
+def ensemble_scalar_trajectory(
+    ensemble,
+    observable: Callable[[np.ndarray], np.ndarray],
+    rounds: int,
+    thin: int = 1,
+) -> np.ndarray:
+    """Record a per-replica scalar observable along an ensemble trajectory.
+
+    Advances ``ensemble`` for ``rounds`` total rounds, evaluating
+    ``observable(batch) -> (R,)`` every ``thin`` rounds (the final stride is
+    clamped so exactly ``rounds`` rounds are taken).  Returns an ``(R, T)``
+    array — one scalar series per replica — ready for the cross-chain
+    diagnostics: ``gelman_rubin`` consumes it directly, and
+    :func:`repro.analysis.diagnostics.batch_effective_sample_size` sums the
+    per-replica effective sample sizes.  This is the diagnostics path for
+    models where ``q**n`` is unenumerable and TV curves are unavailable.
+    """
+    if rounds < 1:
+        raise ConvergenceError(f"trajectory needs rounds >= 1, got {rounds}")
+    if thin < 1:
+        raise ConvergenceError(f"thin must be >= 1, got {thin}")
+    records: list[np.ndarray] = []
+    taken = 0
+    while taken < rounds:
+        stride = min(thin, rounds - taken)
+        ensemble.advance(stride)
+        taken += stride
+        value = np.asarray(observable(ensemble.config), dtype=float)
+        if value.ndim != 1:
+            raise ConvergenceError(
+                f"observable must map an (R, n) batch to an (R,) vector, "
+                f"got shape {value.shape}"
+            )
+        records.append(value)
+    return np.stack(records, axis=1)
+
+
 def empirical_mixing_time(
-    chain_factory: Callable[[np.random.Generator], object],
+    source,
     target: GibbsDistribution,
     eps: float,
     n_chains: int = 2000,
@@ -75,26 +253,27 @@ def empirical_mixing_time(
     stride: int = 1,
     seed: int | None = None,
 ) -> int:
-    """First checkpoint (multiple of ``stride``) with ensemble TV <= eps.
+    """First checkpoint (every ``stride`` rounds) with ensemble TV <= eps.
+
+    The final stride is clamped to ``max_rounds`` so the returned round
+    count never exceeds the budget.  ``source`` is an ensemble or a legacy
+    ``chain_factory(rng)`` callable, as in :func:`ensemble_tv_curve`.
 
     Note the estimator is biased upward by the sampling noise floor
-    ``~sqrt(#states / n_chains)``; choose ``n_chains`` accordingly or prefer
-    :func:`repro.chains.transition.exact_mixing_time` on tiny models.
+    ``~sqrt(#states / n_chains)``; choose the ensemble size accordingly or
+    prefer :func:`repro.chains.transition.exact_mixing_time` on tiny models.
     """
-    root = np.random.SeedSequence(seed)
-    chains = [chain_factory(np.random.default_rng(child)) for child in root.spawn(n_chains)]
+    if stride < 1:
+        raise ConvergenceError(f"stride must be >= 1, got {stride}")
+    if max_rounds < 1:
+        raise ConvergenceError(f"max_rounds must be >= 1, got {max_rounds}")
+    ensemble = _as_ensemble(source, n_chains, seed)
     rounds = 0
     while rounds < max_rounds:
-        for chain in chains:
-            for _ in range(stride):
-                chain.step()
-        rounds += stride
-        empirical = empirical_distribution(
-            (tuple(int(s) for s in chain.config) for chain in chains),
-            target.n,
-            target.q,
-        )
-        if target.tv_distance(empirical) <= eps:
+        step = min(stride, max_rounds - rounds)
+        ensemble.advance(step)
+        rounds += step
+        if batch_tv_to_exact(ensemble.config, target) <= eps:
             return rounds
     raise ConvergenceError(
         f"ensemble TV did not reach {eps} within {max_rounds} rounds"

@@ -13,9 +13,17 @@ statistics:
 
 All functions work on scalar summary series (e.g. the number of occupied
 vertices, the spin sum, a vertex's indicator) extracted from trajectories.
+The ensemble-native path produces those series in bulk:
+:func:`repro.analysis.convergence.ensemble_scalar_trajectory` records an
+``(R, T)`` array — one series per replica — which :func:`gelman_rubin`
+consumes directly and :func:`batch_effective_sample_size` reduces to a
+total ESS.  This is the convergence-monitoring route for models where
+``q**n`` is unenumerable and exact TV curves are unavailable.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -25,6 +33,7 @@ __all__ = [
     "autocorrelation",
     "integrated_autocorrelation_time",
     "effective_sample_size",
+    "batch_effective_sample_size",
     "gelman_rubin",
 ]
 
@@ -76,12 +85,32 @@ def effective_sample_size(series: np.ndarray) -> float:
     return series.size / integrated_autocorrelation_time(series)
 
 
+def batch_effective_sample_size(series: np.ndarray) -> float:
+    """Total effective sample size of an ``(R, T)`` per-replica series array.
+
+    Sums the per-replica ``ESS = T / tau_int`` over all replicas — the
+    number of independent draws the whole ensemble trajectory is worth.
+    Pairs with :func:`repro.analysis.convergence.ensemble_scalar_trajectory`,
+    whose output it consumes unchanged.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 2 or series.shape[0] < 1 or series.shape[1] < 2:
+        raise ModelError(
+            "batch_effective_sample_size needs an (R >= 1, T >= 2) series array"
+        )
+    return float(sum(effective_sample_size(row) for row in series))
+
+
 def gelman_rubin(chains: np.ndarray) -> float:
     """Potential scale-reduction factor ``R-hat`` across chains.
 
     ``chains`` has shape ``(m, n)``: m independent chains, n recorded
-    values each.  Values near 1 indicate the chains have mixed; the usual
-    rule of thumb flags ``R-hat > 1.1``.
+    values each — e.g. the output of
+    :func:`repro.analysis.convergence.ensemble_scalar_trajectory` with one
+    row per replica.  Values near 1 indicate the chains have mixed; the
+    usual rule of thumb flags ``R-hat > 1.1``.  Chains that are all
+    constant *and identical* return exactly 1.0; chains that are constant
+    but disagree return ``inf`` (they can never mix).
     """
     chains = np.asarray(chains, dtype=float)
     if chains.ndim != 2 or chains.shape[0] < 2 or chains.shape[1] < 2:
@@ -92,6 +121,6 @@ def gelman_rubin(chains: np.ndarray) -> float:
     within = variances.mean()
     between = n * means.var(ddof=1)
     if within <= 1e-300:
-        return 1.0
+        return 1.0 if between <= 1e-300 else math.inf
     pooled = (n - 1) / n * within + between / n
     return float(np.sqrt(pooled / within))

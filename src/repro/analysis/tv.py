@@ -11,12 +11,17 @@ from repro.errors import ModelError
 
 __all__ = ["tv_distance", "tv_distance_counts"]
 
+#: Tolerated absolute drift of a probability vector's sum away from 1.0
+#: before :func:`tv_distance` rejects it; drift within the tolerance is
+#: renormalised away.
+SUM_TOLERANCE = 1e-6
+
 
 def tv_distance(p: np.ndarray, q: np.ndarray) -> float:
     """TV distance between two probability vectors on the same index set.
 
-    Inputs are validated to be non-negative and to sum to ~1; exact
-    normalisation drift below 1e-8 is tolerated and renormalised.
+    Inputs are validated to be non-negative and to sum to ~1; normalisation
+    drift below :data:`SUM_TOLERANCE` (1e-6) is tolerated and renormalised.
     """
     p = np.asarray(p, dtype=float)
     q = np.asarray(q, dtype=float)
@@ -26,8 +31,11 @@ def tv_distance(p: np.ndarray, q: np.ndarray) -> float:
         if np.any(vec < -1e-12):
             raise ModelError(f"tv_distance: {name} has negative entries")
         total = vec.sum()
-        if abs(total - 1.0) > 1e-6:
-            raise ModelError(f"tv_distance: {name} sums to {total}, expected 1")
+        if abs(total - 1.0) > SUM_TOLERANCE:
+            raise ModelError(
+                f"tv_distance: {name} sums to {total}, expected 1 "
+                f"within {SUM_TOLERANCE}"
+            )
     p = np.clip(p, 0.0, None)
     q = np.clip(q, 0.0, None)
     return float(0.5 * np.abs(p / p.sum() - q / q.sum()).sum())

@@ -6,17 +6,26 @@ and return the configuration.  ``sample_many(mrf, r, ...)`` is its batched
 sibling: it draws ``r`` independent approximate samples as one ``(r, n)``
 batch, dispatching to the replica-ensemble engines of
 :mod:`repro.chains.ensemble` whenever a batched kernel exists for the
-model/method pair.  The heavy lifting lives in :mod:`repro.chains`; this
-facade exists so the examples and downstream users do not need to assemble
-chains by hand.
+model/method pair.  ``make_ensemble`` exposes that dispatch directly, and
+``tv_curve``/``mixing_time`` build on it to measure convergence
+ensemble-natively (see :mod:`repro.analysis.convergence`).  The heavy
+lifting lives in :mod:`repro.chains`; this facade exists so the examples
+and downstream users do not need to assemble chains by hand.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+from collections.abc import Sequence
 
 import numpy as np
 
+from repro.analysis.convergence import (
+    SequentialChainEnsemble,
+    empirical_mixing_time,
+    ensemble_tv_curve,
+)
 from repro.chains.ensemble import (
     EnsembleGlauberDynamics,
     EnsembleLocalMetropolisColoring,
@@ -26,9 +35,19 @@ from repro.chains.glauber import GlauberDynamics
 from repro.chains.local_metropolis import LocalMetropolisChain
 from repro.chains.luby_glauber import LubyGlauberChain
 from repro.errors import ModelError
+from repro.mrf.distribution import GibbsDistribution, exact_gibbs_distribution
 from repro.mrf.model import MRF
 
-__all__ = ["sample", "sample_many", "default_round_budget", "ENGINES", "METHODS"]
+__all__ = [
+    "sample",
+    "sample_many",
+    "make_ensemble",
+    "tv_curve",
+    "mixing_time",
+    "default_round_budget",
+    "ENGINES",
+    "METHODS",
+]
 
 METHODS = ("local-metropolis", "luby-glauber", "glauber")
 
@@ -174,6 +193,63 @@ def _uniform_coloring_q(mrf: MRF) -> int | None:
     return mrf.q
 
 
+def make_ensemble(
+    mrf: MRF,
+    r: int,
+    method: str = "local-metropolis",
+    seed: int | np.random.Generator | None = None,
+    initial: np.ndarray | None = None,
+):
+    """Build the fastest replica-ensemble engine for ``(mrf, method)``.
+
+    Dispatch, shared with :func:`sample_many` and the convergence layer:
+    ``"glauber"`` always gets the batched single-site
+    :class:`~repro.chains.ensemble.EnsembleGlauberDynamics`; uniform
+    proper-colouring models get the specialised batched colouring kernels
+    for the two distributed methods; any other model falls back to
+    :class:`~repro.analysis.convergence.SequentialChainEnsemble` wrapping
+    ``r`` generic sequential chains (correct for every model, just not
+    batched).  Every returned object exposes the same
+    ``advance``/``run``/``config``/``iter_checkpoints`` protocol.
+
+    ``initial`` is ``None`` (a shared deterministic start), a length-n
+    configuration, or an ``(r, n)`` batch giving each replica its own
+    start.
+    """
+    if r < 1:
+        raise ModelError(f"ensemble needs r >= 1 replicas, got {r}")
+    if method not in METHODS:
+        raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if method == "glauber":
+        return EnsembleGlauberDynamics(mrf, r, initial=initial, seed=rng)
+    coloring_q = _uniform_coloring_q(mrf)
+    if coloring_q is not None:
+        ensemble_cls = (
+            EnsembleLocalMetropolisColoring
+            if method == "local-metropolis"
+            else EnsembleLubyGlauberColoring
+        )
+        return ensemble_cls(mrf.graph, coloring_q, r, initial=initial, seed=rng)
+    # Generic-model fallback: r sequential chains behind the ensemble protocol.
+    chain_cls = LocalMetropolisChain if method == "local-metropolis" else LubyGlauberChain
+    starts = None if initial is None else np.asarray(initial, dtype=np.int64)
+    if starts is not None and starts.ndim == 2 and starts.shape != (r, mrf.n):
+        raise ModelError(
+            f"initial batch must have shape ({r}, {mrf.n}), got {starts.shape}"
+        )
+    replica_index = itertools.count()
+
+    def factory(chain_rng: np.random.Generator):
+        if starts is None or starts.ndim == 1:
+            start = starts
+        else:
+            start = starts[next(replica_index)]
+        return chain_cls(mrf, initial=start, seed=chain_rng)
+
+    return SequentialChainEnsemble(factory, r, seed=rng)
+
+
 def sample_many(
     mrf: MRF,
     r: int,
@@ -186,13 +262,10 @@ def sample_many(
     """Draw ``r`` independent approximate Gibbs samples as an ``(r, n)`` batch.
 
     The batched counterpart of :func:`sample`: all replicas advance
-    simultaneously through the replica-ensemble engines of
-    :mod:`repro.chains.ensemble`, sharing one RNG stream.  For uniform
-    proper-colouring models the specialised batched kernels are used for
-    every method; for general MRFs ``"glauber"`` uses the batched
-    single-site engine and the two distributed chains fall back to ``r``
-    sequential generic chains fed from the same stream (correct for every
-    model, just not batched).
+    simultaneously through the replica-ensemble engine picked by
+    :func:`make_ensemble` — the specialised batched kernels whenever one
+    exists for the model/method pair, the sequential generic-chain fallback
+    otherwise (correct for every model, just not batched).
 
     Parameters
     ----------
@@ -209,34 +282,59 @@ def sample_many(
     numpy.ndarray
         An ``(r, n)`` int64 array; row ``i`` is replica ``i``'s sample.
     """
-    if r < 1:
-        raise ModelError(f"sample_many needs r >= 1 replicas, got {r}")
-    if method not in METHODS:
-        raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
     if rounds is None:
         rounds = default_round_budget(mrf, method, eps)
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    if method == "glauber":
-        return EnsembleGlauberDynamics(mrf, r, initial=initial, seed=rng).run(rounds)
-    coloring_q = _uniform_coloring_q(mrf)
-    if coloring_q is not None:
-        ensemble_cls = (
-            EnsembleLocalMetropolisColoring
-            if method == "local-metropolis"
-            else EnsembleLubyGlauberColoring
-        )
-        ensemble = ensemble_cls(mrf.graph, coloring_q, r, initial=initial, seed=rng)
-        return ensemble.run(rounds)
-    # General-MRF fallback: r sequential chains sharing the RNG stream.
-    chain_cls = LocalMetropolisChain if method == "local-metropolis" else LubyGlauberChain
-    initial = None if initial is None else np.asarray(initial, dtype=np.int64)
-    if initial is not None and initial.ndim == 2 and initial.shape != (r, mrf.n):
-        raise ModelError(
-            f"initial batch must have shape ({r}, {mrf.n}), got {initial.shape}"
-        )
-    batch = np.empty((r, mrf.n), dtype=np.int64)
-    for i in range(r):
-        start = initial if initial is None or initial.ndim == 1 else initial[i]
-        chain = chain_cls(mrf, initial=start, seed=rng)
-        batch[i] = chain.run(rounds)
-    return batch
+    return make_ensemble(mrf, r, method=method, seed=seed, initial=initial).run(rounds)
+
+
+def tv_curve(
+    mrf: MRF,
+    checkpoints: Sequence[int],
+    method: str = "local-metropolis",
+    replicas: int = 1024,
+    seed: int | np.random.Generator | None = None,
+    initial: np.ndarray | None = None,
+    target: GibbsDistribution | None = None,
+) -> list[tuple[int, float]]:
+    """Ensemble-native TV-decay curve of ``method`` on ``mrf``.
+
+    Builds the fastest ensemble via :func:`make_ensemble` (all replicas
+    share a worst-ish deterministic start unless ``initial`` says
+    otherwise) and measures the TV distance between the ensemble's
+    empirical distribution and the exact Gibbs distribution at each
+    checkpoint.  Requires ``q**n`` enumerable unless ``target`` is given;
+    the estimate's noise floor scales like ``sqrt(q**n / replicas)``.
+
+    Returns a list of ``(round, tv)`` pairs.
+    """
+    if target is None:
+        target = exact_gibbs_distribution(mrf)
+    ensemble = make_ensemble(mrf, replicas, method=method, seed=seed, initial=initial)
+    return ensemble_tv_curve(ensemble, target, checkpoints=list(checkpoints))
+
+
+def mixing_time(
+    mrf: MRF,
+    eps: float = 0.125,
+    method: str = "local-metropolis",
+    replicas: int = 2048,
+    max_rounds: int = 10_000,
+    stride: int = 1,
+    seed: int | np.random.Generator | None = None,
+    initial: np.ndarray | None = None,
+    target: GibbsDistribution | None = None,
+) -> int:
+    """Empirical mixing time ``tau(eps)`` of ``method`` on ``mrf``.
+
+    The first multiple of ``stride`` (clamped to ``max_rounds``) at which
+    the ensemble TV to the exact Gibbs distribution drops to ``eps``.
+    Raises :class:`~repro.errors.ConvergenceError` if the budget is
+    exhausted.  The same noise-floor caveat as :func:`tv_curve` applies —
+    on tiny models prefer :func:`repro.chains.transition.exact_mixing_time`.
+    """
+    if target is None:
+        target = exact_gibbs_distribution(mrf)
+    ensemble = make_ensemble(mrf, replicas, method=method, seed=seed, initial=initial)
+    return empirical_mixing_time(
+        ensemble, target, eps, max_rounds=max_rounds, stride=stride
+    )

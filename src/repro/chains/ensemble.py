@@ -66,10 +66,57 @@ from repro.graphs.structure import check_vertex_labels
 from repro.mrf.model import MRF
 
 __all__ = [
+    "EnsembleTrajectoryMixin",
     "EnsembleLocalMetropolisColoring",
     "EnsembleLubyGlauberColoring",
     "EnsembleGlauberDynamics",
 ]
+
+
+class EnsembleTrajectoryMixin:
+    """Checkpointed advancement shared by every replica-ensemble engine.
+
+    The convergence/diagnostics layer drives ensembles exclusively through
+    this protocol: ``advance(steps)`` moves all replicas forward without
+    materialising a batch copy, ``run(steps)`` advances and returns the
+    fresh ``(R, n)`` batch, and ``iter_checkpoints(checkpoints)`` yields
+    ``(round, batch)`` pairs at increasing round counts (measured from the
+    ensemble's current position) — the trajectory-recording primitive the
+    TV-decay and agreement curves are built on.
+
+    Host classes provide ``step()`` and a ``config`` property returning the
+    ``(R, n)`` batch.
+    """
+
+    def advance(self, steps: int):
+        """Advance all replicas ``steps`` rounds; returns ``self`` for chaining."""
+        if steps < 0:
+            raise ModelError(f"advance needs steps >= 0, got {steps}")
+        for _ in range(steps):
+            self.step()
+        return self
+
+    def run(self, steps: int) -> np.ndarray:
+        """Advance all replicas ``steps`` rounds; return the ``(R, n)`` batch."""
+        return self.advance(steps).config
+
+    def iter_checkpoints(self, checkpoints):
+        """Yield ``(round, batch)`` at each checkpoint.
+
+        ``checkpoints`` must be strictly increasing positive integers,
+        counted from the ensemble's current position; the ensemble is left
+        at the last checkpoint.
+        """
+        previous = 0
+        for checkpoint in checkpoints:
+            if int(checkpoint) != checkpoint or checkpoint <= previous:
+                raise ModelError(
+                    "checkpoints must be strictly increasing positive integers, "
+                    f"got {list(checkpoints)!r}"
+                )
+            self.advance(int(checkpoint) - previous)
+            previous = int(checkpoint)
+            yield previous, self.config
 
 
 def _spin_dtype(q: int) -> np.dtype:
@@ -97,7 +144,7 @@ def _draw_uniform_spins(
     return rng.integers(0, q, size=size, dtype=dtype)
 
 
-class _EnsembleColoringBase:
+class _EnsembleColoringBase(EnsembleTrajectoryMixin):
     """Shared state for the batched colouring chains.
 
     Parameters
@@ -210,12 +257,6 @@ class _EnsembleColoringBase:
     def is_proper(self) -> bool:
         """Return True iff *every* replica's colouring is proper."""
         return bool(self.proper_mask().all())
-
-    def run(self, steps: int) -> np.ndarray:
-        """Advance all replicas ``steps`` rounds; return the ``(R, n)`` batch."""
-        for _ in range(steps):
-            self.step()
-        return self.config
 
     def step(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -336,7 +377,7 @@ class EnsembleLubyGlauberColoring(_EnsembleColoringBase):
         self.steps_taken += 1
 
 
-class EnsembleGlauberDynamics:
+class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
     """Batched single-site heat-bath Glauber for general pairwise MRFs.
 
     One step advances *each* replica by one single-site update: every
@@ -443,12 +484,6 @@ class EnsembleGlauberDynamics:
         np.clip(spins, 0, q - 1, out=spins)
         self._config[rows, vertices] = spins
         self.steps_taken += 1
-
-    def run(self, steps: int) -> np.ndarray:
-        """Advance all replicas ``steps`` single-site updates; return the batch."""
-        for _ in range(steps):
-            self.step()
-        return self.config
 
     def is_feasible(self) -> np.ndarray:
         """Per-replica feasibility mask, shape ``(R,)``."""

@@ -7,6 +7,11 @@ Commands
     and print it (plus feasibility and the round budget used).
 ``budget``
     Print the default round budgets of all three methods for a model.
+``mix``
+    Measure an ensemble-native TV-decay curve (and optionally the
+    empirical mixing time) against the exact Gibbs distribution and emit
+    it as JSON.  Needs ``q**n`` enumerable, so it defaults to a small
+    topology.
 ``info``
     Print the library's headline constants (thresholds, uniqueness
     boundary) and version.
@@ -19,6 +24,7 @@ should use the Python API.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import repro
@@ -106,6 +112,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(budget)
     budget.add_argument("--eps", type=float, default=0.05)
 
+    mix = sub.add_parser(
+        "mix", help="emit an ensemble-native TV-decay curve as JSON"
+    )
+    _add_model_arguments(mix)
+    # The exact target enumerates q**n states, so mix defaults to a small
+    # instance instead of the sampling commands' larger ones.
+    mix.set_defaults(size=6, q=3)
+    mix.add_argument("--method", choices=repro.METHODS, default="local-metropolis")
+    mix.add_argument(
+        "--replicas", type=int, default=512, help="ensemble size (TV noise floor "
+        "scales like sqrt(q**n / replicas))"
+    )
+    mix.add_argument(
+        "--checkpoints",
+        default="1,2,4,8,16,32",
+        help="comma-separated round counts at which to measure TV",
+    )
+    mix.add_argument(
+        "--eps",
+        type=float,
+        default=None,
+        help="also estimate the empirical mixing time tau(eps)",
+    )
+    mix.add_argument(
+        "--max-rounds", type=int, default=4096, help="mixing-time round budget"
+    )
+    mix.add_argument(
+        "--stride", type=int, default=1, help="rounds between mixing-time checks"
+    )
+
     sub.add_parser("info", help="print headline constants and version")
     return parser
 
@@ -139,6 +175,48 @@ def _command_budget(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_mix(args: argparse.Namespace) -> int:
+    from repro.analysis.convergence import ensemble_tv_curve
+    from repro.mrf.distribution import exact_gibbs_distribution
+
+    mrf = _build_model(args)
+    try:
+        checkpoints = [int(token) for token in args.checkpoints.split(",") if token.strip()]
+    except ValueError:
+        raise ReproError(
+            f"--checkpoints must be comma-separated integers, got {args.checkpoints!r}"
+        ) from None
+    target = exact_gibbs_distribution(mrf)
+    ensemble = repro.make_ensemble(mrf, args.replicas, method=args.method, seed=args.seed)
+    curve = ensemble_tv_curve(ensemble, target, checkpoints=checkpoints)
+    payload = {
+        "model": mrf.name,
+        "graph": args.graph,
+        "n": mrf.n,
+        "q": mrf.q,
+        "method": args.method,
+        "engine": type(ensemble).__name__,
+        "replicas": args.replicas,
+        "seed": args.seed,
+        "curve": [[rounds, tv] for rounds, tv in curve],
+    }
+    if args.eps is not None:
+        payload["eps"] = args.eps
+        payload["mixing_time"] = repro.mixing_time(
+            mrf,
+            args.eps,
+            method=args.method,
+            replicas=args.replicas,
+            max_rounds=args.max_rounds,
+            stride=args.stride,
+            seed=args.seed,
+            target=target,
+        )
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
 def _command_info() -> int:
     from repro.analysis.theory import alpha_star, two_plus_sqrt2
     from repro.lowerbound import lambda_critical
@@ -161,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_sample(args)
         if args.command == "budget":
             return _command_budget(args)
+        if args.command == "mix":
+            return _command_mix(args)
         if args.command == "info":
             return _command_info()
     except ReproError as error:

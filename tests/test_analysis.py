@@ -52,6 +52,13 @@ class TestTvDistance:
         with pytest.raises(ModelError):
             tv_distance([-0.1, 1.1], [0.5, 0.5])
 
+    def test_drift_tolerance_matches_docs(self):
+        # Drift within the documented 1e-6 tolerance is renormalised away ...
+        assert tv_distance([0.5, 0.5 + 5e-7], [0.5, 0.5]) < 1e-6
+        # ... larger drift is rejected, and the message names the tolerance.
+        with pytest.raises(ModelError, match="within 1e-06"):
+            tv_distance([0.5, 0.51], [0.5, 0.5])
+
     def test_counts_variant(self, path3_coloring):
         gibbs = exact_gibbs_distribution(path3_coloring)
         support = gibbs.support()
@@ -111,6 +118,26 @@ class TestBatchEstimators:
         x = np.array([[0, 1, 2], [1, 1, 2]])
         y = np.array([[0, 2, 2], [1, 1, 0]])
         assert np.allclose(batch_agreement(x, y), [1.0, 0.5, 0.5])
+
+    def test_batch_agreement_single_replica(self):
+        # R=1 is a legal ensemble: per-vertex agreement is exactly 0 or 1.
+        x = np.array([[0, 1, 2]])
+        y = np.array([[0, 2, 2]])
+        assert np.allclose(batch_agreement(x, y), [1.0, 0.0, 1.0])
+
+    def test_batch_empirical_distribution_index_order(self):
+        """The batched ranking must agree with ``config_index`` exactly —
+        vertex 0 is the most significant digit."""
+        from repro.mrf.distribution import config_index
+
+        rng = np.random.default_rng(7)
+        q = 3
+        batch = rng.integers(0, q, size=(40, 4))
+        dist = batch_empirical_distribution(batch, q)
+        counts = np.zeros(q**4)
+        for row in batch:
+            counts[config_index(tuple(int(s) for s in row), q)] += 1
+        assert np.allclose(dist.probs, counts / counts.sum())
 
     def test_batch_validation(self):
         with pytest.raises(ModelError):

@@ -3,8 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.chains.cftp import MonotoneCFTP, SmallStateCFTP, is_monotone_model
-from repro.errors import ConvergenceError, ModelError, StateSpaceTooLargeError
+from repro.chains.cftp import (
+    MonotoneCFTP,
+    SmallStateCFTP,
+    _inverse_cdf_spin,
+    is_monotone_model,
+)
+from repro.errors import (
+    ConvergenceError,
+    InfeasibleStateError,
+    ModelError,
+    StateSpaceTooLargeError,
+)
 from repro.analysis import empirical_distribution
 from repro.graphs import cycle_graph, grid_graph, path_graph
 from repro.mrf import (
@@ -14,6 +24,38 @@ from repro.mrf import (
     proper_coloring_mrf,
     uniform_mrf,
 )
+
+
+class TestInverseCdfSpin:
+    """Regression: the CDF-shortfall fallback must never emit a
+    zero-probability spin (e.g. occupy a blocked hardcore vertex)."""
+
+    def test_fp_shortfall_skips_zero_mass_tail(self):
+        # The masses sum to strictly less than the largest double below 1.0,
+        # so a uniform draw near 1 falls past every spin; the old fallback
+        # returned spin q-1, which here has zero conditional mass.
+        distribution = np.array([0.5, 0.49999999999999978, 0.0])
+        uniform = np.nextafter(1.0, 0.0)
+        assert uniform > distribution.sum()  # the shortfall scenario is real
+        assert _inverse_cdf_spin(distribution, uniform) == 1
+
+    def test_normal_draws_unchanged(self):
+        distribution = np.array([0.25, 0.25, 0.5])
+        assert _inverse_cdf_spin(distribution, 0.0) == 0
+        assert _inverse_cdf_spin(distribution, 0.3) == 1
+        assert _inverse_cdf_spin(distribution, 0.9) == 2
+
+    def test_zero_mass_distribution_rejected(self):
+        with pytest.raises(InfeasibleStateError):
+            _inverse_cdf_spin(np.zeros(3), 0.5)
+
+    def test_hardcore_samples_stay_feasible(self):
+        """End-to-end: exact hardcore sampling never emits an occupied
+        blocked vertex, whatever the seed."""
+        mrf = hardcore_mrf(path_graph(5), 2.5)
+        for seed in range(40):
+            config = MonotoneCFTP(mrf, flip_vertices=[1, 3], seed=seed).sample()
+            assert mrf.is_feasible(config)
 
 
 class TestMonotonicityDetection:

@@ -1,0 +1,25 @@
+"""Tests for the CI benchmark-regression gate's input handling."""
+
+import pytest
+
+from benchmarks.check_regression import DEFAULT_TOLERANCE, parse_tolerance
+
+
+class TestParseTolerance:
+    def test_unset_uses_default(self):
+        assert parse_tolerance(None) == DEFAULT_TOLERANCE
+
+    def test_valid_fraction(self):
+        assert parse_tolerance("0.5") == 0.5
+        assert parse_tolerance("0") == 0.0
+
+    def test_malformed_value_exits_with_clear_error(self):
+        # Regression: a junk env var used to crash with a bare ValueError
+        # traceback; now it exits with an actionable message.
+        with pytest.raises(SystemExit, match="REPRO_BENCH_TOLERANCE"):
+            parse_tolerance("thirty percent")
+
+    @pytest.mark.parametrize("raw", ["-0.1", "1.0", "2.5"])
+    def test_out_of_range_rejected(self, raw):
+        with pytest.raises(SystemExit, match="lie in"):
+            parse_tolerance(raw)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -111,5 +113,103 @@ class TestCommands:
     def test_error_path_returns_nonzero(self, capsys):
         # cycle of size 2 is invalid -> ReproError -> exit code 1.
         code = main(["sample", "--graph", "cycle", "--size", "2"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestMixCommand:
+    def test_emits_valid_json_curve(self, capsys):
+        code = main(
+            [
+                "mix",
+                "--model",
+                "coloring",
+                "--graph",
+                "cycle",
+                "--size",
+                "4",
+                "--q",
+                "3",
+                "--replicas",
+                "128",
+                "--checkpoints",
+                "1,2,4",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"].startswith("coloring")
+        assert payload["engine"] == "EnsembleLocalMetropolisColoring"
+        assert payload["replicas"] == 128
+        assert [rounds for rounds, _ in payload["curve"]] == [1, 2, 4]
+        assert all(0.0 <= tv <= 1.0 for _, tv in payload["curve"])
+        assert "mixing_time" not in payload
+
+    def test_eps_adds_mixing_time(self, capsys):
+        code = main(
+            [
+                "mix",
+                "--graph",
+                "cycle",
+                "--size",
+                "4",
+                "--q",
+                "3",
+                "--replicas",
+                "256",
+                "--checkpoints",
+                "1,2",
+                "--eps",
+                "0.35",
+                "--max-rounds",
+                "512",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["eps"] == 0.35
+        assert 1 <= payload["mixing_time"] <= 512
+
+    def test_generic_fallback_model(self, capsys):
+        code = main(
+            [
+                "mix",
+                "--model",
+                "ising",
+                "--graph",
+                "path",
+                "--size",
+                "3",
+                "--beta",
+                "1.2",
+                "--method",
+                "glauber",
+                "--replicas",
+                "64",
+                "--checkpoints",
+                "1,4",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "EnsembleGlauberDynamics"
+        assert len(payload["curve"]) == 2
+
+    def test_bad_checkpoints_rejected(self, capsys):
+        code = main(
+            ["mix", "--graph", "cycle", "--size", "4", "--checkpoints", "1,zap"]
+        )
+        assert code == 1
+        assert "checkpoints" in capsys.readouterr().err
+
+    def test_too_large_state_space_rejected(self, capsys):
+        # The exact target enumerates q**n; a big instance must fail cleanly.
+        code = main(["mix", "--graph", "torus", "--size", "8", "--q", "8"])
         assert code == 1
         assert "error" in capsys.readouterr().err

@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.diagnostics import (
     autocorrelation,
+    batch_effective_sample_size,
     effective_sample_size,
     gelman_rubin,
     integrated_autocorrelation_time,
@@ -58,6 +59,30 @@ class TestAutocorrelation:
             series[i] = 0.95 * series[i - 1] + rng.normal()
         assert effective_sample_size(series) < 800
 
+    def test_iat_constant_series_is_one(self):
+        # Zero-variance series are "effectively independent" by convention.
+        assert integrated_autocorrelation_time(np.full(30, 2.5)) == 1.0
+
+    def test_iat_length_two_series(self):
+        # The shortest legal series: lag-1 correlation is -0.5 (non-positive),
+        # so Geyer's cut stops immediately and tau_int is exactly 1.
+        assert integrated_autocorrelation_time(np.array([0.0, 1.0])) == 1.0
+
+    def test_batch_ess_sums_replicas(self):
+        rng = np.random.default_rng(6)
+        series = rng.normal(size=(3, 500))
+        total = batch_effective_sample_size(series)
+        assert total == pytest.approx(
+            sum(effective_sample_size(row) for row in series)
+        )
+        assert 0.0 < total <= 3 * 500 * 1.5
+
+    def test_batch_ess_validation(self):
+        with pytest.raises(ModelError):
+            batch_effective_sample_size(np.zeros(10))
+        with pytest.raises(ModelError):
+            batch_effective_sample_size(np.zeros((2, 1)))
+
 
 class TestGelmanRubin:
     def test_mixed_chains_near_one(self):
@@ -73,6 +98,22 @@ class TestGelmanRubin:
     def test_validation(self):
         with pytest.raises(ModelError):
             gelman_rubin(np.zeros((1, 10)))
+        with pytest.raises(ModelError):
+            gelman_rubin(np.zeros((3, 1)))
+
+    def test_constant_identical_chains(self):
+        # All chains stuck at the same value: nothing to reduce, R-hat = 1.
+        assert gelman_rubin(np.full((3, 10), 4.0)) == 1.0
+
+    def test_constant_disagreeing_chains(self):
+        # Chains frozen at different values can never mix: R-hat = inf.
+        chains = np.repeat(np.arange(3.0)[:, None], 10, axis=1)
+        assert gelman_rubin(chains) == np.inf
+
+    def test_length_two_series(self):
+        rng = np.random.default_rng(8)
+        value = gelman_rubin(rng.normal(size=(4, 2)))
+        assert np.isfinite(value) and value > 0.0
 
     def test_on_real_chains(self):
         """Four LocalMetropolis chains from scattered starts mix: R-hat ~ 1."""
