@@ -32,10 +32,12 @@ from repro.api import (
     default_round_budget,
     make_ensemble,
     mixing_time,
+    model_degree,
     sample,
     sample_many,
     tv_curve,
 )
+from repro.csp import LocalCSP
 from repro.errors import (
     ConvergenceError,
     InfeasibleStateError,
@@ -63,6 +65,7 @@ __all__ = [
     "ENGINES",
     "METHODS",
     "MRF",
+    "LocalCSP",
     "ConvergenceError",
     "InfeasibleStateError",
     "ModelError",
@@ -78,6 +81,7 @@ __all__ = [
     "list_coloring_mrf",
     "make_ensemble",
     "mixing_time",
+    "model_degree",
     "potts_mrf",
     "proper_coloring_mrf",
     "sample",

@@ -1,16 +1,21 @@
 """High-level sampling API.
 
-``sample(mrf, ...)`` is the one-call entry point: pick an algorithm, run it
-for a round budget derived from the paper's bounds (or an explicit budget),
-and return the configuration.  ``sample_many(mrf, r, ...)`` is its batched
-sibling: it draws ``r`` independent approximate samples as one ``(r, n)``
-batch, dispatching to the replica-ensemble engines of
+``sample(model, ...)`` is the one-call entry point: pick an algorithm, run
+it for a round budget derived from the paper's bounds (or an explicit
+budget), and return the configuration.  ``sample_many(model, r, ...)`` is
+its batched sibling: it draws ``r`` independent approximate samples as one
+``(r, n)`` batch, dispatching to the replica-ensemble engines of
 :mod:`repro.chains.ensemble` whenever a batched kernel exists for the
 model/method pair.  ``make_ensemble`` exposes that dispatch directly, and
 ``tv_curve``/``mixing_time`` build on it to measure convergence
-ensemble-natively (see :mod:`repro.analysis.convergence`).  The heavy
-lifting lives in :mod:`repro.chains`; this facade exists so the examples
-and downstream users do not need to assemble chains by hand.
+ensemble-natively (see :mod:`repro.analysis.convergence`).
+
+Models are either pairwise :class:`~repro.mrf.model.MRF` instances or
+general weighted local CSPs (:class:`~repro.csp.model.LocalCSP`) — the
+paper's remarks extend both distributed chains to CSPs, and every facade
+function dispatches on the model type.  The heavy lifting lives in
+:mod:`repro.chains`; this facade exists so the examples and downstream
+users do not need to assemble chains by hand.
 """
 
 from __future__ import annotations
@@ -26,14 +31,19 @@ from repro.analysis.convergence import (
     empirical_mixing_time,
     ensemble_tv_curve,
 )
+from repro.chains.csp_chains import LocalMetropolisCSP, LubyGlauberCSP
 from repro.chains.ensemble import (
     EnsembleGlauberDynamics,
     EnsembleLocalMetropolisColoring,
+    EnsembleLocalMetropolisCSP,
     EnsembleLubyGlauberColoring,
+    EnsembleLubyGlauberCSP,
 )
 from repro.chains.glauber import GlauberDynamics
 from repro.chains.local_metropolis import LocalMetropolisChain
 from repro.chains.luby_glauber import LubyGlauberChain
+from repro.csp.hypergraph import csp_neighbors
+from repro.csp.model import LocalCSP, exact_csp_gibbs_distribution
 from repro.errors import ModelError
 from repro.mrf.distribution import GibbsDistribution, exact_gibbs_distribution
 from repro.mrf.model import MRF
@@ -45,6 +55,7 @@ __all__ = [
     "tv_curve",
     "mixing_time",
     "default_round_budget",
+    "model_degree",
     "ENGINES",
     "METHODS",
 ]
@@ -65,26 +76,46 @@ ENGINES = ("chain", "reference", "vectorized")
 _BUDGET_CONSTANT = 8.0
 
 
-def default_round_budget(mrf: MRF, method: str, eps: float) -> int:
+def model_degree(model: MRF | LocalCSP) -> int:
+    """Maximum neighbourhood size of a model.
+
+    For MRFs this is the graph degree; for CSPs it is the degree of the
+    *conflict graph* — ``Gamma(v)`` counts every co-scoped vertex, the
+    neighbourhood both CSP chains operate on.
+    """
+    if isinstance(model, LocalCSP):
+        return max((len(s) for s in csp_neighbors(model)), default=0)
+    return int(model.max_degree)
+
+
+def _exact_distribution(model: MRF | LocalCSP) -> GibbsDistribution:
+    """Exact Gibbs distribution of an MRF or CSP model."""
+    if isinstance(model, LocalCSP):
+        return exact_csp_gibbs_distribution(model)
+    return exact_gibbs_distribution(model)
+
+
+def default_round_budget(model: MRF | LocalCSP, method: str, eps: float) -> int:
     """Heuristic round budget matching each algorithm's theoretical shape.
 
     * ``local-metropolis``: ``O(log(n / eps))`` (Theorem 1.2);
     * ``luby-glauber``:     ``O(Delta * log(n / eps))`` (Theorem 1.1);
     * ``glauber``:          ``O(n * log(n / eps))`` (Dobrushin bound).
 
-    These are heuristics with a fixed leading constant — for certified
-    budgets under Dobrushin's condition use
+    ``Delta`` is the conflict-graph degree for CSP models.  These are
+    heuristics with a fixed leading constant — for certified budgets under
+    Dobrushin's condition use
     :meth:`repro.chains.luby_glauber.LubyGlauberChain.rounds_bound` with the
     exact total influence from :func:`repro.mrf.influence.dobrushin_alpha`.
     """
     if not 0.0 < eps < 1.0:
         raise ModelError(f"eps must be in (0, 1), got {eps}")
-    n = max(mrf.n, 2)
+    n = max(model.n, 2)
     log_term = math.log(n / eps)
     if method == "local-metropolis":
         scale = 1.0
     elif method == "luby-glauber":
-        scale = mrf.max_degree + 1.0
+        scale = model_degree(model) + 1.0
     elif method == "glauber":
         scale = float(n)
     else:
@@ -93,7 +124,7 @@ def default_round_budget(mrf: MRF, method: str, eps: float) -> int:
 
 
 def sample(
-    mrf: MRF,
+    model: MRF | LocalCSP,
     method: str = "local-metropolis",
     eps: float = 0.05,
     rounds: int | None = None,
@@ -101,12 +132,13 @@ def sample(
     initial: np.ndarray | None = None,
     engine: str = "chain",
 ):
-    """Draw one approximate Gibbs sample from ``mrf``.
+    """Draw one approximate Gibbs sample from ``model``.
 
     Parameters
     ----------
-    mrf:
-        The target model.
+    model:
+        The target model — a pairwise :class:`~repro.mrf.model.MRF` or a
+        weighted local CSP (:class:`~repro.csp.model.LocalCSP`).
     method:
         ``"local-metropolis"`` (default), ``"luby-glauber"`` or
         ``"glauber"``.
@@ -120,8 +152,9 @@ def sample(
         ``"chain"`` (default) advances a global configuration directly;
         ``"reference"`` / ``"vectorized"`` run the LOCAL-model
         message-passing protocol on the corresponding runtime engine.  The
-        two distributed methods support all three engines; ``"glauber"``
-        has no LOCAL protocol and only supports ``"chain"``.
+        two distributed methods support all three engines on MRFs and the
+        reference engine on CSPs; ``"glauber"`` has no LOCAL protocol and
+        only supports ``"chain"``.
 
     Returns
     -------
@@ -133,7 +166,9 @@ def sample(
     if method not in METHODS:
         raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
     if rounds is None:
-        rounds = default_round_budget(mrf, method, eps)
+        rounds = default_round_budget(model, method, eps)
+    if isinstance(model, LocalCSP):
+        return _sample_csp(model, method, rounds, seed, initial, engine)
     if engine != "chain":
         if method == "glauber":
             raise ModelError(
@@ -152,14 +187,54 @@ def sample(
             if method == "local-metropolis"
             else run_luby_glauber_protocol
         )
-        config, _ = runner(mrf, rounds, seed=seed, initial=initial, engine=engine)
+        config, _ = runner(model, rounds, seed=seed, initial=initial, engine=engine)
         return config
     if method == "local-metropolis":
-        chain = LocalMetropolisChain(mrf, initial=initial, seed=seed)
+        chain = LocalMetropolisChain(model, initial=initial, seed=seed)
     elif method == "luby-glauber":
-        chain = LubyGlauberChain(mrf, initial=initial, seed=seed)
+        chain = LubyGlauberChain(model, initial=initial, seed=seed)
     else:
-        chain = GlauberDynamics(mrf, initial=initial, seed=seed)
+        chain = GlauberDynamics(model, initial=initial, seed=seed)
+    chain.run(rounds)
+    return chain.config.copy()
+
+
+def _sample_csp(
+    csp: LocalCSP,
+    method: str,
+    rounds: int,
+    seed,
+    initial: np.ndarray | None,
+    engine: str,
+) -> np.ndarray:
+    """CSP branch of :func:`sample`: sequential CSP chains or LOCAL protocol."""
+    if method == "glauber":
+        raise ModelError(
+            "method 'glauber' has no CSP kernel; use 'local-metropolis' or "
+            "'luby-glauber'"
+        )
+    if engine == "vectorized":
+        raise ModelError(
+            "CSP protocols run on the reference LOCAL runtime only; use "
+            "engine='chain' or engine='reference'"
+        )
+    if engine == "reference":
+        from repro.distributed.csp_protocols import (
+            run_local_metropolis_csp_protocol,
+            run_luby_glauber_csp_protocol,
+        )
+
+        if isinstance(seed, np.random.Generator):
+            seed = int(seed.integers(np.iinfo(np.int64).max))
+        runner = (
+            run_local_metropolis_csp_protocol
+            if method == "local-metropolis"
+            else run_luby_glauber_csp_protocol
+        )
+        config, _ = runner(csp, rounds, seed=seed, initial=initial)
+        return config
+    chain_cls = LocalMetropolisCSP if method == "local-metropolis" else LubyGlauberCSP
+    chain = chain_cls(csp, initial=initial, seed=seed)
     chain.run(rounds)
     return chain.config.copy()
 
@@ -194,18 +269,21 @@ def _uniform_coloring_q(mrf: MRF) -> int | None:
 
 
 def make_ensemble(
-    mrf: MRF,
+    model: MRF | LocalCSP,
     r: int,
     method: str = "local-metropolis",
     seed: int | np.random.Generator | None = None,
     initial: np.ndarray | None = None,
 ):
-    """Build the fastest replica-ensemble engine for ``(mrf, method)``.
+    """Build the fastest replica-ensemble engine for ``(model, method)``.
 
     Dispatch, shared with :func:`sample_many` and the convergence layer:
     ``"glauber"`` always gets the batched single-site
-    :class:`~repro.chains.ensemble.EnsembleGlauberDynamics`; uniform
-    proper-colouring models get the specialised batched colouring kernels
+    :class:`~repro.chains.ensemble.EnsembleGlauberDynamics`; weighted local
+    CSPs get the batched CSP kernels
+    (:class:`~repro.chains.ensemble.EnsembleLubyGlauberCSP` /
+    :class:`~repro.chains.ensemble.EnsembleLocalMetropolisCSP`); uniform
+    proper-colouring MRFs get the specialised batched colouring kernels
     for the two distributed methods; any other model falls back to
     :class:`~repro.analysis.convergence.SequentialChainEnsemble` wrapping
     ``r`` generic sequential chains (correct for every model, just not
@@ -221,22 +299,34 @@ def make_ensemble(
     if method not in METHODS:
         raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if isinstance(model, LocalCSP):
+        if method == "glauber":
+            raise ModelError(
+                "method 'glauber' has no CSP kernel; use 'local-metropolis' or "
+                "'luby-glauber'"
+            )
+        ensemble_cls = (
+            EnsembleLocalMetropolisCSP
+            if method == "local-metropolis"
+            else EnsembleLubyGlauberCSP
+        )
+        return ensemble_cls(model, r, initial=initial, seed=rng)
     if method == "glauber":
-        return EnsembleGlauberDynamics(mrf, r, initial=initial, seed=rng)
-    coloring_q = _uniform_coloring_q(mrf)
+        return EnsembleGlauberDynamics(model, r, initial=initial, seed=rng)
+    coloring_q = _uniform_coloring_q(model)
     if coloring_q is not None:
         ensemble_cls = (
             EnsembleLocalMetropolisColoring
             if method == "local-metropolis"
             else EnsembleLubyGlauberColoring
         )
-        return ensemble_cls(mrf.graph, coloring_q, r, initial=initial, seed=rng)
+        return ensemble_cls(model.graph, coloring_q, r, initial=initial, seed=rng)
     # Generic-model fallback: r sequential chains behind the ensemble protocol.
     chain_cls = LocalMetropolisChain if method == "local-metropolis" else LubyGlauberChain
     starts = None if initial is None else np.asarray(initial, dtype=np.int64)
-    if starts is not None and starts.ndim == 2 and starts.shape != (r, mrf.n):
+    if starts is not None and starts.ndim == 2 and starts.shape != (r, model.n):
         raise ModelError(
-            f"initial batch must have shape ({r}, {mrf.n}), got {starts.shape}"
+            f"initial batch must have shape ({r}, {model.n}), got {starts.shape}"
         )
     replica_index = itertools.count()
 
@@ -245,13 +335,13 @@ def make_ensemble(
             start = starts
         else:
             start = starts[next(replica_index)]
-        return chain_cls(mrf, initial=start, seed=chain_rng)
+        return chain_cls(model, initial=start, seed=chain_rng)
 
     return SequentialChainEnsemble(factory, r, seed=rng)
 
 
 def sample_many(
-    mrf: MRF,
+    model: MRF | LocalCSP,
     r: int,
     method: str = "local-metropolis",
     eps: float = 0.05,
@@ -264,13 +354,15 @@ def sample_many(
     The batched counterpart of :func:`sample`: all replicas advance
     simultaneously through the replica-ensemble engine picked by
     :func:`make_ensemble` — the specialised batched kernels whenever one
-    exists for the model/method pair, the sequential generic-chain fallback
-    otherwise (correct for every model, just not batched).
+    exists for the model/method pair (including the CSP engines for
+    :class:`~repro.csp.model.LocalCSP` models), the sequential
+    generic-chain fallback otherwise (correct for every model, just not
+    batched).
 
     Parameters
     ----------
-    mrf:
-        The target model.
+    model:
+        The target model (MRF or weighted local CSP).
     r:
         Number of independent replicas (rows of the returned batch).
     method, eps, rounds, seed, initial:
@@ -283,12 +375,12 @@ def sample_many(
         An ``(r, n)`` int64 array; row ``i`` is replica ``i``'s sample.
     """
     if rounds is None:
-        rounds = default_round_budget(mrf, method, eps)
-    return make_ensemble(mrf, r, method=method, seed=seed, initial=initial).run(rounds)
+        rounds = default_round_budget(model, method, eps)
+    return make_ensemble(model, r, method=method, seed=seed, initial=initial).run(rounds)
 
 
 def tv_curve(
-    mrf: MRF,
+    model: MRF | LocalCSP,
     checkpoints: Sequence[int],
     method: str = "local-metropolis",
     replicas: int = 1024,
@@ -296,25 +388,26 @@ def tv_curve(
     initial: np.ndarray | None = None,
     target: GibbsDistribution | None = None,
 ) -> list[tuple[int, float]]:
-    """Ensemble-native TV-decay curve of ``method`` on ``mrf``.
+    """Ensemble-native TV-decay curve of ``method`` on ``model``.
 
     Builds the fastest ensemble via :func:`make_ensemble` (all replicas
     share a worst-ish deterministic start unless ``initial`` says
     otherwise) and measures the TV distance between the ensemble's
-    empirical distribution and the exact Gibbs distribution at each
+    empirical distribution and the exact Gibbs distribution — the CSP
+    Gibbs measure for :class:`~repro.csp.model.LocalCSP` models — at each
     checkpoint.  Requires ``q**n`` enumerable unless ``target`` is given;
     the estimate's noise floor scales like ``sqrt(q**n / replicas)``.
 
     Returns a list of ``(round, tv)`` pairs.
     """
     if target is None:
-        target = exact_gibbs_distribution(mrf)
-    ensemble = make_ensemble(mrf, replicas, method=method, seed=seed, initial=initial)
+        target = _exact_distribution(model)
+    ensemble = make_ensemble(model, replicas, method=method, seed=seed, initial=initial)
     return ensemble_tv_curve(ensemble, target, checkpoints=list(checkpoints))
 
 
 def mixing_time(
-    mrf: MRF,
+    model: MRF | LocalCSP,
     eps: float = 0.125,
     method: str = "local-metropolis",
     replicas: int = 2048,
@@ -324,17 +417,18 @@ def mixing_time(
     initial: np.ndarray | None = None,
     target: GibbsDistribution | None = None,
 ) -> int:
-    """Empirical mixing time ``tau(eps)`` of ``method`` on ``mrf``.
+    """Empirical mixing time ``tau(eps)`` of ``method`` on ``model``.
 
     The first multiple of ``stride`` (clamped to ``max_rounds``) at which
-    the ensemble TV to the exact Gibbs distribution drops to ``eps``.
+    the ensemble TV to the exact Gibbs distribution (CSP Gibbs measure for
+    :class:`~repro.csp.model.LocalCSP` models) drops to ``eps``.
     Raises :class:`~repro.errors.ConvergenceError` if the budget is
     exhausted.  The same noise-floor caveat as :func:`tv_curve` applies —
     on tiny models prefer :func:`repro.chains.transition.exact_mixing_time`.
     """
     if target is None:
-        target = exact_gibbs_distribution(mrf)
-    ensemble = make_ensemble(mrf, replicas, method=method, seed=seed, initial=initial)
+        target = _exact_distribution(model)
+    ensemble = make_ensemble(model, replicas, method=method, seed=seed, initial=initial)
     return empirical_mixing_time(
         ensemble, target, eps, max_rounds=max_rounds, stride=stride
     )

@@ -18,7 +18,10 @@ Batched replica ensembles (:mod:`repro.chains.ensemble`):
   :class:`repro.chains.ensemble.EnsembleLubyGlauberColoring` — both
   colouring fast paths advancing R independent replicas per step;
 * :class:`repro.chains.ensemble.EnsembleGlauberDynamics` — batched
-  single-site Glauber for general pairwise MRFs.
+  single-site Glauber for general pairwise MRFs;
+* :class:`repro.chains.ensemble.EnsembleLubyGlauberCSP` and
+  :class:`repro.chains.ensemble.EnsembleLocalMetropolisCSP` — the CSP
+  extensions of both distributed chains batched over replicas.
 
 Verification machinery:
 
@@ -29,10 +32,13 @@ Verification machinery:
 """
 
 from repro.chains.base import Chain, greedy_feasible_config, random_config
+from repro.chains.csp_chains import LocalMetropolisCSP, LubyGlauberCSP
 from repro.chains.ensemble import (
     EnsembleGlauberDynamics,
     EnsembleLocalMetropolisColoring,
+    EnsembleLocalMetropolisCSP,
     EnsembleLubyGlauberColoring,
+    EnsembleLubyGlauberCSP,
 )
 from repro.chains.glauber import GlauberDynamics
 from repro.chains.local_metropolis import LocalMetropolisChain
@@ -50,10 +56,14 @@ __all__ = [
     "ChromaticScheduler",
     "EnsembleGlauberDynamics",
     "EnsembleLocalMetropolisColoring",
+    "EnsembleLocalMetropolisCSP",
     "EnsembleLubyGlauberColoring",
+    "EnsembleLubyGlauberCSP",
     "GlauberDynamics",
     "IndependentSetScheduler",
     "LocalMetropolisChain",
+    "LocalMetropolisCSP",
+    "LubyGlauberCSP",
     "LubyGlauberChain",
     "LubyScheduler",
     "MetropolisChain",

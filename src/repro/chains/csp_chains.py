@@ -19,6 +19,7 @@ Gibbs measure (experiment E9).
 from __future__ import annotations
 
 import itertools
+import math
 from collections.abc import Sequence
 
 import numpy as np
@@ -34,6 +35,7 @@ __all__ = [
     "LubyGlauberCSP",
     "LocalMetropolisCSP",
     "constraint_pass_probability",
+    "greedy_csp_config",
     "local_metropolis_csp_transition_matrix",
 ]
 
@@ -48,7 +50,26 @@ def constraint_pass_probability(
 
     Iterates over all mixings of (proposal, current) on the scope except the
     all-current one, multiplying the normalised factor values.
+
+    Raises :class:`repro.errors.ModelError` if the factor table is
+    non-normalisable — all-zero or containing non-finite entries — since no
+    pass probability is defined for such a constraint (a naive ``0/0``
+    normalisation would silently emit NaN probabilities downstream).  The
+    guard is a single ``max`` pass (NaN propagates through ``max``), cheap
+    enough for the per-constraint-per-step hot path.
     """
+    table_normalized = np.asarray(table_normalized, dtype=float)
+    maximum = float(table_normalized.max(initial=0.0))
+    if not math.isfinite(maximum):
+        raise ModelError(
+            "constraint factors must be finite; got non-finite entries in the "
+            "normalised table"
+        )
+    if maximum <= 0.0:
+        raise ModelError(
+            "non-normalisable constraint: all factors are zero, so the "
+            "LocalMetropolis pass probability is undefined"
+        )
     arity = len(scope)
     probability = 1.0
     for mask in range(1, 2**arity):
@@ -60,6 +81,33 @@ def constraint_pass_probability(
         if probability == 0.0:
             return 0.0
     return probability
+
+
+def greedy_csp_config(csp: LocalCSP) -> np.ndarray:
+    """Assign vertices greedily, preferring spins keeping all constraints alive.
+
+    The deterministic default start shared by the sequential CSP chains and
+    the replica ensembles of :mod:`repro.chains.ensemble` — both start every
+    run (and every replica) from the same configuration unless told
+    otherwise, so cross-implementation trajectories are comparable.
+    """
+    config = np.zeros(csp.n, dtype=np.int64)
+    for v in range(csp.n):
+        scores = np.zeros(csp.q)
+        for spin in range(csp.q):
+            config[v] = spin
+            ok = True
+            for index in csp.incident[v]:
+                constraint = csp.constraints[index]
+                if max(constraint.scope) > v:
+                    continue  # involves unassigned vertices; skip
+                if constraint.evaluate(config) == 0.0:
+                    ok = False
+                    break
+            scores[spin] = 1.0 if ok else 0.0
+        candidates = np.nonzero(scores > 0)[0]
+        config[v] = int(candidates[0]) if candidates.size else 0
+    return config
 
 
 class _CSPChainBase:
@@ -77,33 +125,13 @@ class _CSPChainBase:
         else:
             self.rng = np.random.default_rng(seed)
         if initial is None:
-            self.config = self._greedy_initial()
+            self.config = greedy_csp_config(csp)
         else:
             config = np.asarray(initial, dtype=np.int64)
             if config.shape != (csp.n,):
                 raise ModelError(f"initial configuration must have shape ({csp.n},)")
             self.config = config.copy()
         self.steps_taken = 0
-
-    def _greedy_initial(self) -> np.ndarray:
-        """Assign vertices greedily, preferring spins keeping all constraints alive."""
-        config = np.zeros(self.csp.n, dtype=np.int64)
-        for v in range(self.csp.n):
-            scores = np.zeros(self.csp.q)
-            for spin in range(self.csp.q):
-                config[v] = spin
-                ok = True
-                for index in self.csp.incident[v]:
-                    constraint = self.csp.constraints[index]
-                    if max(constraint.scope) > v:
-                        continue  # involves unassigned vertices; skip
-                    if constraint.evaluate(config) == 0.0:
-                        ok = False
-                        break
-                scores[spin] = 1.0 if ok else 0.0
-            candidates = np.nonzero(scores > 0)[0]
-            config[v] = int(candidates[0]) if candidates.size else 0
-        return config
 
     def run(self, steps: int) -> np.ndarray:
         """Advance ``steps`` transitions; return the configuration."""

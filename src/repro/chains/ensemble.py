@@ -20,7 +20,14 @@ them with single whole-ensemble numpy operations:
   vectorised pass per rejection round;
 * :class:`EnsembleGlauberDynamics` — batched single-site heat-bath Glauber
   for *general* pairwise MRFs (Ising, hardcore, ...), so ensembles are not
-  colouring-only.
+  colouring-only;
+* :class:`EnsembleLubyGlauberCSP` and :class:`EnsembleLocalMetropolisCSP` —
+  the paper's CSP extensions (remarks after Algorithms 1-2) batched over
+  replicas: constraint-scope evaluation is precompiled into flat-table
+  offsets plus a constraint-incidence CSR scatter, so heat-bath marginals
+  (LubyGlauber) and the ``2^k - 1``-factor mixing filter (LocalMetropolis)
+  are whole-ensemble gathers and segmented reductions rather than
+  per-vertex ``itertools`` loops.
 
 Layout and exactness contract
 -----------------------------
@@ -55,13 +62,16 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.chains.base import greedy_feasible_config
+from repro.chains.csp_chains import greedy_csp_config
 from repro.chains.fastpaths import (
     build_csr_neighbours,
     expand_neighbour_slots,
     greedy_coloring,
     sorted_edge_arrays,
 )
-from repro.errors import InfeasibleStateError, ModelError
+from repro.csp.hypergraph import conflict_graph
+from repro.csp.model import LocalCSP
+from repro.errors import InfeasibleStateError, ModelError, StateSpaceTooLargeError
 from repro.graphs.structure import check_vertex_labels
 from repro.mrf.model import MRF
 
@@ -70,6 +80,8 @@ __all__ = [
     "EnsembleLocalMetropolisColoring",
     "EnsembleLubyGlauberColoring",
     "EnsembleGlauberDynamics",
+    "EnsembleLubyGlauberCSP",
+    "EnsembleLocalMetropolisCSP",
 ]
 
 
@@ -142,6 +154,67 @@ def _draw_uniform_spins(
     if dtype.itemsize < 2:
         return rng.integers(0, q, size=size, dtype=np.int16).astype(dtype)
     return rng.integers(0, q, size=size, dtype=dtype)
+
+
+def _initial_spin_batch(
+    initial,
+    n: int,
+    q: int,
+    replicas: int,
+    dtype: np.dtype,
+    default_start,
+    noun: str = "spins",
+) -> np.ndarray:
+    """Validate/tile a start spec into the internal ``(n, R)`` batch.
+
+    ``initial`` is ``None`` (``default_start()`` replicated to all
+    replicas), a length-n configuration shared by all replicas, or an
+    ``(R, n)`` batch giving each replica its own start.  Shared by the
+    colouring and CSP ensemble bases so their start semantics cannot
+    drift.
+    """
+    if initial is None:
+        base = np.asarray(default_start(), dtype=np.int64)
+        return np.repeat(base[:, None], replicas, axis=1).astype(dtype)
+    config = np.asarray(initial, dtype=np.int64)
+    if config.shape == (n,):
+        config = np.repeat(config[:, None], replicas, axis=1)
+    elif config.shape == (replicas, n):
+        config = config.T.copy()
+    else:
+        raise ModelError(
+            f"initial configuration must have shape ({n},) or ({replicas}, {n}), "
+            f"got {config.shape}"
+        )
+    if np.any(config < 0) or np.any(config >= q):
+        raise ModelError(f"initial {noun} must lie in 0..{q - 1}")
+    return config.astype(dtype)
+
+
+def _batched_luby_select(
+    rng: np.random.Generator,
+    n: int,
+    replicas: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    side_u,
+    side_v,
+) -> np.ndarray:
+    """Per-replica Luby step: i.i.d. ranks, strict local maxima win.
+
+    Returns an ``(n, R)`` boolean mask; each column is an independent set
+    of the graph given by the edge arrays (ties lose on both sides,
+    exactly as the sequential kernels).  Shared by the colouring ensembles
+    (simple graph) and the CSP ensembles (conflict graph).
+    """
+    if len(edge_u) == 0:
+        return np.ones((n, replicas), dtype=bool)
+    ranks = rng.random((n, replicas), dtype=np.float32)
+    ru = ranks[edge_u]
+    rv = ranks[edge_v]
+    lose_counts = side_u @ (ru <= rv).view(np.uint8)
+    lose_counts += side_v @ (rv <= ru).view(np.uint8)
+    return lose_counts == 0
 
 
 class _EnsembleColoringBase(EnsembleTrajectoryMixin):
@@ -218,23 +291,15 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
             self._side_u = self._side_v = self._incidence = None
 
     def _initial_batch(self, initial) -> np.ndarray:
-        n, q, r = self.n, self.q, self.replicas
-        if initial is None:
-            base = greedy_coloring(self.graph, q)
-            return np.repeat(base[:, None], r, axis=1).astype(self._dtype)
-        config = np.asarray(initial, dtype=np.int64)
-        if config.shape == (n,):
-            config = np.repeat(config[:, None], r, axis=1)
-        elif config.shape == (r, n):
-            config = config.T.copy()
-        else:
-            raise ModelError(
-                f"initial configuration must have shape ({n},) or ({r}, {n}), "
-                f"got {config.shape}"
-            )
-        if np.any(config < 0) or np.any(config >= q):
-            raise ModelError(f"initial colours must lie in 0..{q - 1}")
-        return config.astype(self._dtype)
+        return _initial_spin_batch(
+            initial,
+            self.n,
+            self.q,
+            self.replicas,
+            self._dtype,
+            lambda: greedy_coloring(self.graph, self.q),
+            noun="colours",
+        )
 
     # ------------------------------------------------------------------
     # batch views and diagnostics
@@ -328,19 +393,11 @@ class EnsembleLubyGlauberColoring(_EnsembleColoringBase):
     """
 
     def _luby_select(self) -> np.ndarray:
-        """Per-replica Luby step: i.i.d. ranks, strict local maxima win.
-
-        Returns an ``(n, R)`` boolean mask; each column is an independent
-        set (ties lose on both sides, exactly as the sequential kernels).
-        """
-        if self._m == 0:
-            return np.ones((self.n, self.replicas), dtype=bool)
-        ranks = self.rng.random((self.n, self.replicas), dtype=np.float32)
-        ru = ranks[self._eu]
-        rv = ranks[self._ev]
-        lose_counts = self._side_u @ (ru <= rv).view(np.uint8)
-        lose_counts += self._side_v @ (rv <= ru).view(np.uint8)
-        return lose_counts == 0
+        """Per-replica Luby step on the colouring graph, ``(n, R)`` boolean."""
+        return _batched_luby_select(
+            self.rng, self.n, self.replicas, self._eu, self._ev,
+            self._side_u, self._side_v,
+        )
 
     def step(self) -> None:
         v_idx, r_idx = np.nonzero(self._luby_select())
@@ -490,3 +547,376 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
         return np.array(
             [self.mrf.is_feasible(self._config[i]) for i in range(self.replicas)]
         )
+
+
+# ----------------------------------------------------------------------
+# CSP ensembles: batched extensions of Algorithms 1-2 to weighted local
+# CSPs (the remarks after both algorithms).
+# ----------------------------------------------------------------------
+def _segment_product(values: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Products of contiguous row segments of ``values``.
+
+    ``values`` has shape ``(S, ...)``; row block ``i`` holds ``sizes[i]``
+    consecutive rows.  Returns one product row per segment (all-ones rows
+    for empty segments) — the reduction primitive behind both CSP kernels,
+    implemented with one ``multiply.reduceat`` over the non-empty segments.
+    """
+    total = int(sizes.sum())
+    out = np.ones((sizes.size,) + values.shape[1:], dtype=float)
+    if total == 0 or sizes.size == 0:
+        return out
+    starts = np.cumsum(sizes) - sizes
+    nonempty = sizes > 0
+    out[nonempty] = np.multiply.reduceat(values, starts[nonempty], axis=0)
+    return out
+
+
+class _EnsembleCSPBase(EnsembleTrajectoryMixin):
+    """Shared precompiled structure for the batched CSP chains.
+
+    Constraint tables are concatenated into one flat array addressed by
+    per-constraint offsets and row-major scope strides; a sparse
+    ``(C, n)`` stride matrix turns the whole ``(n, R)`` spin batch into the
+    ``(C, R)`` array of flat scope indices with a single sparse matmul.
+    Both kernels are built from that primitive: any mixing of two spin
+    batches over every scope is two sparse matmuls plus one flat gather.
+
+    Parameters
+    ----------
+    csp:
+        The weighted local CSP.
+    replicas:
+        Number of independent replicas R advanced per step.
+    initial:
+        ``None`` (the deterministic greedy configuration of
+        :func:`repro.chains.csp_chains.greedy_csp_config` replicated to all
+        replicas), a length-n configuration shared by all replicas, or an
+        ``(R, n)`` batch giving each replica its own start.
+    seed:
+        Seed or Generator for the single shared RNG stream.
+    """
+
+    def __init__(
+        self,
+        csp: LocalCSP,
+        replicas: int,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
+        self.csp = csp
+        self.n = csp.n
+        self.q = csp.q
+        self.replicas = int(replicas)
+        self._dtype = _spin_dtype(self.q)
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+        self._build_scope_tables()
+        self._config = self._initial_batch(initial)
+        self.steps_taken = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_scope_tables(self) -> None:
+        """Flatten all constraint tables and precompile the scope strides."""
+        csp, n = self.csp, self.n
+        constraints = csp.constraints
+        self._num_constraints = len(constraints)
+        raw_parts: list[np.ndarray] = []
+        starts = np.zeros(self._num_constraints, dtype=np.int64)
+        self._strides: list[np.ndarray] = []
+        offset = 0
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[int] = []
+        for index, constraint in enumerate(constraints):
+            table = np.asarray(constraint.table, dtype=float).ravel()
+            starts[index] = offset
+            raw_parts.append(table)
+            offset += table.size
+            arity = constraint.arity
+            strides = self.q ** np.arange(arity - 1, -1, -1, dtype=np.int64)
+            self._strides.append(strides)
+            rows.extend([index] * arity)
+            cols.extend(constraint.scope)
+            data.extend(int(s) for s in strides)
+        self._table_starts = starts
+        self._flat_raw = (
+            np.concatenate(raw_parts) if raw_parts else np.zeros(0, dtype=float)
+        )
+        if self._num_constraints:
+            self._scope_matrix = sp.csr_matrix(
+                (np.asarray(data, dtype=np.int64), (rows, cols)),
+                shape=(self._num_constraints, n),
+            )
+            ones = np.ones(len(rows), dtype=np.int32)
+            self._vertex_incidence = sp.csr_matrix(
+                (ones, (cols, rows)), shape=(n, self._num_constraints)
+            )
+        else:
+            self._scope_matrix = self._vertex_incidence = None
+
+    def _initial_batch(self, initial) -> np.ndarray:
+        return _initial_spin_batch(
+            initial,
+            self.n,
+            self.q,
+            self.replicas,
+            self._dtype,
+            lambda: greedy_csp_config(self.csp),
+        )
+
+    # ------------------------------------------------------------------
+    # batch views and diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> np.ndarray:
+        """The current ``(R, n)`` batch (an int64 copy — safe to mutate)."""
+        return self._config.T.astype(np.int64)
+
+    def _scope_flat_indices(self, batch: np.ndarray) -> np.ndarray:
+        """Flat row-major index of every scope restriction, shape ``(C, R)``.
+
+        ``result[c, i]`` addresses ``f_c(batch|_{S_c})`` for replica ``i``
+        inside the flattened table stack (relative to the constraint's
+        table start).
+        """
+        return self._scope_matrix @ batch.astype(np.int64)
+
+    def feasible_mask(self) -> np.ndarray:
+        """Boolean ``(R,)`` mask of replicas with positive total weight."""
+        if not self._num_constraints:
+            return np.ones(self.replicas, dtype=bool)
+        flat = self._scope_flat_indices(self._config)
+        values = self._flat_raw[self._table_starts[:, None] + flat]
+        return np.all(values > 0.0, axis=0)
+
+    def is_feasible(self) -> bool:
+        """Return True iff *every* replica's configuration is feasible."""
+        return bool(self.feasible_mask().all())
+
+    def step(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
+    """Batched LubyGlauber on a weighted local CSP (remark after Algorithm 1).
+
+    One step advances all R replicas by one round: each replica draws its
+    own Luby independent set *of the CSP's conflict graph* (so the selected
+    set is strongly independent in the constraint hypergraph), then every
+    selected (replica, vertex) pair heat-bath-resamples from its
+    conditional marginal.  The marginal weights of *all* selected pairs are
+    assembled at once: the vertex-to-(constraint, stride) incidence CSR
+    expands each pair to its constraint slots, one flat gather pulls the
+    ``q`` candidate factor values per slot, and a segmented product reduces
+    slots back to per-pair weight vectors — no per-vertex Python loop.
+    """
+
+    def __init__(
+        self,
+        csp: LocalCSP,
+        replicas: int,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(csp, replicas, initial=initial, seed=seed)
+        # Conflict-graph edge arrays drive the batched Luby step; ties lose
+        # on both sides, exactly as LubyScheduler's strict local maxima.
+        self._cu, self._cv = sorted_edge_arrays(conflict_graph(csp))
+        self._conflict_m = len(self._cu)
+        if self._conflict_m:
+            ones = np.ones(self._conflict_m, dtype=np.int32)
+            arange = np.arange(self._conflict_m)
+            self._conflict_u = sp.csr_matrix(
+                (ones, (self._cu, arange)), shape=(self.n, self._conflict_m)
+            )
+            self._conflict_v = sp.csr_matrix(
+                (ones, (self._cv, arange)), shape=(self.n, self._conflict_m)
+            )
+        else:
+            self._conflict_u = self._conflict_v = None
+        # Vertex -> (constraint, stride-of-vertex) incidence CSR: the slots
+        # of vertex v enumerate the constraints containing v together with
+        # the stride of v's axis in each table.
+        inc_constraint: list[int] = []
+        inc_stride: list[int] = []
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        for v in range(self.n):
+            for index in csp.incident[v]:
+                position = csp.constraints[index].scope.index(v)
+                inc_constraint.append(index)
+                inc_stride.append(int(self._strides[index][position]))
+            indptr[v + 1] = len(inc_constraint)
+        self._inc_indptr = indptr
+        self._inc_degrees = np.diff(indptr)
+        self._inc_constraint = np.asarray(inc_constraint, dtype=np.int64)
+        self._inc_stride = np.asarray(inc_stride, dtype=np.int64)
+
+    def _luby_select(self) -> np.ndarray:
+        """Per-replica Luby step on the conflict graph, ``(n, R)`` boolean."""
+        return _batched_luby_select(
+            self.rng, self.n, self.replicas, self._cu, self._cv,
+            self._conflict_u, self._conflict_v,
+        )
+
+    def step(self) -> None:
+        """Select strongly independent sets; heat-bath-update them in parallel."""
+        v_idx, r_idx = np.nonzero(self._luby_select())
+        if v_idx.size == 0:  # pragma: no cover - Luby always selects someone
+            self.steps_taken += 1
+            return
+        pairs = v_idx.size
+        q = self.q
+        weights = np.ones((pairs, q))
+        if self._num_constraints:
+            config64 = self._config.astype(np.int64)
+            flat = self._scope_flat_indices(self._config)
+            # Expand each selected pair to its constraint-incidence slots.
+            # Selected vertices are strongly independent, so every co-scoped
+            # vertex is unselected and its spin is fixed this round.
+            pair_of_slot, slots = expand_neighbour_slots(
+                v_idx, self._inc_degrees, self._inc_indptr
+            )
+            constraint = self._inc_constraint[slots]
+            stride = self._inc_stride[slots]
+            r_slot = r_idx[pair_of_slot]
+            current = config64[v_idx[pair_of_slot], r_slot]
+            base = (
+                self._table_starts[constraint]
+                + flat[constraint, r_slot]
+                - current * stride
+            )
+            # (slots, q) factor values for every candidate spin of the pair.
+            values = self._flat_raw[base[:, None] + stride[:, None] * np.arange(q)]
+            weights = _segment_product(values, self._inc_degrees[v_idx])
+        totals = weights.sum(axis=1)
+        if np.any(totals <= 0.0):
+            bad = int(v_idx[np.argmax(totals <= 0.0)])
+            raise ModelError(
+                f"CSP conditional marginal at vertex {bad} is undefined (zero mass)"
+            )
+        cdf = np.cumsum(weights / totals[:, None], axis=1)
+        uniforms = self.rng.random(pairs)
+        spins = (cdf <= uniforms[:, None]).sum(axis=1)
+        # Rounding can leave cdf[-1] < 1 so a draw lands past the end; fall
+        # back to the *largest positive-mass* spin, never a zero-mass one
+        # (same fallthrough rule as cftp._inverse_cdf_spin).
+        last_positive = q - 1 - np.argmax(weights[:, ::-1] > 0.0, axis=1)
+        np.minimum(spins, last_positive, out=spins)
+        self._config[v_idx, r_idx] = spins.astype(self._dtype)
+        self.steps_taken += 1
+
+
+class EnsembleLocalMetropolisCSP(_EnsembleCSPBase):
+    """Batched LocalMetropolis on a weighted local CSP (remark after Algorithm 2).
+
+    One step advances all R replicas by one round: every (replica, vertex)
+    pair proposes a uniform spin; every constraint of arity ``k`` passes
+    with probability equal to the product of its ``2^k - 1`` normalised
+    factors over the mixings of the proposal vector with the current vector
+    on its scope; a vertex accepts iff every incident constraint passed.
+
+    The mixing enumeration is *precompiled*: every (constraint, mixing)
+    pair becomes one row of two sparse stride matrices — one selecting the
+    proposal spins, one the current spins — so all factor lookups of a
+    round are two sparse matmuls, one flat gather, and one segmented
+    product over rows.  The per-constraint coins are shared across the
+    scope exactly as in the sequential chain.
+    """
+
+    #: Hard cap on precompiled (constraint, mixing) rows — the filter
+    #: enumerates 2^arity - 1 mixings per constraint, so very-high-arity
+    #: CSPs must use the sequential chain instead.
+    MAX_MIXING_ROWS = 1_000_000
+
+    def __init__(
+        self,
+        csp: LocalCSP,
+        replicas: int,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(csp, replicas, initial=initial, seed=seed)
+        norm_parts = [
+            np.asarray(c.normalized_table(), dtype=float).ravel()
+            for c in csp.constraints
+        ]
+        self._flat_norm = (
+            np.concatenate(norm_parts) if norm_parts else np.zeros(0, dtype=float)
+        )
+        total_rows = sum(2**c.arity - 1 for c in csp.constraints)
+        if total_rows > self.MAX_MIXING_ROWS:
+            raise StateSpaceTooLargeError(
+                f"LocalMetropolis mixing filter needs {total_rows} precompiled "
+                f"rows (2^arity - 1 per constraint), over the "
+                f"{self.MAX_MIXING_ROWS} cap; use the sequential "
+                "LocalMetropolisCSP chain for very-high-arity CSPs"
+            )
+        rows_p: list[int] = []
+        cols_p: list[int] = []
+        data_p: list[int] = []
+        rows_c: list[int] = []
+        cols_c: list[int] = []
+        data_c: list[int] = []
+        row_start: list[int] = []
+        mask_starts = np.zeros(max(self._num_constraints, 1), dtype=np.int64)
+        row = 0
+        for index, constraint in enumerate(csp.constraints):
+            mask_starts[index] = row
+            scope = constraint.scope
+            strides = self._strides[index]
+            for mask in range(1, 2**constraint.arity):
+                for position, vertex in enumerate(scope):
+                    if (mask >> position) & 1:
+                        rows_p.append(row)
+                        cols_p.append(vertex)
+                        data_p.append(int(strides[position]))
+                    else:
+                        rows_c.append(row)
+                        cols_c.append(vertex)
+                        data_c.append(int(strides[position]))
+                row_start.append(int(self._table_starts[index]))
+                row += 1
+        self._mask_rows = row
+        self._mask_starts = mask_starts[: self._num_constraints]
+        self._row_table_start = np.asarray(row_start, dtype=np.int64)
+        if self._num_constraints:
+            shape = (self._mask_rows, self.n)
+            self._proposal_matrix = sp.csr_matrix(
+                (np.asarray(data_p, dtype=np.int64), (rows_p, cols_p)), shape=shape
+            )
+            self._current_matrix = sp.csr_matrix(
+                (np.asarray(data_c, dtype=np.int64), (rows_c, cols_c)), shape=shape
+            )
+        else:
+            self._proposal_matrix = self._current_matrix = None
+
+    def step(self) -> None:
+        """Uniform proposals; batched 2^k - 1-factor filter; accept if clean."""
+        proposals = _draw_uniform_spins(
+            self.rng, self.q, (self.n, self.replicas), self._dtype
+        )
+        if not self._num_constraints:
+            self._config[...] = proposals
+            self.steps_taken += 1
+            return
+        # Flat table index of every (constraint, mixing) row: proposal spins
+        # where the mixing reads the proposal, current spins elsewhere.
+        flat = self._proposal_matrix @ proposals.astype(
+            np.int64
+        ) + self._current_matrix @ self._config.astype(np.int64)
+        factors = self._flat_norm[self._row_table_start[:, None] + flat]
+        pass_probability = np.multiply.reduceat(factors, self._mask_starts, axis=0)
+        # One shared coin per (constraint, replica): u < p is almost surely
+        # true at p = 1 and never true at p = 0, so the deterministic
+        # branches of the sequential chain need no special-casing.
+        coins = self.rng.random((self._num_constraints, self.replicas))
+        failed = coins >= pass_probability
+        blocked = (self._vertex_incidence @ failed.view(np.uint8)) > 0
+        self._config = np.where(blocked, self._config, proposals)
+        self.steps_taken += 1

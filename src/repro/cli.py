@@ -17,8 +17,10 @@ Commands
     boundary) and version.
 
 The CLI covers the models the paper's theorems address (colourings,
-hardcore, Ising) on the standard experiment topologies; anything richer
-should use the Python API.
+hardcore, Ising) plus the CSP extensions of both distributed chains
+(``dominating-set``, ``mis``, ``nae`` hypergraph colourings) on the
+standard experiment topologies; anything richer should use the Python
+API.
 """
 
 from __future__ import annotations
@@ -28,6 +30,13 @@ import json
 import sys
 
 import repro
+from repro.api import model_degree
+from repro.csp import (
+    dominating_set_csp,
+    maximal_independent_set_csp,
+    not_all_equal_csp,
+)
+from repro.csp.model import LocalCSP
 from repro.errors import ReproError
 from repro.graphs import (
     cycle_graph,
@@ -40,6 +49,11 @@ from repro.mrf import hardcore_mrf, ising_mrf, proper_coloring_mrf
 from repro.mrf.model import MRF
 
 __all__ = ["main", "build_parser"]
+
+#: Weighted-local-CSP model specs: built by ``_build_model`` and dispatched
+#: through the same ``repro.sample`` / ``repro.make_ensemble`` facade as
+#: MRFs (the CSP remarks after Algorithms 1-2).
+CSP_MODELS = ("dominating-set", "mis", "nae")
 
 
 def _build_graph(args: argparse.Namespace):
@@ -58,7 +72,26 @@ def _build_graph(args: argparse.Namespace):
     raise ReproError(f"unknown graph kind {kind!r}")
 
 
-def _build_model(args: argparse.Namespace) -> MRF:
+def _nae_csp(graph, q: int) -> LocalCSP:
+    """Hypergraph colouring: NAE constraint on every inclusive neighbourhood.
+
+    The scope of vertex ``v`` is ``Gamma+(v) = {v} union Gamma(v)`` (deduped
+    across vertices); on a cycle this is the 3-uniform NAE-hypergraph the
+    CSP ensemble benchmark (E15) measures.
+    """
+    scopes = sorted(
+        {
+            tuple(sorted({v, *graph.neighbors(v)}))
+            for v in range(graph.number_of_nodes())
+            if graph.degree(v) >= 1
+        }
+    )
+    if not scopes:
+        raise ReproError("nae needs a graph with at least one edge")
+    return not_all_equal_csp(scopes, n=graph.number_of_nodes(), q=q)
+
+
+def _build_model(args: argparse.Namespace) -> MRF | LocalCSP:
     graph = _build_graph(args)
     if args.model == "coloring":
         return proper_coloring_mrf(graph, args.q)
@@ -66,12 +99,23 @@ def _build_model(args: argparse.Namespace) -> MRF:
         return hardcore_mrf(graph, args.fugacity)
     if args.model == "ising":
         return ising_mrf(graph, args.beta)
+    if args.model == "dominating-set":
+        return dominating_set_csp(graph, weight=args.weight)
+    if args.model == "mis":
+        return maximal_independent_set_csp(graph)
+    if args.model == "nae":
+        return _nae_csp(graph, args.q)
     raise ReproError(f"unknown model {args.model!r}")
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--model", choices=("coloring", "hardcore", "ising"), default="coloring"
+        "--model",
+        choices=("coloring", "hardcore", "ising", *CSP_MODELS),
+        default="coloring",
+        help="MRF models (coloring/hardcore/ising) or weighted local CSPs "
+        "(dominating-set, mis, nae hypergraph colouring on inclusive "
+        "neighbourhoods)",
     )
     parser.add_argument(
         "--graph",
@@ -82,9 +126,14 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         "--size", type=int, default=16, help="vertices (side length for grid/torus)"
     )
     parser.add_argument("--degree", type=int, default=4, help="degree for regular graphs")
-    parser.add_argument("--q", type=int, default=8, help="colours for colouring models")
+    parser.add_argument(
+        "--q", type=int, default=8, help="colours for colouring/nae models"
+    )
     parser.add_argument("--fugacity", type=float, default=1.0, help="hardcore lambda")
     parser.add_argument("--beta", type=float, default=1.5, help="Ising edge activity")
+    parser.add_argument(
+        "--weight", type=float, default=1.0, help="per-pick weight for dominating-set"
+    )
     parser.add_argument("--seed", type=int, default=None)
 
 
@@ -147,53 +196,68 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_sample(args: argparse.Namespace) -> int:
-    mrf = _build_model(args)
+    model = _build_model(args)
     rounds = args.rounds
     if rounds is None:
-        rounds = repro.default_round_budget(mrf, args.method, args.eps)
+        rounds = repro.default_round_budget(model, args.method, args.eps)
     config = repro.sample(
-        mrf,
+        model,
         method=args.method,
         eps=args.eps,
         rounds=args.rounds,
         seed=args.seed,
         engine=args.engine,
     )
-    print(f"model   : {mrf.name} on {args.graph} (n={mrf.n}, Delta={mrf.max_degree})")
+    print(
+        f"model   : {model.name} on {args.graph} "
+        f"(n={model.n}, Delta={model_degree(model)})"
+    )
     print(f"method  : {args.method}   engine: {args.engine}   rounds: {rounds}")
-    print(f"feasible: {mrf.is_feasible(config)}")
+    print(f"feasible: {model.is_feasible(config)}")
     print("sample  :", " ".join(str(int(s)) for s in config))
     return 0
 
 
 def _command_budget(args: argparse.Namespace) -> int:
-    mrf = _build_model(args)
-    print(f"model: {mrf.name} (n={mrf.n}, Delta={mrf.max_degree}), eps={args.eps}")
+    model = _build_model(args)
+    print(
+        f"model: {model.name} (n={model.n}, Delta={model_degree(model)}), "
+        f"eps={args.eps}"
+    )
     for method in repro.METHODS:
-        budget = repro.default_round_budget(mrf, method, args.eps)
+        if isinstance(model, LocalCSP) and method == "glauber":
+            print(f"  {method:<17} {'n/a':>8} (no CSP kernel)")
+            continue
+        budget = repro.default_round_budget(model, method, args.eps)
         print(f"  {method:<17} {budget:>8} rounds")
     return 0
 
 
 def _command_mix(args: argparse.Namespace) -> int:
     from repro.analysis.convergence import ensemble_tv_curve
+    from repro.csp.model import exact_csp_gibbs_distribution
     from repro.mrf.distribution import exact_gibbs_distribution
 
-    mrf = _build_model(args)
+    model = _build_model(args)
     try:
         checkpoints = [int(token) for token in args.checkpoints.split(",") if token.strip()]
     except ValueError:
         raise ReproError(
             f"--checkpoints must be comma-separated integers, got {args.checkpoints!r}"
         ) from None
-    target = exact_gibbs_distribution(mrf)
-    ensemble = repro.make_ensemble(mrf, args.replicas, method=args.method, seed=args.seed)
+    if isinstance(model, LocalCSP):
+        target = exact_csp_gibbs_distribution(model)
+    else:
+        target = exact_gibbs_distribution(model)
+    ensemble = repro.make_ensemble(
+        model, args.replicas, method=args.method, seed=args.seed
+    )
     curve = ensemble_tv_curve(ensemble, target, checkpoints=checkpoints)
     payload = {
-        "model": mrf.name,
+        "model": model.name,
         "graph": args.graph,
-        "n": mrf.n,
-        "q": mrf.q,
+        "n": model.n,
+        "q": model.q,
         "method": args.method,
         "engine": type(ensemble).__name__,
         "replicas": args.replicas,
@@ -203,7 +267,7 @@ def _command_mix(args: argparse.Namespace) -> int:
     if args.eps is not None:
         payload["eps"] = args.eps
         payload["mixing_time"] = repro.mixing_time(
-            mrf,
+            model,
             args.eps,
             method=args.method,
             replicas=args.replicas,

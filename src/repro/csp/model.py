@@ -49,6 +49,11 @@ class Constraint:
         sizes = set(table.shape)
         if len(sizes) != 1:
             raise ModelError(f"{name}: all table axes must share the domain size")
+        if not np.all(np.isfinite(table)):
+            raise ModelError(
+                f"{name}: constraint function must be finite (no NaN/inf entries "
+                "— a non-finite factor makes the max-normalisation emit NaN)"
+            )
         if np.any(table < 0):
             raise ModelError(f"{name}: constraint function must be non-negative")
         if np.all(table == 0):
@@ -76,8 +81,19 @@ class Constraint:
         return float(self.table[tuple(int(s) for s in local)])
 
     def normalized_table(self) -> np.ndarray:
-        """Return ``f̃_c = f_c / max f_c`` — the LocalMetropolis filter factor."""
-        return self.table / self.table.max()
+        """Return ``f̃_c = f_c / max f_c`` — the LocalMetropolis filter factor.
+
+        Raises :class:`repro.errors.ModelError` if the table is
+        non-normalisable (maximum not strictly positive and finite), which
+        would otherwise silently produce NaN filter probabilities.
+        """
+        maximum = float(self.table.max())
+        if not np.isfinite(maximum) or maximum <= 0.0:
+            raise ModelError(
+                f"{self.name}: non-normalisable constraint (max factor "
+                f"{maximum}); cannot form the LocalMetropolis filter"
+            )
+        return self.table / maximum
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Constraint(name={self.name!r}, scope={self.scope})"

@@ -213,3 +213,107 @@ class TestMixCommand:
         code = main(["mix", "--graph", "torus", "--size", "8", "--q", "8"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCSPModels:
+    """The CSP builder specs flow through the same sample/budget/mix CLI."""
+
+    @pytest.mark.parametrize("model", ["dominating-set", "mis", "nae"])
+    def test_sample_csp_models(self, capsys, model):
+        code = main(
+            [
+                "sample",
+                "--model",
+                model,
+                "--graph",
+                "cycle",
+                "--size",
+                "8",
+                "--q",
+                "3",
+                "--seed",
+                "5",
+                "--rounds",
+                "80",
+                "--method",
+                "luby-glauber",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "feasible: True" in out
+
+    def test_sample_dominating_set_weight(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--model",
+                "dominating-set",
+                "--weight",
+                "2.0",
+                "--graph",
+                "path",
+                "--size",
+                "6",
+                "--seed",
+                "1",
+                "--rounds",
+                "40",
+            ]
+        )
+        assert code == 0
+        assert "dominating-set(w=2.0)" in capsys.readouterr().out
+
+    def test_budget_marks_glauber_not_applicable(self, capsys):
+        assert main(["budget", "--model", "mis", "--graph", "path", "--size", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "no CSP kernel" in out
+        assert "local-metropolis" in out
+
+    def test_glauber_method_on_csp_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--model",
+                "nae",
+                "--graph",
+                "cycle",
+                "--size",
+                "6",
+                "--method",
+                "glauber",
+            ]
+        )
+        assert code == 1
+        assert "no CSP kernel" in capsys.readouterr().err
+
+    def test_mix_csp_uses_csp_ensemble_and_gibbs(self, capsys):
+        code = main(
+            [
+                "mix",
+                "--model",
+                "dominating-set",
+                "--graph",
+                "path",
+                "--size",
+                "5",
+                "--replicas",
+                "128",
+                "--checkpoints",
+                "1,4,16",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "EnsembleLocalMetropolisCSP"
+        assert payload["model"].startswith("dominating-set")
+        assert len(payload["curve"]) == 3
+        tvs = [tv for _, tv in payload["curve"]]
+        assert tvs[0] > tvs[-1]
+
+    def test_nae_rejects_edgeless_graph(self, capsys):
+        code = main(["sample", "--model", "nae", "--graph", "path", "--size", "1"])
+        assert code == 1
+        assert "at least one edge" in capsys.readouterr().err

@@ -8,6 +8,7 @@ checkpoint validation bugs stay fixed.
 
 import numpy as np
 import pytest
+from statutils import assert_same_distribution, empirical_tv_bound
 
 import repro
 from repro.analysis.convergence import (
@@ -101,15 +102,21 @@ class TestEquivalence:
         def factory(rng):
             return LocalMetropolisChain(mrf, initial=initial, seed=rng)
 
-        slow = ensemble_tv_curve(
-            factory, target, n_chains=replicas, checkpoints=checkpoints, seed=11
-        )
+        fallback = SequentialChainEnsemble(factory, replicas, seed=11)
+        slow = ensemble_tv_curve(fallback, target, checkpoints=checkpoints)
         assert [r for r, _ in fast] == [r for r, _ in slow] == checkpoints
+        # Both empirical TVs estimate the same population TV at every
+        # checkpoint, so their gap is at most the sum of the two
+        # concentration bounds (statutils calibrates the tolerance).
+        tolerance = 2.0 * empirical_tv_bound(4**3, replicas)
         for (_, tv_fast), (_, tv_slow) in zip(fast, slow):
-            assert abs(tv_fast - tv_slow) < 0.1
+            assert abs(tv_fast - tv_slow) < tolerance
         # Both implementations see the same decay.
         assert fast[0][1] > fast[-1][1]
         assert slow[0][1] > slow[-1][1]
+        # And at the last checkpoint the two engines' batches pass the
+        # two-sample chi-square engine-equivalence test.
+        assert_same_distribution(ensemble.config, fallback.config, mrf.q)
 
     def test_mixing_times_agree(self):
         mrf = proper_coloring_mrf(path_graph(3), 4)

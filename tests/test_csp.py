@@ -45,6 +45,22 @@ class TestConstraint:
         c = Constraint((0,), np.array([2.0, 4.0]))
         assert np.allclose(c.normalized_table(), [0.5, 1.0])
 
+    def test_non_finite_table_rejected(self):
+        """Regression: an inf entry used to survive construction and turn
+        into NaN inside normalized_table (inf / inf)."""
+        with pytest.raises(ModelError, match="finite"):
+            Constraint((0,), np.array([1.0, np.inf]))
+        with pytest.raises(ModelError, match="finite"):
+            Constraint((0, 1), np.array([[1.0, np.nan], [0.0, 1.0]]))
+
+    def test_normalized_table_guards_non_normalisable(self):
+        """Even if the table is corrupted after construction, the filter
+        factors raise instead of emitting NaN probabilities."""
+        c = Constraint((0,), np.array([1.0, 2.0]))
+        c.table = np.zeros(2)
+        with pytest.raises(ModelError, match="non-normalisable"):
+            c.normalized_table()
+
 
 class TestLocalCSP:
     def test_weight_and_feasibility(self):
