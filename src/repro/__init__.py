@@ -40,6 +40,8 @@ from repro.api import (
 from repro.csp import LocalCSP
 from repro.errors import (
     ConvergenceError,
+    ExecError,
+    FallbackEngineWarning,
     InfeasibleStateError,
     ModelError,
     ProtocolError,
@@ -67,6 +69,8 @@ __all__ = [
     "MRF",
     "LocalCSP",
     "ConvergenceError",
+    "ExecError",
+    "FallbackEngineWarning",
     "InfeasibleStateError",
     "ModelError",
     "ProtocolError",

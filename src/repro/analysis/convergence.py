@@ -46,21 +46,29 @@ class SequentialChainEnsemble(EnsembleTrajectoryMixin):
     ``step()`` and a length-n ``config`` — behind
     :class:`repro.chains.ensemble.EnsembleTrajectoryMixin`, so the
     convergence machinery is written once against ensembles and still
-    covers models with no batched kernel.  Each chain gets an independent
-    child stream of one :class:`numpy.random.SeedSequence`.
+    covers models with no batched kernel.
+
+    Stream contract: chain ``i`` draws from ``default_rng(root.spawn(R)[i])``
+    where ``root`` is the :class:`numpy.random.SeedSequence` built from
+    ``seed`` (an int seed and the SeedSequence wrapping it give the same
+    root; a Generator seed draws one int to form the root, so passing the
+    same Generator twice gives two *different* ensembles).
     """
 
     def __init__(
         self,
         chain_factory: Callable[[np.random.Generator], object],
         replicas: int,
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     ) -> None:
         if replicas < 1:
             raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
         if isinstance(seed, np.random.Generator):
             seed = int(seed.integers(np.iinfo(np.int64).max))
-        root = np.random.SeedSequence(seed)
+        if isinstance(seed, np.random.SeedSequence):
+            root = seed
+        else:
+            root = np.random.SeedSequence(seed)
         self._chains = [
             chain_factory(np.random.default_rng(child)) for child in root.spawn(replicas)
         ]
@@ -165,6 +173,16 @@ def ensemble_tv_curve(
     """
     _validate_checkpoints(checkpoints)
     ensemble = _as_ensemble(source, n_chains, seed)
+    if hasattr(ensemble, "iter_checkpoints"):
+        # The trajectory protocol proper: one advance barrier per checkpoint
+        # (for sharded multiprocess ensembles this is also one state read
+        # per checkpoint, not one per advance).
+        return [
+            (rounds, batch_tv_to_exact(batch, target))
+            for rounds, batch in ensemble.iter_checkpoints(
+                [int(c) for c in checkpoints]
+            )
+        ]
     curve: list[tuple[int, float]] = []
     previous = 0
     for checkpoint in checkpoints:

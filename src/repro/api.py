@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from collections.abc import Sequence
 
 import numpy as np
@@ -31,6 +32,7 @@ from repro.analysis.convergence import (
     empirical_mixing_time,
     ensemble_tv_curve,
 )
+from repro.chains.base import as_generator
 from repro.chains.csp_chains import LocalMetropolisCSP, LubyGlauberCSP
 from repro.chains.ensemble import (
     EnsembleGlauberDynamics,
@@ -44,7 +46,7 @@ from repro.chains.local_metropolis import LocalMetropolisChain
 from repro.chains.luby_glauber import LubyGlauberChain
 from repro.csp.hypergraph import csp_neighbors
 from repro.csp.model import LocalCSP, exact_csp_gibbs_distribution
-from repro.errors import ModelError
+from repro.errors import FallbackEngineWarning, ModelError
 from repro.mrf.distribution import GibbsDistribution, exact_gibbs_distribution
 from repro.mrf.model import MRF
 
@@ -52,6 +54,7 @@ __all__ = [
     "sample",
     "sample_many",
     "make_ensemble",
+    "is_fallback_pair",
     "tv_curve",
     "mixing_time",
     "default_round_budget",
@@ -128,7 +131,7 @@ def sample(
     method: str = "local-metropolis",
     eps: float = 0.05,
     rounds: int | None = None,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     initial: np.ndarray | None = None,
     engine: str = "chain",
 ):
@@ -179,9 +182,9 @@ def sample(
             run_luby_glauber_protocol,
         )
 
-        if isinstance(seed, np.random.Generator):
-            # The LOCAL runtimes seed from a SeedSequence; derive one draw.
-            seed = int(seed.integers(np.iinfo(np.int64).max))
+        if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
+            # The LOCAL runtimes take an int seed; derive one draw.
+            seed = int(as_generator(seed).integers(np.iinfo(np.int64).max))
         runner = (
             run_local_metropolis_protocol
             if method == "local-metropolis"
@@ -224,8 +227,8 @@ def _sample_csp(
             run_luby_glauber_csp_protocol,
         )
 
-        if isinstance(seed, np.random.Generator):
-            seed = int(seed.integers(np.iinfo(np.int64).max))
+        if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
+            seed = int(as_generator(seed).integers(np.iinfo(np.int64).max))
         runner = (
             run_local_metropolis_csp_protocol
             if method == "local-metropolis"
@@ -268,12 +271,37 @@ def _uniform_coloring_q(mrf: MRF) -> int | None:
     return mrf.q
 
 
+def is_fallback_pair(model: MRF | LocalCSP, method: str) -> bool:
+    """True iff ``(model, method)`` has no batched replica-ensemble kernel.
+
+    Exactly the pairs :func:`make_ensemble` serves through the
+    :class:`~repro.analysis.convergence.SequentialChainEnsemble` fallback —
+    one sequential chain per replica, correct but off the fast path.
+    """
+    if isinstance(model, LocalCSP) or method == "glauber":
+        return False
+    return _uniform_coloring_q(model) is None
+
+
+def _warn_fallback(model: MRF | LocalCSP, method: str) -> None:
+    name = getattr(model, "name", type(model).__name__)
+    warnings.warn(
+        f"no batched ensemble kernel for model {name!r} with method {method!r}; "
+        "falling back to SequentialChainEnsemble (one sequential chain per "
+        "replica — correct, but off the fast path)",
+        FallbackEngineWarning,
+        stacklevel=3,
+    )
+
+
 def make_ensemble(
     model: MRF | LocalCSP,
     r: int,
     method: str = "local-metropolis",
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     initial: np.ndarray | None = None,
+    parallel: int | None = None,
+    shard_size: int | None = None,
 ):
     """Build the fastest replica-ensemble engine for ``(model, method)``.
 
@@ -287,24 +315,50 @@ def make_ensemble(
     for the two distributed methods; any other model falls back to
     :class:`~repro.analysis.convergence.SequentialChainEnsemble` wrapping
     ``r`` generic sequential chains (correct for every model, just not
-    batched).  Every returned object exposes the same
+    batched — a :class:`~repro.errors.FallbackEngineWarning` says so).
+    Every returned object exposes the same
     ``advance``/``run``/``config``/``iter_checkpoints`` protocol.
 
     ``initial`` is ``None`` (a shared deterministic start), a length-n
     configuration, or an ``(r, n)`` batch giving each replica its own
     start.
+
+    ``parallel`` switches to the sharded execution subsystem
+    (:mod:`repro.exec`): the batch is split into deterministic shards
+    (``shard_size`` replicas each) with ``SeedSequence``-spawned streams
+    and executed on ``parallel`` worker processes (``0`` = in-process, the
+    bit-identical reference).  The returned
+    :class:`~repro.exec.pool.ShardedEnsemble` should be closed (it is a
+    context manager) to release its workers; it requires an int or
+    :class:`numpy.random.SeedSequence` seed.
     """
     if r < 1:
         raise ModelError(f"ensemble needs r >= 1 replicas, got {r}")
     if method not in METHODS:
         raise ModelError(f"unknown method {method!r}; choose from {METHODS}")
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if isinstance(model, LocalCSP) and method == "glauber":
+        raise ModelError(
+            "method 'glauber' has no CSP kernel; use 'local-metropolis' or "
+            "'luby-glauber'"
+        )
+    if is_fallback_pair(model, method):
+        _warn_fallback(model, method)
+    if parallel is not None:
+        from repro.exec.pool import ShardedEnsemble
+
+        return ShardedEnsemble(
+            model,
+            r,
+            method=method,
+            seed=seed,
+            initial=initial,
+            workers=parallel,
+            shard_size=shard_size,
+        )
+    if shard_size is not None:
+        raise ModelError("shard_size only applies to sharded runs; pass parallel=")
+    rng = as_generator(seed)
     if isinstance(model, LocalCSP):
-        if method == "glauber":
-            raise ModelError(
-                "method 'glauber' has no CSP kernel; use 'local-metropolis' or "
-                "'luby-glauber'"
-            )
         ensemble_cls = (
             EnsembleLocalMetropolisCSP
             if method == "local-metropolis"
@@ -346,8 +400,10 @@ def sample_many(
     method: str = "local-metropolis",
     eps: float = 0.05,
     rounds: int | None = None,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     initial: np.ndarray | None = None,
+    parallel: int | None = None,
+    shard_size: int | None = None,
 ) -> np.ndarray:
     """Draw ``r`` independent approximate Gibbs samples as an ``(r, n)`` batch.
 
@@ -357,7 +413,7 @@ def sample_many(
     exists for the model/method pair (including the CSP engines for
     :class:`~repro.csp.model.LocalCSP` models), the sequential
     generic-chain fallback otherwise (correct for every model, just not
-    batched).
+    batched; a :class:`~repro.errors.FallbackEngineWarning` says so).
 
     Parameters
     ----------
@@ -368,6 +424,12 @@ def sample_many(
     method, eps, rounds, seed, initial:
         As in :func:`sample`; ``initial`` may additionally be an ``(r, n)``
         batch giving each replica its own starting configuration.
+    parallel, shard_size:
+        Shard the batch across ``parallel`` worker processes
+        (:mod:`repro.exec`); the workers are released before returning.
+        Requires an int or ``SeedSequence`` seed, and the result is
+        bit-identical for every worker count given the same seed and
+        ``shard_size``.
 
     Returns
     -------
@@ -376,7 +438,20 @@ def sample_many(
     """
     if rounds is None:
         rounds = default_round_budget(model, method, eps)
-    return make_ensemble(model, r, method=method, seed=seed, initial=initial).run(rounds)
+    ensemble = make_ensemble(
+        model,
+        r,
+        method=method,
+        seed=seed,
+        initial=initial,
+        parallel=parallel,
+        shard_size=shard_size,
+    )
+    try:
+        return ensemble.run(rounds)
+    finally:
+        if parallel is not None:
+            ensemble.close()
 
 
 def tv_curve(
@@ -384,9 +459,11 @@ def tv_curve(
     checkpoints: Sequence[int],
     method: str = "local-metropolis",
     replicas: int = 1024,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     initial: np.ndarray | None = None,
     target: GibbsDistribution | None = None,
+    parallel: int | None = None,
+    shard_size: int | None = None,
 ) -> list[tuple[int, float]]:
     """Ensemble-native TV-decay curve of ``method`` on ``model``.
 
@@ -397,13 +474,27 @@ def tv_curve(
     Gibbs measure for :class:`~repro.csp.model.LocalCSP` models — at each
     checkpoint.  Requires ``q**n`` enumerable unless ``target`` is given;
     the estimate's noise floor scales like ``sqrt(q**n / replicas)``.
+    ``parallel``/``shard_size`` shard the ensemble across worker processes
+    (:mod:`repro.exec`); each checkpoint is one barrier.
 
     Returns a list of ``(round, tv)`` pairs.
     """
     if target is None:
         target = _exact_distribution(model)
-    ensemble = make_ensemble(model, replicas, method=method, seed=seed, initial=initial)
-    return ensemble_tv_curve(ensemble, target, checkpoints=list(checkpoints))
+    ensemble = make_ensemble(
+        model,
+        replicas,
+        method=method,
+        seed=seed,
+        initial=initial,
+        parallel=parallel,
+        shard_size=shard_size,
+    )
+    try:
+        return ensemble_tv_curve(ensemble, target, checkpoints=list(checkpoints))
+    finally:
+        if parallel is not None:
+            ensemble.close()
 
 
 def mixing_time(
@@ -413,9 +504,11 @@ def mixing_time(
     replicas: int = 2048,
     max_rounds: int = 10_000,
     stride: int = 1,
-    seed: int | np.random.Generator | None = None,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     initial: np.ndarray | None = None,
     target: GibbsDistribution | None = None,
+    parallel: int | None = None,
+    shard_size: int | None = None,
 ) -> int:
     """Empirical mixing time ``tau(eps)`` of ``method`` on ``model``.
 
@@ -425,10 +518,24 @@ def mixing_time(
     Raises :class:`~repro.errors.ConvergenceError` if the budget is
     exhausted.  The same noise-floor caveat as :func:`tv_curve` applies —
     on tiny models prefer :func:`repro.chains.transition.exact_mixing_time`.
+    ``parallel``/``shard_size`` shard the ensemble across worker processes
+    (:mod:`repro.exec`); each TV probe is one barrier.
     """
     if target is None:
         target = _exact_distribution(model)
-    ensemble = make_ensemble(model, replicas, method=method, seed=seed, initial=initial)
-    return empirical_mixing_time(
-        ensemble, target, eps, max_rounds=max_rounds, stride=stride
+    ensemble = make_ensemble(
+        model,
+        replicas,
+        method=method,
+        seed=seed,
+        initial=initial,
+        parallel=parallel,
+        shard_size=shard_size,
     )
+    try:
+        return empirical_mixing_time(
+            ensemble, target, eps, max_rounds=max_rounds, stride=stride
+        )
+    finally:
+        if parallel is not None:
+            ensemble.close()

@@ -15,7 +15,31 @@ import numpy as np
 from repro.errors import ModelError
 from repro.mrf.model import MRF, Config, as_config
 
-__all__ = ["Chain", "greedy_feasible_config", "random_config"]
+__all__ = ["Chain", "SeedLike", "as_generator", "greedy_feasible_config", "random_config"]
+
+#: Everything the chains and replica-ensemble engines accept as a seed.
+#: ``np.random.SeedSequence`` is the spawnable form the sharded execution
+#: subsystem (:mod:`repro.exec`) relies on: ``root.spawn(k)`` derives ``k``
+#: independent child streams deterministically, so a run partitioned into
+#: shards is reproducible from the root sequence alone.
+SeedLike = int | np.random.SeedSequence | np.random.Generator | None
+
+
+def as_generator(
+    seed: int | np.random.SeedSequence | np.random.Generator | None,
+) -> np.random.Generator:
+    """Resolve a seed of any accepted form into a ``numpy.random.Generator``.
+
+    A Generator is passed through (shared-stream semantics: the caller keeps
+    ownership of the stream); an int, a :class:`numpy.random.SeedSequence`
+    or ``None`` seeds a fresh PCG64 Generator.  Because
+    ``default_rng(SeedSequence(x))`` and ``default_rng(x)`` build the same
+    stream, integer-seeded runs are bit-identical to runs seeded with the
+    equivalent SeedSequence.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
 
 
 def random_config(mrf: MRF, rng: np.random.Generator) -> np.ndarray:
@@ -67,20 +91,18 @@ class Chain(ABC):
     initial:
         Starting configuration; ``None`` uses :func:`greedy_feasible_config`.
     seed:
-        Seed (or Generator) for the chain's private randomness.
+        Seed, :class:`numpy.random.SeedSequence` or Generator for the
+        chain's private randomness (see :func:`as_generator`).
     """
 
     def __init__(
         self,
         mrf: MRF,
         initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     ) -> None:
         self.mrf = mrf
-        if isinstance(seed, np.random.Generator):
-            self.rng = seed
-        else:
-            self.rng = np.random.default_rng(seed)
+        self.rng = as_generator(seed)
         if initial is None:
             self.config = greedy_feasible_config(mrf, self.rng)
         else:

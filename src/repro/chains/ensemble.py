@@ -51,6 +51,21 @@ but no value is reused across replicas.  For
 :class:`EnsembleGlauberDynamics` the equivalence is even bitwise: with
 ``replicas=1``, the same seed and the same initial configuration it
 reproduces :class:`~repro.chains.glauber.GlauberDynamics` state-for-state.
+
+Seed and stream contract
+------------------------
+
+Every engine accepts ``seed`` as an int, a
+:class:`numpy.random.SeedSequence`, a ``numpy.random.Generator`` or
+``None`` (see :func:`repro.chains.base.as_generator`).  One ensemble owns
+exactly *one* PCG64 stream shared by all of its replicas; an int seed and
+the ``SeedSequence`` wrapping it build the same stream, so both are
+bit-reproducible.  This is the contract the sharded execution subsystem
+(:mod:`repro.exec`) is built on: a shard plan spawns one ``SeedSequence``
+child per shard and constructs each shard's engine from its child, which
+makes the concatenated ``(R, n)`` trajectory a pure function of the root
+sequence and the shard partition — *not* of how many OS processes execute
+the shards.
 """
 
 from __future__ import annotations
@@ -61,7 +76,7 @@ import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 
-from repro.chains.base import greedy_feasible_config
+from repro.chains.base import as_generator, greedy_feasible_config
 from repro.chains.csp_chains import greedy_csp_config
 from repro.chains.fastpaths import (
     build_csr_neighbours,
@@ -129,6 +144,20 @@ class EnsembleTrajectoryMixin:
             self.advance(int(checkpoint) - previous)
             previous = int(checkpoint)
             yield previous, self.config
+
+    def write_batch_into(self, out: np.ndarray) -> np.ndarray:
+        """Write the current ``(R, n)`` int64 batch into ``out``; return ``out``.
+
+        The shard-publication hook of the multiprocess execution subsystem:
+        :mod:`repro.exec` workers call this after every ``advance`` command
+        to publish their shard's block of a ``multiprocessing.shared_memory``
+        state array.  Hosts whose internal layout differs from the public
+        batch (the vertex-major colouring/CSP engines) override it to write
+        straight from internal state instead of materialising the
+        intermediate ``config`` copy.
+        """
+        np.copyto(out, self.config)
+        return out
 
 
 def _spin_dtype(q: int) -> np.dtype:
@@ -233,7 +262,8 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
         configuration shared by all replicas, or an ``(R, n)`` batch giving
         each replica its own start.
     seed:
-        Seed or Generator for the single shared RNG stream.
+        Seed, :class:`numpy.random.SeedSequence` or Generator for the single
+        shared RNG stream (module docstring: seed and stream contract).
     """
 
     def __init__(
@@ -242,7 +272,7 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
         q: int,
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     ) -> None:
         check_vertex_labels(graph)
         if q < 2:
@@ -254,10 +284,7 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
         self.replicas = int(replicas)
         self.graph = graph
         self._dtype = _spin_dtype(self.q)
-        if isinstance(seed, np.random.Generator):
-            self.rng = seed
-        else:
-            self.rng = np.random.default_rng(seed)
+        self.rng = as_generator(seed)
 
         self._eu, self._ev = sorted_edge_arrays(graph)
         self._m = len(self._eu)
@@ -309,6 +336,11 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
         """The current ``(R, n)`` batch (an int64 copy — safe to mutate)."""
         return self._config.T.astype(np.int64)
 
+    def write_batch_into(self, out: np.ndarray) -> np.ndarray:
+        """Transposed write from the internal vertex-major state, no copy."""
+        np.copyto(out, self._config.T)
+        return out
+
     def monochromatic_edges(self) -> np.ndarray:
         """Per-replica count of improper (monochromatic) edges, shape ``(R,)``."""
         if self._m == 0:
@@ -342,7 +374,7 @@ class EnsembleLocalMetropolisColoring(_EnsembleColoringBase):
         q: int,
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     ) -> None:
         super().__init__(graph, q, replicas, initial=initial, seed=seed)
         m, r = self._m, self.replicas
@@ -455,16 +487,13 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
         mrf: MRF,
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     ) -> None:
         if replicas < 1:
             raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
         self.mrf = mrf
         self.replicas = int(replicas)
-        if isinstance(seed, np.random.Generator):
-            self.rng = seed
-        else:
-            self.rng = np.random.default_rng(seed)
+        self.rng = as_generator(seed)
         n, q, r = mrf.n, mrf.q, self.replicas
         if initial is None:
             base = greedy_feasible_config(mrf, self.rng)
@@ -593,7 +622,8 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
         replicas), a length-n configuration shared by all replicas, or an
         ``(R, n)`` batch giving each replica its own start.
     seed:
-        Seed or Generator for the single shared RNG stream.
+        Seed, :class:`numpy.random.SeedSequence` or Generator for the single
+        shared RNG stream (module docstring: seed and stream contract).
     """
 
     def __init__(
@@ -601,7 +631,7 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
         csp: LocalCSP,
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     ) -> None:
         if replicas < 1:
             raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
@@ -610,10 +640,7 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
         self.q = csp.q
         self.replicas = int(replicas)
         self._dtype = _spin_dtype(self.q)
-        if isinstance(seed, np.random.Generator):
-            self.rng = seed
-        else:
-            self.rng = np.random.default_rng(seed)
+        self.rng = as_generator(seed)
         self._build_scope_tables()
         self._config = self._initial_batch(initial)
         self.steps_taken = 0
@@ -678,6 +705,11 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
         """The current ``(R, n)`` batch (an int64 copy — safe to mutate)."""
         return self._config.T.astype(np.int64)
 
+    def write_batch_into(self, out: np.ndarray) -> np.ndarray:
+        """Transposed write from the internal vertex-major state, no copy."""
+        np.copyto(out, self._config.T)
+        return out
+
     def _scope_flat_indices(self, batch: np.ndarray) -> np.ndarray:
         """Flat row-major index of every scope restriction, shape ``(C, R)``.
 
@@ -722,7 +754,7 @@ class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
         csp: LocalCSP,
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     ) -> None:
         super().__init__(csp, replicas, initial=initial, seed=seed)
         # Conflict-graph edge arrays drive the batched Luby step; ties lose
@@ -839,7 +871,7 @@ class EnsembleLocalMetropolisCSP(_EnsembleCSPBase):
         csp: LocalCSP,
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.Generator | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
     ) -> None:
         super().__init__(csp, replicas, initial=initial, seed=seed)
         norm_parts = [

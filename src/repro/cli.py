@@ -28,9 +28,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
+from contextlib import contextmanager
 
 import repro
 from repro.api import model_degree
+from repro.errors import FallbackEngineWarning
 from repro.csp import (
     dominating_set_csp,
     maximal_independent_set_csp,
@@ -54,6 +57,26 @@ __all__ = ["main", "build_parser"]
 #: through the same ``repro.sample`` / ``repro.make_ensemble`` facade as
 #: MRFs (the CSP remarks after Algorithms 1-2).
 CSP_MODELS = ("dominating-set", "mis", "nae")
+
+
+@contextmanager
+def _fallback_notices():
+    """Surface :class:`FallbackEngineWarning` as a plain CLI notice.
+
+    Library warnings read like stack traces in a terminal; the CLI turns
+    the off-the-fast-path warning into a one-line ``notice:`` on stderr
+    and re-emits anything else unchanged.
+    """
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", FallbackEngineWarning)
+        yield
+    for entry in caught:
+        if issubclass(entry.category, FallbackEngineWarning):
+            print(f"notice: {entry.message}", file=sys.stderr)
+        else:
+            warnings.warn_explicit(
+                entry.message, entry.category, entry.filename, entry.lineno
+            )
 
 
 def _build_graph(args: argparse.Namespace):
@@ -156,6 +179,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sample.add_argument("--eps", type=float, default=0.05)
     sample.add_argument("--rounds", type=int, default=None)
+    sample.add_argument(
+        "--samples",
+        type=int,
+        default=1,
+        help="draw this many independent samples as one replica-ensemble batch",
+    )
+    sample.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the sample batch across N worker processes "
+        "(repro.exec; bit-identical for any N given the same seed)",
+    )
 
     budget = sub.add_parser("budget", help="print default round budgets")
     _add_model_arguments(budget)
@@ -190,6 +227,13 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument(
         "--stride", type=int, default=1, help="rounds between mixing-time checks"
     )
+    mix.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the measurement ensemble across N worker processes",
+    )
 
     sub.add_parser("info", help="print headline constants and version")
     return parser
@@ -197,24 +241,53 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_sample(args: argparse.Namespace) -> int:
     model = _build_model(args)
+    if args.samples < 1:
+        raise ReproError(f"--samples must be >= 1, got {args.samples}")
     rounds = args.rounds
     if rounds is None:
         rounds = repro.default_round_budget(model, args.method, args.eps)
-    config = repro.sample(
-        model,
-        method=args.method,
-        eps=args.eps,
-        rounds=args.rounds,
-        seed=args.seed,
-        engine=args.engine,
-    )
-    print(
+    model_line = (
         f"model   : {model.name} on {args.graph} "
         f"(n={model.n}, Delta={model_degree(model)})"
     )
-    print(f"method  : {args.method}   engine: {args.engine}   rounds: {rounds}")
-    print(f"feasible: {model.is_feasible(config)}")
-    print("sample  :", " ".join(str(int(s)) for s in config))
+    if args.samples == 1 and args.jobs is None:
+        config = repro.sample(
+            model,
+            method=args.method,
+            eps=args.eps,
+            rounds=args.rounds,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        print(model_line)
+        print(f"method  : {args.method}   engine: {args.engine}   rounds: {rounds}")
+        print(f"feasible: {model.is_feasible(config)}")
+        print("sample  :", " ".join(str(int(s)) for s in config))
+        return 0
+    if args.engine != "chain":
+        raise ReproError(
+            "--engine applies to single samples; batched sampling always "
+            "uses the replica-ensemble engines"
+        )
+    with _fallback_notices():
+        batch = repro.sample_many(
+            model,
+            args.samples,
+            method=args.method,
+            eps=args.eps,
+            rounds=args.rounds,
+            seed=args.seed,
+            parallel=args.jobs,
+        )
+    feasible = sum(1 for row in batch if model.is_feasible(row))
+    jobs = "in-process" if args.jobs is None else str(args.jobs)
+    print(model_line)
+    print(
+        f"method  : {args.method}   samples: {args.samples}   jobs: {jobs}   "
+        f"rounds: {rounds}"
+    )
+    print(f"feasible: {feasible}/{args.samples}")
+    print("sample 0:", " ".join(str(int(s)) for s in batch[0]))
     return 0
 
 
@@ -249,10 +322,15 @@ def _command_mix(args: argparse.Namespace) -> int:
         target = exact_csp_gibbs_distribution(model)
     else:
         target = exact_gibbs_distribution(model)
-    ensemble = repro.make_ensemble(
-        model, args.replicas, method=args.method, seed=args.seed
-    )
-    curve = ensemble_tv_curve(ensemble, target, checkpoints=checkpoints)
+    with _fallback_notices():
+        ensemble = repro.make_ensemble(
+            model, args.replicas, method=args.method, seed=args.seed, parallel=args.jobs
+        )
+    try:
+        curve = ensemble_tv_curve(ensemble, target, checkpoints=checkpoints)
+    finally:
+        if args.jobs is not None:
+            ensemble.close()
     payload = {
         "model": model.name,
         "graph": args.graph,
@@ -264,18 +342,22 @@ def _command_mix(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "curve": [[rounds, tv] for rounds, tv in curve],
     }
+    if args.jobs is not None:
+        payload["jobs"] = args.jobs
     if args.eps is not None:
         payload["eps"] = args.eps
-        payload["mixing_time"] = repro.mixing_time(
-            model,
-            args.eps,
-            method=args.method,
-            replicas=args.replicas,
-            max_rounds=args.max_rounds,
-            stride=args.stride,
-            seed=args.seed,
-            target=target,
-        )
+        with _fallback_notices():
+            payload["mixing_time"] = repro.mixing_time(
+                model,
+                args.eps,
+                method=args.method,
+                replicas=args.replicas,
+                max_rounds=args.max_rounds,
+                stride=args.stride,
+                seed=args.seed,
+                target=target,
+                parallel=args.jobs,
+            )
     json.dump(payload, sys.stdout, indent=2)
     print()
     return 0

@@ -53,3 +53,25 @@ class StateSpaceTooLargeError(ReproError):
     matrices enumerate ``q**n`` configurations; this error protects callers
     from accidentally requesting astronomically large enumerations.
     """
+
+
+class ExecError(ReproError):
+    """The multiprocess execution subsystem (:mod:`repro.exec`) failed.
+
+    Examples: a worker process died or raised (the original traceback is
+    embedded in the message), an operation was issued on a closed pool, or a
+    sampling job submitted to :class:`repro.exec.JobRunner` errored.
+    """
+
+
+class FallbackEngineWarning(RuntimeWarning):
+    """A model/method pair has no batched replica-ensemble kernel.
+
+    Emitted by :func:`repro.api.make_ensemble` (and everything built on it:
+    ``sample_many``, ``tv_curve``, ``mixing_time``) when the dispatch falls
+    back to :class:`repro.analysis.convergence.SequentialChainEnsemble` —
+    correct for every model, but advancing replicas one sequential chain at
+    a time rather than with whole-ensemble array kernels.  Silence with
+    ``warnings.simplefilter("ignore", FallbackEngineWarning)`` once the
+    slow path is a deliberate choice.
+    """

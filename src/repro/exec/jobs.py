@@ -1,0 +1,470 @@
+"""Job-level scheduling: many heterogeneous sampling requests, one pool.
+
+The third layer of the execution subsystem.  Where
+:class:`~repro.exec.pool.ShardedEnsemble` parallelises *one* ensemble
+across processes, :class:`JobRunner` parallelises *many independent
+requests* — sample batches, TV curves, mixing-time estimates, over
+different models and methods — onto a persistent pool of generic workers,
+streaming progress back as it happens:
+
+>>> from repro.exec import JobRunner, SamplingJob
+>>> with JobRunner(workers=4) as runner:
+...     a = runner.submit(SamplingJob.sample_many(coloring, 256, seed=1))
+...     b = runner.submit(SamplingJob.tv_curve(csp, (1, 2, 4, 8), seed=2))
+...     for event in runner.stream():      # checkpoints arrive live
+...         print(event.label, event.kind, event.round, event.value)
+...     results = runner.results
+
+Determinism contract: a job is executed with exactly the same facade code
+path (:mod:`repro.api`) and the job's own seed, so its result is
+bit-identical to calling ``repro.api.sample_many`` / ``tv_curve`` /
+``mixing_time`` directly with the same arguments — which worker ran it,
+and what else ran beside it, never matters.  The test-suite asserts this
+for every method.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ExecError, ModelError, ReproError
+
+__all__ = ["SamplingJob", "JobUpdate", "JobRunner"]
+
+#: Seconds between liveness checks while waiting for job events.
+_POLL_INTERVAL = 1.0
+#: Seconds to wait for a worker to exit after its stop sentinel.
+_JOIN_TIMEOUT = 10.0
+
+JOB_KINDS = ("sample_many", "tv_curve", "mixing_time")
+
+
+@dataclass(frozen=True)
+class SamplingJob:
+    """One sampling request, self-contained and picklable.
+
+    Build instances with the :meth:`sample_many`, :meth:`tv_curve` and
+    :meth:`mixing_time` constructors — their signatures mirror the
+    :mod:`repro.api` functions whose results they reproduce.  ``name``
+    labels the job in streamed events (defaults to ``kind:method``).
+    """
+
+    kind: str
+    model: object
+    method: str = "local-metropolis"
+    replicas: int = 1
+    rounds: int | None = None
+    eps: float | None = None
+    checkpoints: tuple[int, ...] | None = None
+    max_rounds: int = 10_000
+    stride: int = 1
+    seed: int | np.random.SeedSequence | None = None
+    initial: object = None
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ModelError(f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}")
+        if self.replicas < 1:
+            raise ModelError(f"job needs replicas >= 1, got {self.replicas}")
+        if self.kind == "tv_curve" and not self.checkpoints:
+            raise ModelError("a tv_curve job needs a non-empty checkpoints tuple")
+        if self.kind == "mixing_time":
+            # Mirror empirical_mixing_time's validation: a stride of 0 would
+            # otherwise spin the worker loop forever without advancing.
+            if self.eps is None:
+                raise ModelError("a mixing_time job needs eps")
+            if self.stride < 1:
+                raise ModelError(f"stride must be >= 1, got {self.stride}")
+            if self.max_rounds < 1:
+                raise ModelError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+    @property
+    def label(self) -> str:
+        """Display name used in streamed :class:`JobUpdate` events."""
+        return self.name or f"{self.kind}:{self.method}"
+
+    @classmethod
+    def sample_many(
+        cls,
+        model,
+        replicas: int,
+        method: str = "local-metropolis",
+        eps: float = 0.05,
+        rounds: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        initial=None,
+        name: str | None = None,
+    ) -> SamplingJob:
+        """A job whose result is ``repro.api.sample_many(...)`` — an ``(R, n)`` batch."""
+        return cls(
+            kind="sample_many",
+            model=model,
+            method=method,
+            replicas=replicas,
+            eps=eps,
+            rounds=rounds,
+            seed=seed,
+            initial=initial,
+            name=name,
+        )
+
+    @classmethod
+    def tv_curve(
+        cls,
+        model,
+        checkpoints,
+        method: str = "local-metropolis",
+        replicas: int = 1024,
+        seed: int | np.random.SeedSequence | None = None,
+        initial=None,
+        name: str | None = None,
+    ) -> SamplingJob:
+        """A job whose result is ``repro.api.tv_curve(...)``; checkpoints stream live."""
+        return cls(
+            kind="tv_curve",
+            model=model,
+            method=method,
+            replicas=replicas,
+            checkpoints=tuple(int(c) for c in checkpoints),
+            seed=seed,
+            initial=initial,
+            name=name,
+        )
+
+    @classmethod
+    def mixing_time(
+        cls,
+        model,
+        eps: float = 0.125,
+        method: str = "local-metropolis",
+        replicas: int = 2048,
+        max_rounds: int = 10_000,
+        stride: int = 1,
+        seed: int | np.random.SeedSequence | None = None,
+        initial=None,
+        name: str | None = None,
+    ) -> SamplingJob:
+        """A job whose result is ``repro.api.mixing_time(...)``; TV probes stream live."""
+        return cls(
+            kind="mixing_time",
+            model=model,
+            method=method,
+            replicas=replicas,
+            eps=eps,
+            max_rounds=max_rounds,
+            stride=stride,
+            seed=seed,
+            initial=initial,
+            name=name,
+        )
+
+
+@dataclass(frozen=True)
+class JobUpdate:
+    """One streamed event: a pickup, a checkpoint, a final result, or an error.
+
+    ``kind`` is ``"started"`` (a worker picked the job up; ``payload``
+    carries the worker pid), ``"checkpoint"`` (``round``/``value`` carry a
+    TV probe), ``"result"`` (``payload`` carries the job's return value)
+    or ``"error"`` (``payload`` carries the message/traceback string).
+    """
+
+    job_id: int
+    kind: str
+    label: str
+    round: int | None = None
+    value: float | None = None
+    payload: object = field(default=None, repr=False)
+
+
+def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
+    """Run one job through the :mod:`repro.api` facade, streaming progress.
+
+    The tv_curve/mixing_time bodies advance the *same* ensemble the facade
+    would build (same construction arguments, same RNG stream, same probe
+    cadence), so the final result event is bit-identical to the direct
+    call; the only addition is the per-checkpoint event stream.
+    """
+    from repro import api
+    from repro.analysis.empirical import batch_tv_to_exact
+
+    if job.kind == "sample_many":
+        batch = api.sample_many(
+            job.model,
+            job.replicas,
+            method=job.method,
+            eps=job.eps if job.eps is not None else 0.05,
+            rounds=job.rounds,
+            seed=job.seed,
+            initial=job.initial,
+        )
+        emit(JobUpdate(job_id, "result", job.label, payload=batch))
+        return
+
+    target = api._exact_distribution(job.model)
+    ensemble = api.make_ensemble(
+        job.model, job.replicas, method=job.method, seed=job.seed, initial=job.initial
+    )
+    if job.kind == "tv_curve":
+        curve: list[tuple[int, float]] = []
+        for rounds, batch in ensemble.iter_checkpoints(list(job.checkpoints)):
+            tv = batch_tv_to_exact(batch, target)
+            curve.append((rounds, tv))
+            emit(JobUpdate(job_id, "checkpoint", job.label, round=rounds, value=tv))
+        emit(JobUpdate(job_id, "result", job.label, payload=curve))
+        return
+
+    # mixing_time: the empirical_mixing_time loop with streamed TV probes.
+    rounds = 0
+    while rounds < job.max_rounds:
+        step = min(job.stride, job.max_rounds - rounds)
+        ensemble.advance(step)
+        rounds += step
+        tv = batch_tv_to_exact(ensemble.config, target)
+        emit(JobUpdate(job_id, "checkpoint", job.label, round=rounds, value=tv))
+        if tv <= job.eps:
+            emit(JobUpdate(job_id, "result", job.label, payload=rounds))
+            return
+    raise ConvergenceError(
+        f"ensemble TV did not reach {job.eps} within {job.max_rounds} rounds"
+    )
+
+
+def _job_worker_main(tasks, events) -> None:  # pragma: no cover - worker-side
+    """Worker loop: pull jobs off the shared queue until the stop sentinel."""
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        job_id, job = item
+        try:
+            # Announce the pickup with this worker's pid so the parent can
+            # attribute the job if this process dies mid-execution.
+            events.put(JobUpdate(job_id, "started", job.label, payload=os.getpid()))
+            _execute_job(job_id, job, events.put)
+        except ReproError as error:
+            events.put(
+                JobUpdate(
+                    job_id,
+                    "error",
+                    job.label,
+                    payload=f"{type(error).__name__}: {error}",
+                )
+            )
+        except BaseException:
+            try:
+                events.put(
+                    JobUpdate(job_id, "error", job.label, payload=traceback.format_exc())
+                )
+            except Exception:  # pragma: no cover - queue already torn down
+                return
+
+
+class JobRunner:
+    """A persistent pool of generic sampling workers plus a job scheduler.
+
+    Jobs submitted with :meth:`submit` land on one shared task queue;
+    whichever worker frees up first pulls the next job, so heterogeneous
+    batches load-balance naturally.  :meth:`stream` yields
+    :class:`JobUpdate` events (live checkpoints, results, errors) until
+    every outstanding job settles; :meth:`run` drains the stream and
+    returns ``{job_id: result}``, raising :class:`~repro.errors.ExecError`
+    if any job failed.
+
+    A failed job never poisons the pool: its error is recorded (``errors``
+    mapping) and the worker moves on to the next job.  A worker that *dies*
+    mid-job (OOM kill, segfault) fails the job it had announced — or, if it
+    died before the announcement could land, the orphaned job is failed as
+    soon as the remaining workers are provably idle — and the survivors
+    keep draining the queue.  Each worker owns a private event queue (a
+    dying worker can wedge only its own channel, never a sibling's), which
+    is what makes those guarantees hold under arbitrary kill timing.
+    """
+
+    def __init__(self, workers: int = 2, start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ModelError(f"JobRunner needs workers >= 1, got {workers}")
+        from repro.exec.pool import default_start_method
+
+        self._ctx = mp.get_context(start_method or default_start_method())
+        self._tasks = self._ctx.Queue()
+        self.workers = int(workers)
+        # SimpleQueues: a worker's put is a synchronous pipe write (no
+        # feeder thread), so a job's "started" announcement is durably in
+        # the pipe before execution begins — the window in which a dying
+        # worker can take a job down with it unannounced is a few
+        # instructions, and the loss inference in _next_event covers even
+        # that.
+        self._events = [self._ctx.SimpleQueue() for _ in range(self.workers)]
+        self._processes = [
+            self._ctx.Process(
+                target=_job_worker_main, args=(self._tasks, events), daemon=True
+            )
+            for events in self._events
+        ]
+        for process in self._processes:
+            process.start()
+        self._ids = itertools.count()
+        self._jobs: dict[int, SamplingJob] = {}
+        self._pending: set[int] = set()
+        self._active: dict[int, int] = {}  # worker pid -> job it is executing
+        self.results: dict[int, object] = {}
+        self.errors: dict[int, str] = {}
+        self._closed = False
+
+    def submit(self, job: SamplingJob) -> int:
+        """Queue a job; returns its id (the key into ``results``/``errors``)."""
+        if not isinstance(job, SamplingJob):
+            raise ModelError(f"submit needs a SamplingJob, got {type(job).__name__}")
+        self._ensure_open()
+        job_id = next(self._ids)
+        self._jobs[job_id] = job
+        self._pending.add(job_id)
+        self._tasks.put((job_id, job))
+        return job_id
+
+    def stream(self):
+        """Yield :class:`JobUpdate` events until every submitted job settles."""
+        self._ensure_open()
+        while self._pending:
+            event = self._next_event()
+            if event.kind == "started":
+                self._active[event.payload] = event.job_id
+            elif event.kind == "result":
+                self.results[event.job_id] = event.payload
+                self._settle(event.job_id)
+            elif event.kind == "error":
+                self.errors[event.job_id] = event.payload
+                self._settle(event.job_id)
+            yield event
+
+    def _settle(self, job_id: int) -> None:
+        self._pending.discard(job_id)
+        self._active = {
+            pid: active for pid, active in self._active.items() if active != job_id
+        }
+
+    def run(self) -> dict[int, object]:
+        """Drain the stream; return ``{job_id: result}`` or raise on failure."""
+        for _ in self.stream():
+            pass
+        if self.errors:
+            job_id, message = next(iter(self.errors.items()))
+            raise ExecError(
+                f"{len(self.errors)} job(s) failed; first: "
+                f"[{self._jobs[job_id].label}] {message}"
+            )
+        return dict(self.results)
+
+    def _next_event(self) -> JobUpdate:
+        misses = 0
+        readers = {events._reader: events for events in self._events}
+        while True:
+            ready = mp_connection.wait(list(readers), timeout=_POLL_INTERVAL)
+            if ready:
+                return readers[ready[0]].get()
+            misses += 1
+            if misses < 2:
+                # One grace poll: events from a just-dead worker may
+                # still be in flight through the queue feeder thread.
+                continue
+            # A dead worker that had announced a job loses exactly that
+            # job; surviving workers keep draining the queue.
+            for process in self._processes:
+                if not process.is_alive() and process.pid in self._active:
+                    job_id = self._active.pop(process.pid)
+                    return JobUpdate(
+                        job_id,
+                        "error",
+                        self._jobs[job_id].label,
+                        payload=(
+                            f"worker {process.pid} died executing this job "
+                            f"(exit code {process.exitcode})"
+                        ),
+                    )
+            if all(not process.is_alive() for process in self._processes):
+                self.close(force=True)
+                raise ExecError(
+                    "all JobRunner workers died with jobs outstanding"
+                ) from None
+            # A worker that died in the instant between pulling a job off
+            # the task queue and announcing it leaves the job unaccounted:
+            # pending, claimed by no one, queues silent.  Once every live
+            # worker is provably idle, "still queued" is impossible — an
+            # idle worker would have picked it up — so fail it rather than
+            # poll forever.
+            dead_unaccounted = [
+                process
+                for process in self._processes
+                if not process.is_alive() and process.pid not in self._active
+            ]
+            live_busy = any(
+                process.is_alive() and process.pid in self._active
+                for process in self._processes
+            )
+            unannounced = self._pending - set(self._active.values())
+            if dead_unaccounted and unannounced and not live_busy:
+                job_id = min(unannounced)
+                victim = dead_unaccounted[0]
+                return JobUpdate(
+                    job_id,
+                    "error",
+                    self._jobs[job_id].label,
+                    payload=(
+                        f"worker {victim.pid} (exit code {victim.exitcode}) "
+                        "died before announcing a job; this pending job was "
+                        "likely consumed and lost"
+                    ),
+                )
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ExecError("this JobRunner has been closed")
+
+    def close(self, force: bool = False) -> None:
+        """Stop the workers (idempotent).  Outstanding jobs are abandoned."""
+        if self._closed:
+            return
+        self._closed = True
+        for process in self._processes:
+            if force:
+                process.terminate()
+            else:
+                try:
+                    self._tasks.put(None)
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+        for process in self._processes:
+            process.join(timeout=_JOIN_TIMEOUT)
+            if process.is_alive():  # pragma: no cover - stuck-worker safety net
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT)
+        self._tasks.close()
+        for events in self._events:
+            events.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"JobRunner(workers={self.workers}, pending={len(self._pending)}, "
+            f"done={len(self.results)}, failed={len(self.errors)})"
+        )

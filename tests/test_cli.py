@@ -317,3 +317,72 @@ class TestCSPModels:
         code = main(["sample", "--model", "nae", "--graph", "path", "--size", "1"])
         assert code == 1
         assert "at least one edge" in capsys.readouterr().err
+
+
+class TestParallelCli:
+    """--samples / --jobs wiring into the sharded execution subsystem."""
+
+    def test_sample_batch_with_jobs(self, capsys):
+        code = main(
+            [
+                "sample", "--graph", "cycle", "--size", "10", "--q", "4",
+                "--samples", "6", "--jobs", "2", "--rounds", "8", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "samples: 6" in out and "jobs: 2" in out
+        assert "feasible: 6/6" in out
+
+    def test_sample_batch_matches_across_job_counts(self, capsys):
+        def run(jobs):
+            assert main(
+                [
+                    "sample", "--graph", "cycle", "--size", "8", "--q", "4",
+                    "--samples", "4", "--jobs", jobs, "--rounds", "5",
+                    "--seed", "9",
+                ]
+            ) == 0
+            return capsys.readouterr().out.splitlines()[-1]
+
+        assert run("1") == run("2")
+
+    def test_sample_batch_rejects_protocol_engines(self, capsys):
+        code = main(
+            [
+                "sample", "--graph", "cycle", "--size", "8", "--samples", "4",
+                "--engine", "vectorized",
+            ]
+        )
+        assert code == 1
+        assert "single samples" in capsys.readouterr().err
+
+    def test_sample_rejects_zero_samples(self, capsys):
+        code = main(["sample", "--graph", "cycle", "--samples", "0"])
+        assert code == 1
+        assert "--samples" in capsys.readouterr().err
+
+    def test_fallback_prints_notice_not_warning(self, capsys):
+        code = main(
+            [
+                "sample", "--model", "ising", "--graph", "path", "--size", "4",
+                "--samples", "3", "--rounds", "2", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "notice:" in err and "off the fast path" in err
+
+    def test_mix_with_jobs_emits_engine_and_jobs(self, capsys):
+        code = main(
+            [
+                "mix", "--graph", "cycle", "--size", "5", "--q", "3",
+                "--replicas", "64", "--checkpoints", "1,2", "--jobs", "2",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "ShardedEnsemble"
+        assert payload["jobs"] == 2
+        assert len(payload["curve"]) == 2

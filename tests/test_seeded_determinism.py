@@ -1,14 +1,19 @@
 """Seeded-determinism regression tests for every replica-ensemble engine.
 
-Two contracts, both load-bearing for reproducible experiments and for the
-benchmark-regression gate:
+Three contracts, all load-bearing for reproducible experiments and for
+the benchmark-regression gate and the sharded execution subsystem:
 
 * an ensemble built from an *integer* seed reproduces bit-identical
-  trajectories across two independent runs, and
+  trajectories across two independent runs,
 * ``advance(a)`` followed by ``run(b)`` consumes the RNG stream exactly
   like a single ``run(a + b)`` — checkpointed trajectories (TV curves,
-  mixing-time sweeps) equal one-shot runs state-for-state.
+  mixing-time sweeps) equal one-shot runs state-for-state, and
+* an integer seed and the ``numpy.random.SeedSequence`` wrapping it build
+  the *same* stream — the bridge :mod:`repro.exec` relies on to make a
+  sharded run a pure function of its root SeedSequence.
 """
+
+import warnings
 
 import numpy as np
 import pytest
@@ -22,8 +27,9 @@ from repro.chains.ensemble import (
     EnsembleLubyGlauberCSP,
 )
 from repro.csp import dominating_set_csp, not_all_equal_csp
+from repro.exec import ShardedEnsemble
 from repro.graphs import cycle_graph, grid_graph, path_graph
-from repro.mrf import ising_mrf
+from repro.mrf import ising_mrf, proper_coloring_mrf
 
 REPLICAS = 7
 SEED = 20170625
@@ -31,6 +37,17 @@ SEED = 20170625
 
 def _nae():
     return not_all_equal_csp([(0, 1, 2), (1, 2, 3), (2, 3, 4)], n=5, q=3)
+
+
+def _fallback_ensemble(seed):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # deliberately off the fast path
+        return make_ensemble(
+            ising_mrf(path_graph(4), beta=0.7, field=0.5),
+            REPLICAS,
+            method="local-metropolis",
+            seed=seed,
+        )
 
 
 ENGINE_FACTORIES = {
@@ -47,11 +64,13 @@ ENGINE_FACTORIES = {
         dominating_set_csp(cycle_graph(6)), REPLICAS, seed=seed
     ),
     "lm-csp": lambda seed: EnsembleLocalMetropolisCSP(_nae(), REPLICAS, seed=seed),
-    "sequential-fallback": lambda seed: make_ensemble(
-        ising_mrf(path_graph(4), beta=0.7, field=0.5),
+    "sequential-fallback": _fallback_ensemble,
+    "sharded": lambda seed: ShardedEnsemble(
+        proper_coloring_mrf(grid_graph(3, 3), 5),
         REPLICAS,
-        method="local-metropolis",
         seed=seed,
+        shard_size=3,
+        workers=0,
     ),
 }
 
@@ -79,3 +98,12 @@ def test_advance_run_composition_equals_one_run(name):
     one_shot = make(SEED).run(12)
     assert np.array_equal(composed, one_shot)
     assert split.steps_taken == 12
+
+
+@pytest.mark.parametrize("name", sorted(ENGINE_FACTORIES))
+def test_seed_sequence_equals_the_integer_seed_it_wraps(name):
+    """``seed=x`` and ``seed=SeedSequence(x)`` build bit-identical streams."""
+    make = ENGINE_FACTORIES[name]
+    from_int = make(SEED).run(10)
+    from_sequence = make(np.random.SeedSequence(SEED)).run(10)
+    assert np.array_equal(from_int, from_sequence)
