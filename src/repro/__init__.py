@@ -29,10 +29,12 @@ Quick start::
 from repro.api import (
     ENGINES,
     METHODS,
+    JobSpec,
     default_round_budget,
     make_ensemble,
     mixing_time,
     model_degree,
+    run_spec,
     sample,
     sample_many,
     tv_curve,
@@ -72,6 +74,7 @@ __all__ = [
     "ExecError",
     "FallbackEngineWarning",
     "InfeasibleStateError",
+    "JobSpec",
     "ModelError",
     "ProtocolError",
     "ReproError",
@@ -88,6 +91,7 @@ __all__ = [
     "model_degree",
     "potts_mrf",
     "proper_coloring_mrf",
+    "run_spec",
     "sample",
     "sample_many",
     "tv_curve",

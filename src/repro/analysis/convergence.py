@@ -26,6 +26,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from repro.analysis.empirical import batch_agreement, batch_tv_to_exact
+from repro.chains.base import SeedLike, as_seed_sequence
 from repro.chains.ensemble import EnsembleTrajectoryMixin
 from repro.errors import ConvergenceError, ModelError
 from repro.mrf.distribution import GibbsDistribution
@@ -59,16 +60,11 @@ class SequentialChainEnsemble(EnsembleTrajectoryMixin):
         self,
         chain_factory: Callable[[np.random.Generator], object],
         replicas: int,
-        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        seed: SeedLike = None,
     ) -> None:
         if replicas < 1:
             raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
-        if isinstance(seed, np.random.Generator):
-            seed = int(seed.integers(np.iinfo(np.int64).max))
-        if isinstance(seed, np.random.SeedSequence):
-            root = seed
-        else:
-            root = np.random.SeedSequence(seed)
+        root = as_seed_sequence(seed)
         self._chains = [
             chain_factory(np.random.default_rng(child)) for child in root.spawn(replicas)
         ]

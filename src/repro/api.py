@@ -32,7 +32,7 @@ from repro.analysis.convergence import (
     empirical_mixing_time,
     ensemble_tv_curve,
 )
-from repro.chains.base import as_generator
+from repro.chains.base import SeedLike, as_generator, as_seed_sequence
 from repro.chains.csp_chains import LocalMetropolisCSP, LubyGlauberCSP
 from repro.chains.ensemble import (
     EnsembleGlauberDynamics,
@@ -49,6 +49,7 @@ from repro.csp.model import LocalCSP, exact_csp_gibbs_distribution
 from repro.errors import FallbackEngineWarning, ModelError
 from repro.mrf.distribution import GibbsDistribution, exact_gibbs_distribution
 from repro.mrf.model import MRF
+from repro.spec import JobSpec
 
 __all__ = [
     "sample",
@@ -57,6 +58,8 @@ __all__ = [
     "is_fallback_pair",
     "tv_curve",
     "mixing_time",
+    "run_spec",
+    "JobSpec",
     "default_round_budget",
     "model_degree",
     "ENGINES",
@@ -182,9 +185,10 @@ def sample(
             run_luby_glauber_protocol,
         )
 
-        if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
-            # The LOCAL runtimes take an int seed; derive one draw.
-            seed = int(as_generator(seed).integers(np.iinfo(np.int64).max))
+        # Shared SeedLike coercion: SeedSequence roots pass through to the
+        # LOCAL runtime unchanged (so seed=x and seed=SeedSequence(x) run
+        # the same protocol execution); a Generator derives one draw.
+        seed = as_seed_sequence(seed)
         runner = (
             run_local_metropolis_protocol
             if method == "local-metropolis"
@@ -227,8 +231,7 @@ def _sample_csp(
             run_luby_glauber_csp_protocol,
         )
 
-        if isinstance(seed, (np.random.Generator, np.random.SeedSequence)):
-            seed = int(as_generator(seed).integers(np.iinfo(np.int64).max))
+        seed = as_seed_sequence(seed)
         runner = (
             run_local_metropolis_csp_protocol
             if method == "local-metropolis"
@@ -395,8 +398,8 @@ def make_ensemble(
 
 
 def sample_many(
-    model: MRF | LocalCSP,
-    r: int,
+    model: MRF | LocalCSP | JobSpec,
+    r: int | None = None,
     method: str = "local-metropolis",
     eps: float = 0.05,
     rounds: int | None = None,
@@ -418,7 +421,10 @@ def sample_many(
     Parameters
     ----------
     model:
-        The target model (MRF or weighted local CSP).
+        The target model (MRF or weighted local CSP), or a complete
+        :class:`~repro.spec.JobSpec` of kind ``"sample_many"`` — in which
+        case every other argument must be left at its default (the spec is
+        the whole request) and the call equals ``run_spec(spec)``.
     r:
         Number of independent replicas (rows of the returned batch).
     method, eps, rounds, seed, initial:
@@ -436,6 +442,11 @@ def sample_many(
     numpy.ndarray
         An ``(r, n)`` int64 array; row ``i`` is replica ``i``'s sample.
     """
+    if isinstance(model, JobSpec):
+        _require_spec_kind(model, "sample_many", extras=r is not None)
+        return run_spec(model)
+    if r is None:
+        raise ModelError("sample_many needs a replica count r (or a JobSpec)")
     if rounds is None:
         rounds = default_round_budget(model, method, eps)
     ensemble = make_ensemble(
@@ -455,8 +466,8 @@ def sample_many(
 
 
 def tv_curve(
-    model: MRF | LocalCSP,
-    checkpoints: Sequence[int],
+    model: MRF | LocalCSP | JobSpec,
+    checkpoints: Sequence[int] | None = None,
     method: str = "local-metropolis",
     replicas: int = 1024,
     seed: int | np.random.SeedSequence | np.random.Generator | None = None,
@@ -477,8 +488,17 @@ def tv_curve(
     ``parallel``/``shard_size`` shard the ensemble across worker processes
     (:mod:`repro.exec`); each checkpoint is one barrier.
 
+    ``model`` may instead be a complete :class:`~repro.spec.JobSpec` of
+    kind ``"tv_curve"`` (the call then equals ``run_spec(spec, target=target)``
+    and every other argument must stay at its default).
+
     Returns a list of ``(round, tv)`` pairs.
     """
+    if isinstance(model, JobSpec):
+        _require_spec_kind(model, "tv_curve", extras=checkpoints is not None)
+        return run_spec(model, target=target)
+    if checkpoints is None:
+        raise ModelError("tv_curve needs a checkpoints sequence (or a JobSpec)")
     if target is None:
         target = _exact_distribution(model)
     ensemble = make_ensemble(
@@ -498,7 +518,7 @@ def tv_curve(
 
 
 def mixing_time(
-    model: MRF | LocalCSP,
+    model: MRF | LocalCSP | JobSpec,
     eps: float = 0.125,
     method: str = "local-metropolis",
     replicas: int = 2048,
@@ -520,7 +540,14 @@ def mixing_time(
     on tiny models prefer :func:`repro.chains.transition.exact_mixing_time`.
     ``parallel``/``shard_size`` shard the ensemble across worker processes
     (:mod:`repro.exec`); each TV probe is one barrier.
+
+    ``model`` may instead be a complete :class:`~repro.spec.JobSpec` of
+    kind ``"mixing_time"`` (the call then equals ``run_spec(spec,
+    target=target)`` and every other argument must stay at its default).
     """
+    if isinstance(model, JobSpec):
+        _require_spec_kind(model, "mixing_time", extras=False)
+        return run_spec(model, target=target)
     if target is None:
         target = _exact_distribution(model)
     ensemble = make_ensemble(
@@ -539,3 +566,79 @@ def mixing_time(
     finally:
         if parallel is not None:
             ensemble.close()
+
+
+def _require_spec_kind(spec: JobSpec, kind: str, extras: bool) -> None:
+    """Guard the JobSpec-accepting facade forms.
+
+    ``extras`` flags a non-default positional argument passed *alongside*
+    the spec — a contradiction (the spec is the whole request), so it is
+    rejected rather than silently ignored.
+    """
+    if spec.kind != kind:
+        raise ModelError(
+            f"this facade call runs {kind!r} jobs, got a JobSpec of kind "
+            f"{spec.kind!r}; use run_spec() for kind dispatch"
+        )
+    if extras:
+        raise ModelError(
+            "a JobSpec is a complete request; do not pass additional "
+            "positional arguments alongside it"
+        )
+
+
+def run_spec(spec: JobSpec, target: GibbsDistribution | None = None):
+    """Execute a :class:`~repro.spec.JobSpec` through the facade.
+
+    The single kind-dispatching entry point behind which every request
+    path (direct calls, the :mod:`repro.exec` job workers, the CLI and
+    the :mod:`repro.serve` daemon) converges:
+
+    * ``"sample_many"`` returns the ``(r, n)`` sample batch,
+    * ``"tv_curve"`` returns the list of ``(round, tv)`` pairs,
+    * ``"mixing_time"`` returns the empirical mixing round count.
+
+    ``target`` optionally supplies a pre-computed exact distribution for
+    the convergence kinds (a runtime convenience, not part of the spec).
+    Results are a pure function of the spec — see
+    :meth:`repro.spec.JobSpec.cache_key`.
+    """
+    if not isinstance(spec, JobSpec):
+        raise ModelError(f"run_spec needs a JobSpec, got {type(spec).__name__}")
+    if spec.kind == "sample_many":
+        return sample_many(
+            spec.model,
+            spec.replicas,
+            method=spec.method,
+            eps=spec.eps if spec.eps is not None else 0.05,
+            rounds=spec.rounds,
+            seed=spec.seed,
+            initial=spec.initial,
+            parallel=spec.parallel,
+            shard_size=spec.shard_size,
+        )
+    if spec.kind == "tv_curve":
+        return tv_curve(
+            spec.model,
+            list(spec.checkpoints),
+            method=spec.method,
+            replicas=spec.replicas,
+            seed=spec.seed,
+            initial=spec.initial,
+            target=target,
+            parallel=spec.parallel,
+            shard_size=spec.shard_size,
+        )
+    return mixing_time(
+        spec.model,
+        eps=spec.eps,
+        method=spec.method,
+        replicas=spec.replicas,
+        max_rounds=spec.max_rounds,
+        stride=spec.stride,
+        seed=spec.seed,
+        initial=spec.initial,
+        target=target,
+        parallel=spec.parallel,
+        shard_size=spec.shard_size,
+    )

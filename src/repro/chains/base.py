@@ -15,7 +15,14 @@ import numpy as np
 from repro.errors import ModelError
 from repro.mrf.model import MRF, Config, as_config
 
-__all__ = ["Chain", "SeedLike", "as_generator", "greedy_feasible_config", "random_config"]
+__all__ = [
+    "Chain",
+    "SeedLike",
+    "as_generator",
+    "as_seed_sequence",
+    "greedy_feasible_config",
+    "random_config",
+]
 
 #: Everything the chains and replica-ensemble engines accept as a seed.
 #: ``np.random.SeedSequence`` is the spawnable form the sharded execution
@@ -40,6 +47,45 @@ def as_generator(
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def as_seed_sequence(
+    seed: SeedLike, *, allow_generator: bool = True
+) -> np.random.SeedSequence:
+    """Resolve a :data:`SeedLike` into a root ``numpy.random.SeedSequence``.
+
+    The one shared seed-coercion helper: every public entry point that
+    needs a *spawnable* root (per-node streams, per-replica streams, shard
+    plans) funnels through here, so all of them accept the same
+    ``int | SeedSequence | Generator | None`` surface with the same
+    semantics:
+
+    * a ``SeedSequence`` is passed through unchanged, so
+      ``SeedSequence(x)`` and the int ``x`` build the same root;
+    * ``None`` or an int seeds a fresh root;
+    * a ``Generator`` draws one int63 to form the root — a live stream
+      cannot be split deterministically, so passing the same Generator
+      twice intentionally gives two different roots.  Callers for whom
+      that non-reproducibility would be a silent footgun (sharded
+      execution, result caching) pass ``allow_generator=False`` to reject
+      Generators with a :class:`~repro.errors.ModelError` instead.
+    """
+    if isinstance(seed, np.random.Generator):
+        if not allow_generator:
+            raise ModelError(
+                "this entry point needs an int or numpy.random.SeedSequence seed "
+                "(a live Generator cannot be split into spawned streams), got "
+                f"{type(seed).__name__}"
+            )
+        seed = int(seed.integers(np.iinfo(np.int64).max))
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(seed if seed is None else int(seed))
+    raise ModelError(
+        f"unsupported seed type {type(seed).__name__}; expected "
+        "int | numpy.random.SeedSequence | numpy.random.Generator | None"
+    )
 
 
 def random_config(mrf: MRF, rng: np.random.Generator) -> np.ndarray:

@@ -12,6 +12,14 @@ Commands
     empirical mixing time) against the exact Gibbs distribution and emit
     it as JSON.  Needs ``q**n`` enumerable, so it defaults to a small
     topology.
+``serve``
+    Run the always-on sampling service (:mod:`repro.serve`): a persistent
+    worker pool behind an HTTP/JSON API with result caching and admission
+    control.
+``submit``
+    Build a :class:`~repro.spec.JobSpec` from the model arguments and
+    submit it to a running service; ``--stream`` prints per-checkpoint
+    events live.
 ``info``
     Print the library's headline constants (thresholds, uniqueness
     boundary) and version.
@@ -50,6 +58,7 @@ from repro.graphs import (
 )
 from repro.mrf import hardcore_mrf, ising_mrf, proper_coloring_mrf
 from repro.mrf.model import MRF
+from repro.spec import JOB_KINDS, JobSpec
 
 __all__ = ["main", "build_parser"]
 
@@ -235,6 +244,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the measurement ensemble across N worker processes",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the always-on sampling service (repro.serve)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8731, help="0 binds an ephemeral port"
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--cache-capacity", type=int, default=128, help="LRU result-cache entries"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=32,
+        help="admission-control bound: in-flight jobs beyond this are "
+        "rejected with HTTP 429",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="shut down after this long (default: run until interrupted)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a sampling job to a running service"
+    )
+    _add_model_arguments(submit)
+    submit.add_argument(
+        "--server", default="127.0.0.1:8731", metavar="HOST:PORT",
+        help="address of a running `repro serve`",
+    )
+    submit.add_argument("--kind", choices=JOB_KINDS, default="sample_many")
+    submit.add_argument("--method", choices=repro.METHODS, default="local-metropolis")
+    submit.add_argument(
+        "--replicas", type=int, default=8, help="replica count (batch rows for "
+        "sample_many, ensemble size for the convergence kinds)",
+    )
+    submit.add_argument("--rounds", type=int, default=None)
+    submit.add_argument(
+        "--eps", type=float, default=None,
+        help="accuracy target (budget heuristic for sample_many, TV "
+        "threshold for mixing_time)",
+    )
+    submit.add_argument(
+        "--checkpoints", default="1,2,4,8,16,32",
+        help="tv_curve rounds, comma-separated",
+    )
+    submit.add_argument("--max-rounds", type=int, default=4096)
+    submit.add_argument("--stride", type=int, default=1)
+    submit.add_argument(
+        "--stream", action="store_true",
+        help="stream per-checkpoint events instead of waiting silently",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, help="client timeout in seconds"
+    )
+
     sub.add_parser("info", help="print headline constants and version")
     return parser
 
@@ -312,12 +380,7 @@ def _command_mix(args: argparse.Namespace) -> int:
     from repro.mrf.distribution import exact_gibbs_distribution
 
     model = _build_model(args)
-    try:
-        checkpoints = [int(token) for token in args.checkpoints.split(",") if token.strip()]
-    except ValueError:
-        raise ReproError(
-            f"--checkpoints must be comma-separated integers, got {args.checkpoints!r}"
-        ) from None
+    checkpoints = _parse_checkpoints(args.checkpoints)
     if isinstance(model, LocalCSP):
         target = exact_csp_gibbs_distribution(model)
     else:
@@ -363,6 +426,129 @@ def _command_mix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_checkpoints(raw: str) -> list[int]:
+    try:
+        return [int(token) for token in raw.split(",") if token.strip()]
+    except ValueError:
+        raise ReproError(
+            f"--checkpoints must be comma-separated integers, got {raw!r}"
+        ) from None
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_capacity=args.cache_capacity,
+        max_pending=args.max_pending,
+    )
+    host, port = server.start()
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(workers={args.workers}, cache_capacity={args.cache_capacity}, "
+        f"max_pending={args.max_pending})",
+        flush=True,
+    )
+    try:
+        if args.max_seconds is not None:
+            time.sleep(args.max_seconds)
+        else:  # pragma: no cover - interactive foreground loop
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("repro serve: interrupted", file=sys.stderr)
+    finally:
+        stats = server.stats()
+        server.close()
+    jobs = stats["jobs"]
+    cache = stats["cache"]
+    print(
+        f"repro serve: shut down — {jobs['submitted']} submitted, "
+        f"{jobs['completed']} completed, {jobs['failed']} failed, "
+        f"{jobs['rejected']} rejected; cache {cache['hits']} hits / "
+        f"{cache['misses']} misses"
+    )
+    return 0
+
+
+def _build_spec(args: argparse.Namespace, model: MRF | LocalCSP) -> JobSpec:
+    if args.kind == "sample_many":
+        return JobSpec.sample_many(
+            model,
+            args.replicas,
+            method=args.method,
+            eps=args.eps if args.eps is not None else 0.05,
+            rounds=args.rounds,
+            seed=args.seed,
+        )
+    if args.kind == "tv_curve":
+        return JobSpec.tv_curve(
+            model,
+            _parse_checkpoints(args.checkpoints),
+            method=args.method,
+            replicas=args.replicas,
+            seed=args.seed,
+        )
+    return JobSpec.mixing_time(
+        model,
+        eps=args.eps if args.eps is not None else 0.125,
+        method=args.method,
+        replicas=args.replicas,
+        max_rounds=args.max_rounds,
+        stride=args.stride,
+        seed=args.seed,
+    )
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    host, _, port = args.server.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"--server must be HOST:PORT, got {args.server!r}")
+    model = _build_model(args)
+    spec = _build_spec(args, model)
+    client = ServeClient(host, int(port), timeout=args.timeout)
+    if args.stream:
+        document = None
+        for event in client.stream(spec):
+            if event["event"] == "accepted":
+                print(f"accepted: job {event['job_id']}", flush=True)
+            elif event["event"] == "checkpoint":
+                print(
+                    f"round {event['round']:>6}   tv {event['value']:.6f}",
+                    flush=True,
+                )
+            elif event["event"] == "result":
+                document = event
+            elif event["event"] == "error":
+                raise ReproError(f"job failed: {event['message']}")
+        if document is None:
+            raise ReproError("stream ended without a result")
+    else:
+        document = client.submit(spec)
+    result = document["result"]
+    cached = "hit" if document.get("cached") else "miss"
+    print(f"model  : {model.name} (n={model.n})")
+    print(f"kind   : {spec.kind}   method: {spec.method}   cache: {cached}")
+    if spec.kind == "sample_many":
+        feasible = sum(1 for row in result if model.is_feasible(row))
+        print(f"samples : {result.shape[0]} x {result.shape[1]}")
+        print(f"feasible: {feasible}/{result.shape[0]}")
+        print("sample 0:", " ".join(str(int(s)) for s in result[0]))
+    elif spec.kind == "tv_curve":
+        json.dump({"curve": [[rounds, tv] for rounds, tv in result]}, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"mixing_time: {result} rounds (eps={spec.eps})")
+    return 0
+
+
 def _command_info() -> int:
     from repro.analysis.theory import alpha_star, two_plus_sqrt2
     from repro.lowerbound import lambda_critical
@@ -387,6 +573,10 @@ def main(argv: list[str] | None = None) -> int:
             return _command_budget(args)
         if args.command == "mix":
             return _command_mix(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "submit":
+            return _command_submit(args)
         if args.command == "info":
             return _command_info()
     except ReproError as error:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ModelError, StateSpaceTooLargeError
 from repro.mrf.distribution import GibbsDistribution
+from repro.serialize import payload_fingerprint
 
 __all__ = ["Constraint", "LocalCSP", "exact_csp_gibbs_distribution"]
 
@@ -95,6 +96,26 @@ class Constraint:
             )
         return self.table / maximum
 
+    def to_dict(self) -> dict:
+        """Canonical plain-JSON form (scope order preserved, float64 table)."""
+        return {
+            "name": self.name,
+            "scope": list(self.scope),
+            "table": self.table.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> Constraint:
+        """Rebuild a :class:`Constraint` from a :meth:`to_dict` payload."""
+        try:
+            return cls(
+                payload["scope"],
+                np.asarray(payload["table"], dtype=float),
+                name=str(payload.get("name", "constraint")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ModelError(f"malformed constraint payload: {error}") from None
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Constraint(name={self.name!r}, scope={self.scope})"
 
@@ -160,6 +181,48 @@ class LocalCSP:
                 f"CSP conditional marginal at vertex {v} is undefined (zero mass)"
             )
         return weights / total
+
+    def to_dict(self) -> dict:
+        """Canonical plain-JSON form; inverse of :meth:`from_dict`.
+
+        Constraint *order* is preserved: it does not change the Gibbs
+        distribution, but it does fix the factor-evaluation order of the
+        chains, which is part of the bit-level determinism contract the
+        serving cache relies on.
+        """
+        return {
+            "type": "csp",
+            "name": self.name,
+            "n": self.n,
+            "q": self.q,
+            "constraints": [constraint.to_dict() for constraint in self.constraints],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> LocalCSP:
+        """Rebuild a :class:`LocalCSP` from a :meth:`to_dict` payload."""
+        try:
+            n = int(payload["n"])
+            q = int(payload["q"])
+            constraint_payloads = payload["constraints"]
+            name = str(payload.get("name", "csp"))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ModelError(f"malformed CSP payload: {error}") from None
+        constraints = [Constraint.from_dict(entry) for entry in constraint_payloads]
+        return cls(n, q, constraints, name=name)
+
+    def model_fingerprint(self) -> str:
+        """Stable content hash of the distribution-defining payload.
+
+        Model and constraint names are cosmetic and excluded (see
+        :meth:`repro.mrf.model.MRF.model_fingerprint` for the contract);
+        scope order, constraint order and every table value are hashed.
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        for entry in payload["constraints"]:
+            del entry["name"]
+        return payload_fingerprint(payload)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LocalCSP(name={self.name!r}, n={self.n}, q={self.q}, constraints={len(self.constraints)})"

@@ -64,6 +64,24 @@ class ExecError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The sampling service (:mod:`repro.serve`) failed a request.
+
+    Examples: a malformed request payload, an unknown route, a job that
+    errored server-side (the worker's message is embedded), or a client
+    operation on a server that has shut down.
+    """
+
+
+class ServerOverloadedError(ServeError):
+    """The sampling service refused a request due to admission control.
+
+    The daemon bounds its in-flight queue (``max_pending``); submissions
+    beyond the bound are rejected immediately with HTTP 429 instead of
+    queueing without bound.  Clients should back off and retry.
+    """
+
+
 class FallbackEngineWarning(RuntimeWarning):
     """A model/method pair has no batched replica-ensemble kernel.
 

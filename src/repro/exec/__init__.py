@@ -20,6 +20,7 @@ The facade (:mod:`repro.api`) exposes the pool layer through the
 """
 
 from repro.exec.jobs import JobRunner, JobUpdate, SamplingJob
+from repro.spec import JobSpec
 from repro.exec.pool import ShardedEnsemble, default_start_method
 from repro.exec.shards import (
     DEFAULT_NUM_SHARDS,
@@ -32,6 +33,7 @@ from repro.exec.shards import (
 __all__ = [
     "DEFAULT_NUM_SHARDS",
     "JobRunner",
+    "JobSpec",
     "JobUpdate",
     "SamplingJob",
     "ShardSpec",

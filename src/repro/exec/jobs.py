@@ -28,143 +28,34 @@ from __future__ import annotations
 import itertools
 import multiprocessing as mp
 import os
+import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 
-import numpy as np
-
 from repro.errors import ConvergenceError, ExecError, ModelError, ReproError
+from repro.spec import JOB_KINDS, JobSpec
 
-__all__ = ["SamplingJob", "JobUpdate", "JobRunner"]
+__all__ = ["JOB_KINDS", "SamplingJob", "JobUpdate", "JobRunner"]
 
 #: Seconds between liveness checks while waiting for job events.
 _POLL_INTERVAL = 1.0
 #: Seconds to wait for a worker to exit after its stop sentinel.
 _JOIN_TIMEOUT = 10.0
 
-JOB_KINDS = ("sample_many", "tv_curve", "mixing_time")
+#: The job description is the unified request spec — one dataclass shared
+#: by the facade, this scheduler, the CLI and the serving daemon.  The
+#: historical name is kept as the scheduler-facing alias.
+SamplingJob = JobSpec
 
 
-@dataclass(frozen=True)
-class SamplingJob:
-    """One sampling request, self-contained and picklable.
+class _JobCancelled(BaseException):
+    """Worker-internal control-flow signal; never escapes the worker loop.
 
-    Build instances with the :meth:`sample_many`, :meth:`tv_curve` and
-    :meth:`mixing_time` constructors — their signatures mirror the
-    :mod:`repro.api` functions whose results they reproduce.  ``name``
-    labels the job in streamed events (defaults to ``kind:method``).
+    Derives from BaseException so job code catching ``Exception`` (or
+    :class:`~repro.errors.ReproError`) cannot swallow a cancellation.
     """
-
-    kind: str
-    model: object
-    method: str = "local-metropolis"
-    replicas: int = 1
-    rounds: int | None = None
-    eps: float | None = None
-    checkpoints: tuple[int, ...] | None = None
-    max_rounds: int = 10_000
-    stride: int = 1
-    seed: int | np.random.SeedSequence | None = None
-    initial: object = None
-    name: str | None = None
-
-    def __post_init__(self) -> None:
-        if self.kind not in JOB_KINDS:
-            raise ModelError(f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}")
-        if self.replicas < 1:
-            raise ModelError(f"job needs replicas >= 1, got {self.replicas}")
-        if self.kind == "tv_curve" and not self.checkpoints:
-            raise ModelError("a tv_curve job needs a non-empty checkpoints tuple")
-        if self.kind == "mixing_time":
-            # Mirror empirical_mixing_time's validation: a stride of 0 would
-            # otherwise spin the worker loop forever without advancing.
-            if self.eps is None:
-                raise ModelError("a mixing_time job needs eps")
-            if self.stride < 1:
-                raise ModelError(f"stride must be >= 1, got {self.stride}")
-            if self.max_rounds < 1:
-                raise ModelError(f"max_rounds must be >= 1, got {self.max_rounds}")
-
-    @property
-    def label(self) -> str:
-        """Display name used in streamed :class:`JobUpdate` events."""
-        return self.name or f"{self.kind}:{self.method}"
-
-    @classmethod
-    def sample_many(
-        cls,
-        model,
-        replicas: int,
-        method: str = "local-metropolis",
-        eps: float = 0.05,
-        rounds: int | None = None,
-        seed: int | np.random.SeedSequence | None = None,
-        initial=None,
-        name: str | None = None,
-    ) -> SamplingJob:
-        """A job whose result is ``repro.api.sample_many(...)`` — an ``(R, n)`` batch."""
-        return cls(
-            kind="sample_many",
-            model=model,
-            method=method,
-            replicas=replicas,
-            eps=eps,
-            rounds=rounds,
-            seed=seed,
-            initial=initial,
-            name=name,
-        )
-
-    @classmethod
-    def tv_curve(
-        cls,
-        model,
-        checkpoints,
-        method: str = "local-metropolis",
-        replicas: int = 1024,
-        seed: int | np.random.SeedSequence | None = None,
-        initial=None,
-        name: str | None = None,
-    ) -> SamplingJob:
-        """A job whose result is ``repro.api.tv_curve(...)``; checkpoints stream live."""
-        return cls(
-            kind="tv_curve",
-            model=model,
-            method=method,
-            replicas=replicas,
-            checkpoints=tuple(int(c) for c in checkpoints),
-            seed=seed,
-            initial=initial,
-            name=name,
-        )
-
-    @classmethod
-    def mixing_time(
-        cls,
-        model,
-        eps: float = 0.125,
-        method: str = "local-metropolis",
-        replicas: int = 2048,
-        max_rounds: int = 10_000,
-        stride: int = 1,
-        seed: int | np.random.SeedSequence | None = None,
-        initial=None,
-        name: str | None = None,
-    ) -> SamplingJob:
-        """A job whose result is ``repro.api.mixing_time(...)``; TV probes stream live."""
-        return cls(
-            kind="mixing_time",
-            model=model,
-            method=method,
-            replicas=replicas,
-            eps=eps,
-            max_rounds=max_rounds,
-            stride=stride,
-            seed=seed,
-            initial=initial,
-            name=name,
-        )
 
 
 @dataclass(frozen=True)
@@ -192,10 +83,17 @@ def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
     would build (same construction arguments, same RNG stream, same probe
     cadence), so the final result event is bit-identical to the direct
     call; the only addition is the per-checkpoint event stream.
+
+    A sharded spec (``parallel is not None``) executes with ``parallel=0``
+    — the in-process sharded reference.  Pool workers are daemonic and may
+    not spawn grandchildren, and the determinism contract makes the worker
+    count irrelevant to the bits: the result equals the same spec run on
+    any number of processes.
     """
     from repro import api
     from repro.analysis.empirical import batch_tv_to_exact
 
+    parallel = None if job.parallel is None else 0
     if job.kind == "sample_many":
         batch = api.sample_many(
             job.model,
@@ -205,51 +103,106 @@ def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
             rounds=job.rounds,
             seed=job.seed,
             initial=job.initial,
+            parallel=parallel,
+            shard_size=job.shard_size,
         )
         emit(JobUpdate(job_id, "result", job.label, payload=batch))
         return
 
     target = api._exact_distribution(job.model)
     ensemble = api.make_ensemble(
-        job.model, job.replicas, method=job.method, seed=job.seed, initial=job.initial
+        job.model,
+        job.replicas,
+        method=job.method,
+        seed=job.seed,
+        initial=job.initial,
+        parallel=parallel,
+        shard_size=job.shard_size,
     )
-    if job.kind == "tv_curve":
-        curve: list[tuple[int, float]] = []
-        for rounds, batch in ensemble.iter_checkpoints(list(job.checkpoints)):
-            tv = batch_tv_to_exact(batch, target)
-            curve.append((rounds, tv))
-            emit(JobUpdate(job_id, "checkpoint", job.label, round=rounds, value=tv))
-        emit(JobUpdate(job_id, "result", job.label, payload=curve))
-        return
-
-    # mixing_time: the empirical_mixing_time loop with streamed TV probes.
-    rounds = 0
-    while rounds < job.max_rounds:
-        step = min(job.stride, job.max_rounds - rounds)
-        ensemble.advance(step)
-        rounds += step
-        tv = batch_tv_to_exact(ensemble.config, target)
-        emit(JobUpdate(job_id, "checkpoint", job.label, round=rounds, value=tv))
-        if tv <= job.eps:
-            emit(JobUpdate(job_id, "result", job.label, payload=rounds))
+    try:
+        if job.kind == "tv_curve":
+            curve: list[tuple[int, float]] = []
+            for rounds, batch in ensemble.iter_checkpoints(list(job.checkpoints)):
+                tv = batch_tv_to_exact(batch, target)
+                curve.append((rounds, tv))
+                emit(JobUpdate(job_id, "checkpoint", job.label, round=rounds, value=tv))
+            emit(JobUpdate(job_id, "result", job.label, payload=curve))
             return
-    raise ConvergenceError(
-        f"ensemble TV did not reach {job.eps} within {job.max_rounds} rounds"
-    )
+
+        # mixing_time: the empirical_mixing_time loop with streamed TV probes.
+        rounds = 0
+        while rounds < job.max_rounds:
+            step = min(job.stride, job.max_rounds - rounds)
+            ensemble.advance(step)
+            rounds += step
+            tv = batch_tv_to_exact(ensemble.config, target)
+            emit(JobUpdate(job_id, "checkpoint", job.label, round=rounds, value=tv))
+            if tv <= job.eps:
+                emit(JobUpdate(job_id, "result", job.label, payload=rounds))
+                return
+        raise ConvergenceError(
+            f"ensemble TV did not reach {job.eps} within {job.max_rounds} rounds"
+        )
+    finally:
+        if parallel is not None:
+            ensemble.close()
 
 
-def _job_worker_main(tasks, events) -> None:  # pragma: no cover - worker-side
-    """Worker loop: pull jobs off the shared queue until the stop sentinel."""
+def _job_worker_main(tasks, events, control) -> None:  # pragma: no cover - worker-side
+    """Worker loop: pull jobs off the shared queue until the stop sentinel.
+
+    ``control`` is this worker's read end of the cancellation channel: the
+    parent broadcasts cancelled job ids to every worker.  The set is
+    checked when a job is pulled off the queue (a queued job cancels
+    before any work happens) and at every event emission (a running
+    streamed job cancels at its next checkpoint boundary).
+    """
+    cancelled: set[int] = set()
+
+    def drain_control() -> None:
+        try:
+            while control.poll():
+                cancelled.add(control.recv())
+        except (EOFError, OSError):
+            pass
+
     while True:
         item = tasks.get()
         if item is None:
             return
         job_id, job = item
+        drain_control()
+        if job_id in cancelled:
+            events.put(
+                JobUpdate(
+                    job_id,
+                    "error",
+                    job.label,
+                    payload="CancelledError: job cancelled before it started",
+                )
+            )
+            continue
+
+        def emit(event, job_id=job_id):
+            drain_control()
+            if job_id in cancelled:
+                raise _JobCancelled()
+            events.put(event)
+
         try:
             # Announce the pickup with this worker's pid so the parent can
             # attribute the job if this process dies mid-execution.
             events.put(JobUpdate(job_id, "started", job.label, payload=os.getpid()))
-            _execute_job(job_id, job, events.put)
+            _execute_job(job_id, job, emit)
+        except _JobCancelled:
+            events.put(
+                JobUpdate(
+                    job_id,
+                    "error",
+                    job.label,
+                    payload="CancelledError: job cancelled",
+                )
+            )
         except ReproError as error:
             events.put(
                 JobUpdate(
@@ -304,11 +257,17 @@ class JobRunner:
         # instructions, and the loss inference in _next_event covers even
         # that.
         self._events = [self._ctx.SimpleQueue() for _ in range(self.workers)]
+        # One cancellation channel per worker; cancel() broadcasts the job
+        # id to all of them (only the worker holding the job acts on it).
+        control_pairs = [self._ctx.Pipe(duplex=False) for _ in range(self.workers)]
+        self._controls = [sender for _, sender in control_pairs]
         self._processes = [
             self._ctx.Process(
-                target=_job_worker_main, args=(self._tasks, events), daemon=True
+                target=_job_worker_main,
+                args=(self._tasks, events, receiver),
+                daemon=True,
             )
-            for events in self._events
+            for events, (receiver, _) in zip(self._events, control_pairs)
         ]
         for process in self._processes:
             process.start()
@@ -316,6 +275,12 @@ class JobRunner:
         self._jobs: dict[int, SamplingJob] = {}
         self._pending: set[int] = set()
         self._active: dict[int, int] = {}  # worker pid -> job it is executing
+        self._quiet_seconds = 0.0
+        # Guards the scheduling state (_jobs/_pending/_active/results/
+        # errors) so one thread may submit while another drains
+        # next_event — the repro.serve daemon does exactly that.  The
+        # event *wait* is never under the lock; only the bookkeeping is.
+        self._lock = threading.Lock()
         self.results: dict[int, object] = {}
         self.errors: dict[int, str] = {}
         self._closed = False
@@ -325,26 +290,41 @@ class JobRunner:
         if not isinstance(job, SamplingJob):
             raise ModelError(f"submit needs a SamplingJob, got {type(job).__name__}")
         self._ensure_open()
-        job_id = next(self._ids)
-        self._jobs[job_id] = job
-        self._pending.add(job_id)
+        with self._lock:
+            job_id = next(self._ids)
+            self._jobs[job_id] = job
+            self._pending.add(job_id)
         self._tasks.put((job_id, job))
         return job_id
+
+    def cancel(self, job_id: int) -> bool:
+        """Request cancellation of a submitted job; returns True if still open.
+
+        Cancellation is cooperative: a job still sitting in the queue is
+        discarded the moment a worker pulls it; a running streamed job
+        stops at its next checkpoint boundary (a running ``sample_many``
+        has no boundaries and runs to completion).  Either way the job
+        settles through the normal event stream with a
+        ``CancelledError: ...`` error event — cancel() never blocks.
+        Cancelling an already-settled or unknown job id returns False.
+        """
+        self._ensure_open()
+        if job_id not in self._pending:
+            return False
+        for sender in self._controls:
+            try:
+                sender.send(job_id)
+            except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+                pass
+        return True
 
     def stream(self):
         """Yield :class:`JobUpdate` events until every submitted job settles."""
         self._ensure_open()
         while self._pending:
-            event = self._next_event()
-            if event.kind == "started":
-                self._active[event.payload] = event.job_id
-            elif event.kind == "result":
-                self.results[event.job_id] = event.payload
-                self._settle(event.job_id)
-            elif event.kind == "error":
-                self.errors[event.job_id] = event.payload
-                self._settle(event.job_id)
-            yield event
+            event = self.next_event()
+            if event is not None:
+                yield event
 
     def _settle(self, job_id: int) -> None:
         self._pending.discard(job_id)
@@ -364,66 +344,115 @@ class JobRunner:
             )
         return dict(self.results)
 
-    def _next_event(self) -> JobUpdate:
-        misses = 0
+    def next_event(self, timeout: float | None = None) -> JobUpdate | None:
+        """Return the next :class:`JobUpdate`, or None if ``timeout`` expires.
+
+        The resumable core of :meth:`stream`, usable directly by callers
+        that multiplex a runner with other work (the :mod:`repro.serve`
+        dispatcher polls this with a short timeout while jobs are
+        submitted concurrently from another thread).  All bookkeeping —
+        ``results``/``errors``, worker-pid attribution, dead-worker
+        inference — happens here, so interleaving ``next_event`` calls
+        with :meth:`stream` is safe.  With ``timeout=None`` and nothing
+        pending this blocks until a job is submitted *and* produces an
+        event; pass a timeout when submissions happen concurrently.
+        """
+        self._ensure_open()
+        deadline = None if timeout is None else time.monotonic() + timeout
         readers = {events._reader: events for events in self._events}
         while True:
-            ready = mp_connection.wait(list(readers), timeout=_POLL_INTERVAL)
+            wait_for = _POLL_INTERVAL
+            if deadline is not None:
+                wait_for = min(wait_for, max(0.0, deadline - time.monotonic()))
+            started_wait = time.monotonic()
+            ready = mp_connection.wait(list(readers), timeout=wait_for)
             if ready:
-                return readers[ready[0]].get()
-            misses += 1
-            if misses < 2:
-                # One grace poll: events from a just-dead worker may
-                # still be in flight through the queue feeder thread.
-                continue
-            # A dead worker that had announced a job loses exactly that
-            # job; surviving workers keep draining the queue.
-            for process in self._processes:
-                if not process.is_alive() and process.pid in self._active:
+                self._quiet_seconds = 0.0
+                event = readers[ready[0]].get()
+                self._record(event)
+                return event
+            # Quiet time accumulates *across* calls: repeated short-timeout
+            # polling (the serve dispatcher) converges on the same liveness
+            # inference as one long blocking call, after the same grace
+            # period a just-dead worker gets for in-flight events.
+            self._quiet_seconds += time.monotonic() - started_wait
+            if self._pending and self._quiet_seconds >= 2 * _POLL_INTERVAL:
+                inferred = self._infer_lost_job()
+                if inferred is not None:
+                    self._record(inferred)
+                    return inferred
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+
+    def _record(self, event: JobUpdate) -> None:
+        """Fold one event into the runner's bookkeeping (idempotent per job)."""
+        with self._lock:
+            if event.kind == "started":
+                self._active[event.payload] = event.job_id
+            elif event.kind == "result":
+                self.results[event.job_id] = event.payload
+                self._settle(event.job_id)
+            elif event.kind == "error":
+                self.errors[event.job_id] = event.payload
+                self._settle(event.job_id)
+
+    def _infer_lost_job(self) -> JobUpdate | None:
+        """Liveness inference after two quiet polls: fail provably lost jobs."""
+        # A dead worker that had announced a job loses exactly that
+        # job; surviving workers keep draining the queue.  Snapshot the
+        # scheduling state under the lock so a concurrent submit cannot
+        # mutate the sets mid-inference.
+        with self._lock:
+            active = dict(self._active)
+            pending = set(self._pending)
+        for process in self._processes:
+            if not process.is_alive() and process.pid in active:
+                with self._lock:
                     job_id = self._active.pop(process.pid)
-                    return JobUpdate(
-                        job_id,
-                        "error",
-                        self._jobs[job_id].label,
-                        payload=(
-                            f"worker {process.pid} died executing this job "
-                            f"(exit code {process.exitcode})"
-                        ),
-                    )
-            if all(not process.is_alive() for process in self._processes):
-                self.close(force=True)
-                raise ExecError(
-                    "all JobRunner workers died with jobs outstanding"
-                ) from None
-            # A worker that died in the instant between pulling a job off
-            # the task queue and announcing it leaves the job unaccounted:
-            # pending, claimed by no one, queues silent.  Once every live
-            # worker is provably idle, "still queued" is impossible — an
-            # idle worker would have picked it up — so fail it rather than
-            # poll forever.
-            dead_unaccounted = [
-                process
-                for process in self._processes
-                if not process.is_alive() and process.pid not in self._active
-            ]
-            live_busy = any(
-                process.is_alive() and process.pid in self._active
-                for process in self._processes
-            )
-            unannounced = self._pending - set(self._active.values())
-            if dead_unaccounted and unannounced and not live_busy:
-                job_id = min(unannounced)
-                victim = dead_unaccounted[0]
                 return JobUpdate(
                     job_id,
                     "error",
                     self._jobs[job_id].label,
                     payload=(
-                        f"worker {victim.pid} (exit code {victim.exitcode}) "
-                        "died before announcing a job; this pending job was "
-                        "likely consumed and lost"
+                        f"worker {process.pid} died executing this job "
+                        f"(exit code {process.exitcode})"
                     ),
                 )
+        if all(not process.is_alive() for process in self._processes):
+            self.close(force=True)
+            raise ExecError(
+                "all JobRunner workers died with jobs outstanding"
+            ) from None
+        # A worker that died in the instant between pulling a job off
+        # the task queue and announcing it leaves the job unaccounted:
+        # pending, claimed by no one, queues silent.  Once every live
+        # worker is provably idle, "still queued" is impossible — an
+        # idle worker would have picked it up — so fail it rather than
+        # poll forever.
+        dead_unaccounted = [
+            process
+            for process in self._processes
+            if not process.is_alive() and process.pid not in active
+        ]
+        live_busy = any(
+            process.is_alive() and process.pid in active
+            for process in self._processes
+        )
+        unannounced = pending - set(active.values())
+        if dead_unaccounted and unannounced and not live_busy:
+            job_id = min(unannounced)
+            victim = dead_unaccounted[0]
+            return JobUpdate(
+                job_id,
+                "error",
+                self._jobs[job_id].label,
+                payload=(
+                    f"worker {victim.pid} (exit code {victim.exitcode}) "
+                    "died before announcing a job; this pending job was "
+                    "likely consumed and lost"
+                ),
+            )
+        return None
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -450,6 +479,11 @@ class JobRunner:
         self._tasks.close()
         for events in self._events:
             events.close()
+        for sender in self._controls:
+            try:
+                sender.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
     def __enter__(self):
         return self

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.chains.base import SeedLike
+from repro.chains.base import as_seed_sequence as _as_seed_sequence
 from repro.errors import ModelError
 
 __all__ = [
@@ -63,26 +65,17 @@ class ShardSpec:
         return self.stop - self.start
 
 
-def as_seed_sequence(
-    seed: int | np.random.SeedSequence | None,
-) -> np.random.SeedSequence:
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
     """Coerce a seed into the root :class:`numpy.random.SeedSequence`.
 
     ``None`` draws fresh OS entropy (the run is still internally
     deterministic: the plan is built once and its spawned children are
     shipped to the workers).  Generators are rejected: a live Generator is
     a stateful stream that cannot be split deterministically, so sharded
-    execution requires the spawnable form.
+    execution requires the spawnable form.  The sharding-strict variant of
+    the shared coercion helper :func:`repro.chains.base.as_seed_sequence`.
     """
-    if isinstance(seed, np.random.SeedSequence):
-        return seed
-    if seed is None or isinstance(seed, (int, np.integer)):
-        return np.random.SeedSequence(seed)
-    raise ModelError(
-        "sharded execution needs an int or numpy.random.SeedSequence seed "
-        f"(a live Generator cannot be split into shard streams), got "
-        f"{type(seed).__name__}"
-    )
+    return _as_seed_sequence(seed, allow_generator=False)
 
 
 def make_shard_plan(

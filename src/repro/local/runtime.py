@@ -7,6 +7,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.chains.base import SeedLike
 from repro.errors import ProtocolError
 from repro.local.network import Network
 from repro.local.protocol import NodeContext, Protocol
@@ -63,7 +64,7 @@ def run_protocol(
     protocol: Protocol,
     network: Network,
     rounds: int,
-    seed: int | np.random.SeedSequence | None = None,
+    seed: SeedLike = None,
     private_inputs: list[Any] | None = None,
     engine: str = "reference",
     collect_stats: bool = True,
@@ -79,7 +80,8 @@ def run_protocol(
     rounds:
         Number of rounds ``T`` to run before asking every node to finalize.
     seed:
-        Root seed; per-node streams are spawned independently from it.
+        Root seed (:data:`~repro.chains.base.SeedLike`); per-node streams
+        are spawned independently from it via the shared coercion helper.
     private_inputs:
         Optional per-node private inputs (length ``n``); ``None`` gives every
         node ``None``.

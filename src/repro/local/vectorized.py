@@ -37,6 +37,7 @@ import numpy as np
 from repro.chains.fastpaths import build_csr_neighbours, sorted_edge_arrays
 from repro.errors import ProtocolError
 from repro.local.network import Network
+from repro.chains.base import SeedLike
 from repro.local.rng import root_seed_sequence
 
 __all__ = ["VectorizedContext", "VectorizedProtocol", "run_vectorized"]
@@ -146,7 +147,7 @@ def run_vectorized(
     protocol: VectorizedProtocol,
     network: Network,
     rounds: int,
-    seed: int | np.random.SeedSequence | None = None,
+    seed: "SeedLike" = None,
     private_inputs: list[Any] | None = None,
     collect_stats: bool = True,
 ) -> tuple[np.ndarray, "RunStats"]:

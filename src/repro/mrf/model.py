@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.graphs.structure import check_vertex_labels
+from repro.serialize import payload_fingerprint
 
 __all__ = ["MRF", "Config", "as_config"]
 
@@ -227,6 +228,69 @@ class MRF:
             bool(np.all((matrix == 0.0) | (matrix == 1.0)))
             for matrix in self._edge_activity.values()
         )
+
+    # ------------------------------------------------------------------
+    # canonical serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical plain-JSON form: sorted edges, dtype-normalized tables.
+
+        The payload depends only on the model's mathematical content (the
+        constructor already sorts ``edges`` canonically and coerces every
+        activity to float64), never on how the instance was built — two
+        equal models serialise to equal payloads.  Inverse:
+        :meth:`from_dict`.
+        """
+        return {
+            "type": "mrf",
+            "name": self.name,
+            "n": self.n,
+            "q": self.q,
+            "edges": [[u, v] for u, v in self.edges],
+            "edge_activities": [
+                self._edge_activity[edge].tolist() for edge in self.edges
+            ],
+            "vertex_activities": self.vertex_activity.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> MRF:
+        """Rebuild an :class:`MRF` from a :meth:`to_dict` payload."""
+        try:
+            n = int(payload["n"])
+            q = int(payload["q"])
+            edges = [(int(u), int(v)) for u, v in payload["edges"]]
+            edge_tables = payload["edge_activities"]
+            vertex_table = np.asarray(payload["vertex_activities"], dtype=float)
+            name = str(payload.get("name", "mrf"))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ModelError(f"malformed MRF payload: {error}") from None
+        if len(edge_tables) != len(edges):
+            raise ModelError(
+                f"MRF payload has {len(edges)} edges but "
+                f"{len(edge_tables)} edge activity tables"
+            )
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(edges)
+        activities = {
+            edge: np.asarray(table, dtype=float)
+            for edge, table in zip(edges, edge_tables)
+        }
+        return cls(graph, q, activities, vertex_table, name=name)
+
+    def model_fingerprint(self) -> str:
+        """Stable content hash of the distribution-defining payload.
+
+        The ``name`` field is cosmetic and excluded: two independently
+        built copies of the same model hash identically, so result caches
+        keyed on this fingerprint deduplicate across processes.  Equal
+        fingerprints imply bit-identical sampling results for equal
+        requests (every value that can influence a sampled bit is hashed).
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        return payload_fingerprint(payload)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,94 @@
+"""Canonical model serialization and content fingerprints.
+
+The serving layer (:mod:`repro.serve`) caches sampling results keyed by
+*what was requested*, not by which in-memory objects happened to describe
+it.  That requires a canonical, identity-free form for models:
+
+* :meth:`repro.mrf.model.MRF.to_dict` / :meth:`repro.csp.model.LocalCSP.to_dict`
+  emit a plain-JSON payload (sorted canonical edge order, dtype-normalized
+  float tables) and ``from_dict`` rebuilds an equivalent model;
+* ``model_fingerprint()`` hashes the *distribution-defining* part of that
+  payload (names are cosmetic and excluded), so two independently built
+  copies of the same model share one fingerprint — and therefore one cache
+  line.
+
+Fingerprint contract: equal fingerprints guarantee bit-identical sampling
+results for equal requests.  Everything that can change a sampled bit
+(edge/constraint order, activity values, ``n``, ``q``) is part of the
+hashed payload; everything that cannot (model/constraint names, object
+identity, array dtypes beyond their float values) is not.
+
+This module deliberately has no model imports at module level — the model
+classes import the helpers below, and :func:`model_from_dict` resolves the
+concrete class lazily by payload ``type``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import ModelError
+
+__all__ = [
+    "canonical_json",
+    "payload_fingerprint",
+    "model_to_dict",
+    "model_from_dict",
+]
+
+
+def canonical_json(payload) -> str:
+    """Serialise ``payload`` into its canonical JSON text.
+
+    Sorted keys, no whitespace, ``allow_nan=False`` — two structurally
+    equal payloads always produce the same bytes, which is what makes the
+    fingerprint (and hence every cache key built on it) stable across
+    processes and sessions.  Floats rely on ``repr``-style shortest
+    round-trip formatting, so distinct float64 values never collide and
+    equal values never diverge.
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as error:
+        raise ModelError(f"payload is not canonically serialisable: {error}") from None
+
+
+def payload_fingerprint(payload) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``payload``."""
+    text = canonical_json(payload)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def model_to_dict(model) -> dict:
+    """Serialise an :class:`~repro.mrf.model.MRF` or :class:`~repro.csp.model.LocalCSP`."""
+    to_dict = getattr(model, "to_dict", None)
+    if to_dict is None:
+        raise ModelError(
+            f"cannot serialise model of type {type(model).__name__}; expected an "
+            "object with to_dict() (MRF or LocalCSP)"
+        )
+    return to_dict()
+
+
+def model_from_dict(payload: dict):
+    """Rebuild a model from a :func:`model_to_dict` payload.
+
+    Dispatches on ``payload["type"]`` (``"mrf"`` or ``"csp"``); the inverse
+    of :func:`model_to_dict` up to object identity — the rebuilt model has
+    the same fingerprint as the original.
+    """
+    if not isinstance(payload, dict):
+        raise ModelError(f"model payload must be a dict, got {type(payload).__name__}")
+    kind = payload.get("type")
+    if kind == "mrf":
+        from repro.mrf.model import MRF
+
+        return MRF.from_dict(payload)
+    if kind == "csp":
+        from repro.csp.model import LocalCSP
+
+        return LocalCSP.from_dict(payload)
+    raise ModelError(f"unknown model payload type {kind!r}; expected 'mrf' or 'csp'")

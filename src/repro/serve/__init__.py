@@ -1,0 +1,28 @@
+"""Always-on sampling service with result caching.
+
+The serving layer of the execution stack: a persistent daemon
+(:class:`ReproServer`) that multiplexes :class:`~repro.spec.JobSpec`
+requests onto a :class:`~repro.exec.jobs.JobRunner` worker pool behind an
+HTTP/JSON API — admission control and backpressure on the way in, streamed
+per-checkpoint events on the way out, and a content-addressed LRU
+:class:`ResultCache` in front, keyed so that a hit is *guaranteed*
+bit-identical to re-running the job (see
+:meth:`repro.spec.JobSpec.cache_key`).
+
+Everything is stdlib: ``asyncio`` transport on the server,
+``http.client`` in :class:`ServeClient`.  The CLI front-ends are
+``repro serve`` and ``repro submit``.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+from repro.serve.wire import decode_result, encode_result
+
+__all__ = [
+    "ReproServer",
+    "ResultCache",
+    "ServeClient",
+    "decode_result",
+    "encode_result",
+]

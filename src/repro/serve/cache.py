@@ -1,0 +1,93 @@
+"""Content-addressed LRU cache for sampling results.
+
+Keys are :meth:`repro.spec.JobSpec.cache_key` digests — a key equality
+*guarantees* result equality (the key hashes everything that can reach a
+sampled bit, and sampling is a pure function of it), so serving a cached
+entry is indistinguishable from re-running the job.  Values are the
+wire-encoded result payloads, ready to be written into a response with no
+re-encoding.
+
+Eviction is plain LRU over a bounded entry count; ``hits``/``misses``/
+``evictions`` counters feed the daemon's ``/v1/stats`` route and the E17
+benchmark.  The cache is thread-safe (the daemon touches it from its
+event loop, benchmarks and tests from wherever they like).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import ModelError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded LRU mapping of cache keys to wire-encoded results.
+
+    ``capacity`` is the maximum number of entries; ``0`` disables caching
+    entirely (every ``get`` misses, ``put`` is a no-op) — useful for
+    measuring cold-path performance.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ModelError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str):
+        """Return the cached value for ``key`` (refreshing it), or None."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value) -> None:
+        """Insert/refresh ``key``; evicts least-recently-used past capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters and occupancy as one JSON-able dict."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(capacity={self.capacity}, size={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,134 @@
+"""Stdlib HTTP client for the sampling daemon.
+
+:class:`ServeClient` speaks the :mod:`repro.serve.server` request API with
+nothing beyond ``http.client``.  Each call opens a fresh connection (the
+server closes connections after every response anyway), so a client
+instance is cheap, stateless and safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.errors import ServeError, ServerOverloadedError
+from repro.serve.wire import decode_result
+from repro.spec import JobSpec
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Submit :class:`~repro.spec.JobSpec` requests to a running daemon.
+
+    ``run`` is the blocking convenience (result only); ``submit`` returns
+    the full response document (result, ``cached`` flag, job id);
+    ``stream`` yields the live event lines of a streamed submission.
+    Overloaded submissions raise
+    :class:`~repro.errors.ServerOverloadedError`; every other server-side
+    failure raises :class:`~repro.errors.ServeError`.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None, stream=False):
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            connection.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            if stream and response.status == 200:
+                return connection, response
+            data = response.read()
+        except ServeError:
+            connection.close()
+            raise
+        except OSError as error:
+            connection.close()
+            raise ServeError(f"request to {self.host}:{self.port} failed: {error}")
+        document = {}
+        if data:
+            try:
+                document = json.loads(data)
+            except ValueError:
+                document = {"error": data.decode("utf-8", "replace")}
+        connection.close()
+        if response.status == 429:
+            raise ServerOverloadedError(document.get("error", "server overloaded"))
+        if response.status != 200:
+            raise ServeError(
+                document.get("error", f"HTTP {response.status} from server")
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /v1/health``."""
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        """``GET /v1/stats`` — job and cache counters."""
+        return self._request("GET", "/v1/stats")
+
+    def cancel(self, job_id: int) -> bool:
+        """Request cooperative cancellation of an accepted job."""
+        document = self._request("POST", f"/v1/jobs/{int(job_id)}/cancel")
+        return bool(document.get("cancelled"))
+
+    def submit(self, spec: JobSpec) -> dict:
+        """Submit a spec and block for the full response document.
+
+        Returns ``{"result": <decoded>, "cached": bool, "job_id": ...}``;
+        the result is decoded back to the exact :mod:`repro.api` return
+        type (bit-identical to a direct call).
+        """
+        document = self._request(
+            "POST", "/v1/jobs", {"spec": spec.to_wire(), "stream": False}
+        )
+        document["result"] = decode_result(document["kind"], document["result"])
+        return document
+
+    def run(self, spec: JobSpec):
+        """Submit a spec and return just its decoded result."""
+        return self.submit(spec)["result"]
+
+    def stream(self, spec: JobSpec):
+        """Submit a spec with streaming; yield event dicts as they arrive.
+
+        Events are ``accepted`` / ``started`` / ``checkpoint`` lines
+        followed by exactly one ``result`` (its ``"result"`` value decoded)
+        or ``error`` terminal line; the generator ends after the terminal
+        event.  Closing the generator early disconnects — the server keeps
+        running (and caching) the job.
+        """
+        connection, response = self._request(
+            "POST", "/v1/jobs", {"spec": spec.to_wire(), "stream": True}, stream=True
+        )
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                event = json.loads(line)
+                if event.get("event") == "result":
+                    event["result"] = decode_result(event["kind"], event["result"])
+                yield event
+                if event.get("event") in ("result", "error"):
+                    return
+        finally:
+            connection.close()
+
+    def __repr__(self) -> str:
+        return f"ServeClient({self.host!r}, {self.port})"

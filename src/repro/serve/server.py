@@ -1,0 +1,519 @@
+"""The always-on sampling daemon.
+
+:class:`ReproServer` fronts a :class:`~repro.exec.jobs.JobRunner` worker
+pool with an HTTP/JSON request API (stdlib only — ``asyncio`` transport,
+hand-rolled HTTP/1.1), a content-addressed result cache and admission
+control:
+
+* ``POST /v1/jobs`` submits a :meth:`repro.spec.JobSpec.to_wire` payload.
+  With ``"stream": true`` the response is a ``Connection: close`` JSON-lines
+  stream of per-checkpoint :class:`~repro.exec.jobs.JobUpdate` events ending
+  in a ``result``/``error`` line; otherwise one JSON document with the final
+  result.
+* Requests whose spec has a :meth:`~repro.spec.JobSpec.cache_key` are served
+  from the LRU :class:`~repro.serve.cache.ResultCache` when possible —
+  bit-identical to a fresh run by the key's contract — and cached on
+  completion *regardless of whether the client stayed connected*.
+* Admission control bounds the in-flight job count (``max_pending``);
+  beyond it, submissions are rejected immediately with HTTP 429 rather
+  than queueing without bound.  Cache hits are exempt — they cost no
+  worker time.
+* ``POST /v1/jobs/<id>/cancel`` requests cooperative cancellation;
+  ``GET /v1/health`` and ``GET /v1/stats`` report liveness and counters.
+
+Threading model: the asyncio loop runs in one daemon thread (connection
+handling, all bookkeeping); a second *dispatcher* thread blocks on
+``runner.next_event(timeout)`` and trampolines each event into the loop
+via ``call_soon_threadsafe``.  The runner's own lock makes the
+cross-thread submit/poll pattern safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ModelError, ReproError, ServeError
+from repro.exec.jobs import JobRunner
+from repro.serve.cache import ResultCache
+from repro.serve.wire import encode_result
+from repro.spec import JobSpec
+
+__all__ = ["ReproServer"]
+
+#: Dispatcher poll granularity (seconds): the latency floor for noticing a
+#: shutdown request; events themselves wake the poll immediately.
+_DISPATCH_POLL = 0.1
+#: Reject request bodies beyond this size (bytes) instead of buffering them.
+_MAX_BODY = 128 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+_CANCEL_ROUTE = re.compile(r"^/v1/jobs/(\d+)/cancel$")
+
+
+@dataclass
+class _JobContext:
+    """Loop-side state of one in-flight submission."""
+
+    job_id: int
+    spec: JobSpec
+    cache_key: str | None
+    queue: asyncio.Queue | None  # streamed responses; None for unary
+    future: asyncio.Future | None  # unary responses; None for streamed
+
+
+class ReproServer:
+    """An always-on sampling service over a persistent worker pool.
+
+    Usable as a context manager::
+
+        with ReproServer(workers=4) as server:
+            client = ServeClient(*server.address)
+            batch = client.run(JobSpec.sample_many(model, 256, seed=7))
+
+    ``port=0`` (the default) binds an ephemeral port; read the bound
+    address from :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        cache_capacity: int = 128,
+        max_pending: int = 32,
+        start_method: str | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ModelError(f"max_pending must be >= 1, got {max_pending}")
+        self._requested_host = host
+        self._requested_port = int(port)
+        self.workers = int(workers)
+        self.max_pending = int(max_pending)
+        self.cache = ResultCache(cache_capacity)
+        self._start_method = start_method
+        self.host: str | None = None
+        self.port: int | None = None
+        self._runner: JobRunner | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._contexts: dict[int, _JobContext] = {}
+        self._stop = threading.Event()
+        self._closed = False
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind the socket, start the pool and both threads; returns (host, port)."""
+        if self._closed:
+            raise ServeError("this ReproServer has been closed")
+        if self._loop is not None:
+            raise ServeError("this ReproServer has already been started")
+        self._runner = JobRunner(workers=self.workers, start_method=self._start_method)
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-loop", daemon=True
+        )
+        self._loop_thread.start()
+        try:
+            opened = asyncio.run_coroutine_threadsafe(self._open(), self._loop)
+            self.host, self.port = opened.result(timeout=30)
+        except Exception:
+            self.close()
+            raise
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        return self.host, self.port
+
+    async def _open(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, self._requested_host, self._requested_port
+        )
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); raises if the server is not running."""
+        if self.host is None or self.port is None:
+            raise ServeError("server is not running; call start() first")
+        return self.host, self.port
+
+    def close(self) -> None:
+        """Stop accepting, fail in-flight requests, stop the pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10)
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result(
+                    timeout=10
+                )
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=10)
+            loop.close()
+        if self._runner is not None:
+            self._runner.close()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for ctx in list(self._contexts.values()):
+            self._finish(ctx, {"event": "error", "job_id": ctx.job_id,
+                               "message": "server shutting down"})
+
+    def __enter__(self) -> ReproServer:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatcher thread: runner events -> loop
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                event = self._runner.next_event(timeout=_DISPATCH_POLL)
+            except ReproError as error:
+                # The runner is unusable (closed, or every worker died):
+                # fail whatever is in flight and stop dispatching.
+                message = f"job scheduler failed: {error}"
+                loop = self._loop
+                if loop is not None and not loop.is_closed():
+                    loop.call_soon_threadsafe(self._fail_all, message)
+                return
+            if event is None:
+                continue
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            loop.call_soon_threadsafe(self._route_event, event)
+
+    def _fail_all(self, message: str) -> None:
+        for ctx in list(self._contexts.values()):
+            self._failed += 1
+            self._finish(ctx, {"event": "error", "job_id": ctx.job_id,
+                               "message": message})
+
+    def _route_event(self, event) -> None:
+        """Fold one JobUpdate into the in-flight contexts (loop thread only).
+
+        Results are cached *here*, in the central router, not in the
+        per-connection handlers — a client that disconnected mid-stream
+        still populates the cache when its job completes.
+        """
+        ctx = self._contexts.get(event.job_id)
+        if ctx is None:
+            return
+        if event.kind == "started":
+            if ctx.queue is not None:
+                ctx.queue.put_nowait(
+                    {"event": "started", "job_id": ctx.job_id, "label": event.label}
+                )
+        elif event.kind == "checkpoint":
+            if ctx.queue is not None:
+                ctx.queue.put_nowait(
+                    {
+                        "event": "checkpoint",
+                        "job_id": ctx.job_id,
+                        "round": event.round,
+                        "value": event.value,
+                    }
+                )
+        elif event.kind == "result":
+            encoded = encode_result(ctx.spec.kind, event.payload)
+            if ctx.cache_key is not None:
+                self.cache.put(ctx.cache_key, {"kind": ctx.spec.kind, "result": encoded})
+            self._completed += 1
+            self._finish(
+                ctx,
+                {
+                    "event": "result",
+                    "job_id": ctx.job_id,
+                    "kind": ctx.spec.kind,
+                    "cached": False,
+                    "result": encoded,
+                },
+            )
+        elif event.kind == "error":
+            self._failed += 1
+            self._finish(
+                ctx,
+                {"event": "error", "job_id": ctx.job_id, "message": str(event.payload)},
+            )
+
+    def _finish(self, ctx: _JobContext, payload: dict) -> None:
+        self._contexts.pop(ctx.job_id, None)
+        if ctx.queue is not None:
+            ctx.queue.put_nowait(payload)
+            ctx.queue.put_nowait(None)  # end-of-stream sentinel
+        if ctx.future is not None and not ctx.future.done():
+            ctx.future.set_result(payload)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                await self._respond(writer, 400, {"error": "malformed HTTP request"})
+            else:
+                method, path, body = request
+                if body is _TOO_LARGE:
+                    await self._respond(
+                        writer, 413, {"error": "request body too large"}
+                    )
+                else:
+                    await self._route(method, path, body, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            # The client hung up; any job it submitted keeps running and
+            # its result still lands in the cache via _route_event.
+            pass
+        except ServeError as error:
+            await self._try_respond(writer, 500, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - handler safety net
+            await self._try_respond(
+                writer, 500, {"error": f"{type(error).__name__}: {error}"}
+            )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1", "replace").split()
+        if len(parts) != 3:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1", "replace").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length > _MAX_BODY:
+            return method, path, _TOO_LARGE
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method, path, body
+
+    async def _respond(self, writer, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _try_respond(self, writer, status: int, payload: dict) -> None:
+        try:
+            await self._respond(writer, status, payload)
+        except Exception:  # pragma: no cover - client already gone
+            pass
+
+    async def _route(self, method: str, path: str, body: bytes, writer) -> None:
+        if method == "GET" and path == "/v1/health":
+            await self._respond(
+                writer, 200, {"ok": True, "workers": self.workers}
+            )
+            return
+        if method == "GET" and path == "/v1/stats":
+            await self._respond(writer, 200, self.stats())
+            return
+        if method == "POST" and path == "/v1/jobs":
+            await self._handle_submit(body, writer)
+            return
+        cancel = _CANCEL_ROUTE.match(path)
+        if method == "POST" and cancel:
+            cancelled = self._runner.cancel(int(cancel.group(1)))
+            await self._respond(writer, 200, {"cancelled": bool(cancelled)})
+            return
+        await self._respond(writer, 404, {"error": f"no route {method} {path}"})
+
+    # ------------------------------------------------------------------
+    # job submission
+    # ------------------------------------------------------------------
+    async def _handle_submit(self, body: bytes, writer) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ModelError("request body must be a JSON object")
+            spec = JobSpec.from_wire(payload.get("spec"))
+            stream = bool(payload.get("stream", False))
+        except (ValueError, UnicodeDecodeError) as error:
+            await self._respond(writer, 400, {"error": f"malformed request: {error}"})
+            return
+        except ModelError as error:
+            await self._respond(writer, 400, {"error": str(error)})
+            return
+
+        key = spec.cache_key()
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                result_line = {
+                    "event": "result",
+                    "job_id": None,
+                    "kind": hit["kind"],
+                    "cached": True,
+                    "result": hit["result"],
+                }
+                if stream:
+                    await self._stream_lines(writer, [result_line])
+                else:
+                    await self._respond(writer, 200, result_line)
+                return
+
+        # Admission control *after* the cache check: a hit costs no worker
+        # time, so it is served even when the pool is saturated.
+        if len(self._contexts) >= self.max_pending:
+            self._rejected += 1
+            await self._respond(
+                writer,
+                429,
+                {
+                    "error": (
+                        f"server overloaded: {len(self._contexts)} jobs in "
+                        f"flight (max_pending={self.max_pending}); retry later"
+                    )
+                },
+            )
+            return
+
+        loop = asyncio.get_running_loop()
+        ctx = _JobContext(
+            job_id=-1,
+            spec=spec,
+            cache_key=key,
+            queue=asyncio.Queue() if stream else None,
+            future=None if stream else loop.create_future(),
+        )
+        # Submit and register the context in one synchronous block: the
+        # dispatcher routes events via call_soon_threadsafe, which can only
+        # run once control returns to the loop — so the job's first events
+        # cannot outrun the registration.
+        try:
+            job_id = self._runner.submit(spec)
+        except ReproError as error:
+            await self._respond(writer, 500, {"error": str(error)})
+            return
+        ctx.job_id = job_id
+        self._contexts[job_id] = ctx
+        self._submitted += 1
+
+        if not stream:
+            outcome = await ctx.future
+            if outcome.get("event") == "result":
+                await self._respond(writer, 200, outcome)
+            else:
+                await self._respond(
+                    writer, 500, {"error": outcome.get("message", "job failed")}
+                )
+            return
+
+        await self._stream_job(writer, ctx)
+
+    async def _stream_lines(self, writer, lines) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        for line in lines:
+            writer.write(json.dumps(line).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _stream_job(self, writer, ctx: _JobContext) -> None:
+        """Relay a job's event queue as JSON lines until it settles.
+
+        A transport error mid-stream (client disconnect) stops the relay
+        only — the job itself keeps running on the pool and the router
+        still caches its result.
+        """
+        await self._stream_lines(
+            writer, [{"event": "accepted", "job_id": ctx.job_id}]
+        )
+        while True:
+            item = await ctx.queue.get()
+            if item is None:
+                return
+            writer.write(json.dumps(item).encode("utf-8") + b"\n")
+            await writer.drain()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Job and cache counters as one JSON-able dict."""
+        return {
+            "workers": self.workers,
+            "max_pending": self.max_pending,
+            "pending": len(self._contexts),
+            "jobs": {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "rejected": self._rejected,
+            },
+            "cache": self.cache.stats(),
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "running" if self._loop is not None else "new"
+        )
+        return (
+            f"ReproServer({state}, workers={self.workers}, "
+            f"pending={len(self._contexts)}, cache={self.cache.stats()})"
+        )
+
+
+class _TooLarge:
+    """Sentinel: request body exceeded ``_MAX_BODY`` and was not read."""
+
+
+_TOO_LARGE = _TooLarge()

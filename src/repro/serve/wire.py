@@ -1,0 +1,40 @@
+"""Result encoding for the serving wire format.
+
+One encoder/decoder pair per job kind, chosen so the round trip is
+*bit-exact*: sample batches are int64 arrays (integers survive JSON
+verbatim), TV values are float64 (``json`` emits the shortest repr, which
+``float()`` parses back to the identical bits).  The serve test-suite
+asserts end-to-end bit-identity against direct :mod:`repro.api` calls on
+the strength of this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.spec import JOB_KINDS
+
+__all__ = ["encode_result", "decode_result"]
+
+
+def encode_result(kind: str, result):
+    """Encode a job result into its plain-JSON wire form."""
+    if kind == "sample_many":
+        return np.asarray(result, dtype=np.int64).tolist()
+    if kind == "tv_curve":
+        return [[int(rounds), float(tv)] for rounds, tv in result]
+    if kind == "mixing_time":
+        return int(result)
+    raise ServeError(f"unknown job kind {kind!r}; choose from {JOB_KINDS}")
+
+
+def decode_result(kind: str, payload):
+    """Decode a wire-form result back into the :mod:`repro.api` return type."""
+    if kind == "sample_many":
+        return np.asarray(payload, dtype=np.int64)
+    if kind == "tv_curve":
+        return [(int(rounds), float(tv)) for rounds, tv in payload]
+    if kind == "mixing_time":
+        return int(payload)
+    raise ServeError(f"unknown job kind {kind!r}; choose from {JOB_KINDS}")

@@ -1,0 +1,386 @@
+"""`JobSpec` — the one description of a sampling request.
+
+Every layer that accepts work speaks this dataclass: the facade
+(:func:`repro.api.run_spec` and the ``JobSpec``-accepting forms of
+``sample_many``/``tv_curve``/``mixing_time``), the job scheduler
+(:class:`repro.exec.jobs.JobRunner`, whose ``SamplingJob`` is this class),
+the CLI (``repro submit``) and the serving daemon (:mod:`repro.serve`).
+A spec is:
+
+* **self-contained and picklable** — workers execute it with no other
+  context;
+* **wire-serialisable** (:meth:`to_wire` / :meth:`from_wire`) — the model
+  travels as its canonical payload (:mod:`repro.serialize`), so a request
+  submitted over HTTP rebuilds an equivalent model on the server;
+* **content-addressable** (:meth:`cache_key`) — the key hashes the model
+  fingerprint, method, seed and every parameter that can influence a
+  sampled bit, and *nothing else*.  Because results are bit-identical for
+  any worker count, placement (``parallel``) is excluded, but *whether*
+  the run is sharded (and the shard size) is included — shard plans change
+  the RNG streams.
+
+Requests without a reproducible seed (``seed=None`` or a live Generator)
+have no cache key: their results are honest fresh randomness and must
+never be replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.chains.base import SeedLike
+from repro.errors import ModelError
+from repro.serialize import model_from_dict, model_to_dict, payload_fingerprint
+
+__all__ = ["JOB_KINDS", "JobSpec"]
+
+JOB_KINDS = ("sample_many", "tv_curve", "mixing_time")
+
+#: Wire-format version; bumped on incompatible changes so a client and a
+#: long-running daemon from different releases fail loudly, not subtly.
+WIRE_VERSION = 1
+
+
+def _canonical_seed(seed, strict: bool):
+    """Reduce a seed to its canonical wire/cache form (an int or ``None``).
+
+    An int is itself; a fresh :class:`numpy.random.SeedSequence` with int
+    entropy reduces to that entropy (``default_rng(SeedSequence(x))`` and
+    ``default_rng(x)`` are the same stream); anything else — ``None``, a
+    live Generator, a SeedSequence that has already spawned children or
+    carries a composite entropy — is not canonically reproducible.  With
+    ``strict=False`` those return ``None`` (meaning: uncacheable); with
+    ``strict=True`` they raise, because a wire payload silently dropping
+    the seed would turn a deterministic request into a random one.
+    """
+    if seed is None:
+        value = None
+    elif isinstance(seed, (int, np.integer)):
+        value = int(seed)
+    elif (
+        isinstance(seed, np.random.SeedSequence)
+        and isinstance(seed.entropy, int)
+        and seed.spawn_key == ()
+        and seed.n_children_spawned == 0
+    ):
+        value = int(seed.entropy)
+    else:
+        value = None
+    if value is None and seed is not None and strict:
+        raise ModelError(
+            "this JobSpec's seed cannot be canonically serialised; use an int "
+            "or a fresh integer-entropy numpy.random.SeedSequence, got "
+            f"{type(seed).__name__}"
+        )
+    return value
+
+
+def _canonical_initial(initial):
+    """Normalise a start spec to nested int lists (or ``None``)."""
+    if initial is None:
+        return None
+    return np.asarray(initial, dtype=np.int64).tolist()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sampling request, self-contained and picklable.
+
+    Build instances with the :meth:`sample_many`, :meth:`tv_curve` and
+    :meth:`mixing_time` constructors — their signatures mirror the
+    :mod:`repro.api` functions whose results they reproduce.  ``name``
+    labels the job in streamed events (defaults to ``kind:method``).
+
+    ``parallel``/``shard_size`` request sharded execution
+    (:mod:`repro.exec`): the *shard plan* is part of the result bits (it
+    fixes the RNG streams), the worker count is pure placement.  The cache
+    key and the wire form therefore carry "sharded + shard_size", never
+    the worker count.
+    """
+
+    kind: str
+    model: object
+    method: str = "local-metropolis"
+    replicas: int = 1
+    rounds: int | None = None
+    eps: float | None = None
+    checkpoints: tuple[int, ...] | None = None
+    max_rounds: int = 10_000
+    stride: int = 1
+    seed: SeedLike = None
+    initial: object = None
+    name: str | None = None
+    parallel: int | None = None
+    shard_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ModelError(f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}")
+        if self.replicas < 1:
+            raise ModelError(f"job needs replicas >= 1, got {self.replicas}")
+        if self.kind == "tv_curve" and not self.checkpoints:
+            raise ModelError("a tv_curve job needs a non-empty checkpoints tuple")
+        if self.kind == "mixing_time":
+            # Mirror empirical_mixing_time's validation: a stride of 0 would
+            # otherwise spin the worker loop forever without advancing.
+            if self.eps is None:
+                raise ModelError("a mixing_time job needs eps")
+            if self.stride < 1:
+                raise ModelError(f"stride must be >= 1, got {self.stride}")
+            if self.max_rounds < 1:
+                raise ModelError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.parallel is not None and self.parallel < 0:
+            raise ModelError(f"parallel must be >= 0 workers, got {self.parallel}")
+        if self.shard_size is not None and self.parallel is None:
+            raise ModelError("shard_size only applies to sharded runs; pass parallel=")
+
+    @property
+    def label(self) -> str:
+        """Display name used in streamed :class:`~repro.exec.jobs.JobUpdate` events."""
+        return self.name or f"{self.kind}:{self.method}"
+
+    # ------------------------------------------------------------------
+    # constructors (signatures mirror the repro.api facade)
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample_many(
+        cls,
+        model,
+        replicas: int,
+        method: str = "local-metropolis",
+        eps: float = 0.05,
+        rounds: int | None = None,
+        seed: SeedLike = None,
+        initial=None,
+        name: str | None = None,
+        parallel: int | None = None,
+        shard_size: int | None = None,
+    ) -> JobSpec:
+        """A spec whose result is ``repro.api.sample_many(...)`` — an ``(R, n)`` batch."""
+        return cls(
+            kind="sample_many",
+            model=model,
+            method=method,
+            replicas=replicas,
+            eps=eps,
+            rounds=rounds,
+            seed=seed,
+            initial=initial,
+            name=name,
+            parallel=parallel,
+            shard_size=shard_size,
+        )
+
+    @classmethod
+    def tv_curve(
+        cls,
+        model,
+        checkpoints,
+        method: str = "local-metropolis",
+        replicas: int = 1024,
+        seed: SeedLike = None,
+        initial=None,
+        name: str | None = None,
+        parallel: int | None = None,
+        shard_size: int | None = None,
+    ) -> JobSpec:
+        """A spec whose result is ``repro.api.tv_curve(...)``; checkpoints stream live."""
+        return cls(
+            kind="tv_curve",
+            model=model,
+            method=method,
+            replicas=replicas,
+            checkpoints=tuple(int(c) for c in checkpoints),
+            seed=seed,
+            initial=initial,
+            name=name,
+            parallel=parallel,
+            shard_size=shard_size,
+        )
+
+    @classmethod
+    def mixing_time(
+        cls,
+        model,
+        eps: float = 0.125,
+        method: str = "local-metropolis",
+        replicas: int = 2048,
+        max_rounds: int = 10_000,
+        stride: int = 1,
+        seed: SeedLike = None,
+        initial=None,
+        name: str | None = None,
+        parallel: int | None = None,
+        shard_size: int | None = None,
+    ) -> JobSpec:
+        """A spec whose result is ``repro.api.mixing_time(...)``; TV probes stream live."""
+        return cls(
+            kind="mixing_time",
+            model=model,
+            method=method,
+            replicas=replicas,
+            eps=eps,
+            max_rounds=max_rounds,
+            stride=stride,
+            seed=seed,
+            initial=initial,
+            name=name,
+            parallel=parallel,
+            shard_size=shard_size,
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, target=None):
+        """Execute this spec through the :mod:`repro.api` facade.
+
+        Equivalent to :func:`repro.api.run_spec`; ``target`` optionally
+        supplies a pre-computed exact distribution for the convergence
+        kinds (a runtime convenience — it is not part of the spec).
+        """
+        from repro import api
+
+        return api.run_spec(self, target=target)
+
+    # ------------------------------------------------------------------
+    # canonical forms
+    # ------------------------------------------------------------------
+    def params_dict(self) -> dict:
+        """The kind-specific parameters, canonically normalised.
+
+        Exactly the values (beyond model/method/seed) that can influence
+        the result bits — this dict is hashed into :meth:`cache_key` and
+        embedded verbatim in :meth:`to_wire`.  The worker count is
+        placement, not parameters; sharding and shard size change the RNG
+        streams, so they are parameters.
+        """
+        params: dict = {
+            "replicas": int(self.replicas),
+            "initial": _canonical_initial(self.initial),
+        }
+        if self.kind == "sample_many":
+            params["rounds"] = None if self.rounds is None else int(self.rounds)
+            params["eps"] = None if self.eps is None else float(self.eps)
+        elif self.kind == "tv_curve":
+            params["checkpoints"] = [int(c) for c in self.checkpoints]
+        else:  # mixing_time
+            params["eps"] = float(self.eps)
+            params["max_rounds"] = int(self.max_rounds)
+            params["stride"] = int(self.stride)
+        params["sharded"] = self.parallel is not None
+        if self.parallel is not None:
+            params["shard_size"] = (
+                None if self.shard_size is None else int(self.shard_size)
+            )
+        return params
+
+    def cache_key(self) -> str | None:
+        """Content address of this request's result, or ``None`` if uncacheable.
+
+        ``sha256(model_fingerprint, kind, method, canonical seed, params)``.
+        Returns ``None`` for requests whose randomness is not reproducible
+        (no seed, a live Generator, a spent SeedSequence) — caching those
+        would replay entropy the caller asked to be fresh.
+        """
+        seed = _canonical_seed(self.seed, strict=False)
+        if seed is None:
+            return None
+        fingerprint = getattr(self.model, "model_fingerprint", None)
+        if fingerprint is None:
+            return None
+        return payload_fingerprint(
+            {
+                "model": fingerprint(),
+                "kind": self.kind,
+                "method": self.method,
+                "seed": seed,
+                "params": self.params_dict(),
+            }
+        )
+
+    def to_wire(self) -> dict:
+        """Serialise into a plain-JSON payload; inverse of :meth:`from_wire`.
+
+        Raises :class:`~repro.errors.ModelError` if the seed or model has
+        no canonical form.  The worker count is deliberately absent: a
+        sharded request travels as ``sharded + shard_size`` and executes
+        server-side with the bit-identical in-process reference.
+        """
+        return {
+            "version": WIRE_VERSION,
+            "kind": self.kind,
+            "method": self.method,
+            "model": model_to_dict(self.model),
+            "seed": _canonical_seed(self.seed, strict=True),
+            "name": self.name,
+            "params": self.params_dict(),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> JobSpec:
+        """Rebuild a :class:`JobSpec` from a :meth:`to_wire` payload."""
+        if not isinstance(payload, dict):
+            raise ModelError(f"job payload must be a dict, got {type(payload).__name__}")
+        version = payload.get("version", WIRE_VERSION)
+        if version != WIRE_VERSION:
+            raise ModelError(
+                f"unsupported JobSpec wire version {version!r}; this build "
+                f"speaks version {WIRE_VERSION}"
+            )
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise ModelError(f"unknown job kind {kind!r}; choose from {JOB_KINDS}")
+        try:
+            model = model_from_dict(payload["model"])
+            params = dict(payload.get("params") or {})
+            seed = payload.get("seed")
+            method = str(payload.get("method", "local-metropolis"))
+            name = payload.get("name")
+            replicas = int(params.pop("replicas", 1))
+            initial = params.pop("initial", None)
+            sharded = bool(params.pop("sharded", False))
+            shard_size = params.pop("shard_size", None) if sharded else None
+        except (KeyError, TypeError, ValueError) as error:
+            raise ModelError(f"malformed JobSpec payload: {error}") from None
+        common = dict(
+            model=model,
+            method=method,
+            replicas=replicas,
+            seed=None if seed is None else int(seed),
+            initial=initial,
+            name=None if name is None else str(name),
+            parallel=0 if sharded else None,
+            shard_size=None if shard_size is None else int(shard_size),
+        )
+        try:
+            if kind == "sample_many":
+                spec = cls(
+                    kind=kind,
+                    rounds=None if params.get("rounds") is None else int(params["rounds"]),
+                    eps=None if params.get("eps") is None else float(params["eps"]),
+                    **common,
+                )
+            elif kind == "tv_curve":
+                spec = cls(
+                    kind=kind,
+                    checkpoints=tuple(int(c) for c in params.get("checkpoints") or ()),
+                    **common,
+                )
+            else:  # mixing_time
+                spec = cls(
+                    kind=kind,
+                    eps=None if params.get("eps") is None else float(params["eps"]),
+                    max_rounds=int(params.get("max_rounds", 10_000)),
+                    stride=int(params.get("stride", 1)),
+                    **common,
+                )
+        except (TypeError, ValueError) as error:
+            raise ModelError(f"malformed JobSpec payload: {error}") from None
+        return spec
+
+    def with_name(self, name: str | None) -> JobSpec:
+        """A copy of this spec relabelled as ``name`` (specs are frozen)."""
+        return replace(self, name=name)

@@ -80,3 +80,72 @@ class TestChainMechanics:
         mrf = proper_coloring_mrf(path_graph(3), 3)
         chain = GlauberDynamics(mrf, initial=[0, 1, 0], seed=0)
         assert chain.current == (0, 1, 0)
+
+
+class TestSeedCoercion:
+    """The shared SeedLike coercion helper (as_seed_sequence).
+
+    One helper serves every entry point that needs a spawnable root:
+    the LOCAL runtime, the sharded exec subsystem, the sequential-chain
+    fallback ensemble and the facade's protocol engines.
+    """
+
+    def test_int_and_seed_sequence_give_same_root(self):
+        from repro.chains.base import as_seed_sequence
+
+        a = as_seed_sequence(7)
+        b = as_seed_sequence(np.random.SeedSequence(7))
+        assert a.entropy == b.entropy == 7
+        assert np.random.default_rng(a).integers(1 << 30) == np.random.default_rng(
+            b
+        ).integers(1 << 30)
+
+    def test_none_draws_fresh_entropy(self):
+        from repro.chains.base import as_seed_sequence
+
+        assert as_seed_sequence(None).entropy != as_seed_sequence(None).entropy
+
+    def test_generator_derives_one_draw(self):
+        from repro.chains.base import as_seed_sequence
+
+        root = as_seed_sequence(np.random.default_rng(3))
+        expected = int(
+            np.random.default_rng(3).integers(np.iinfo(np.int64).max)
+        )
+        assert root.entropy == expected
+
+    def test_generator_rejected_when_disallowed(self):
+        from repro.chains.base import as_seed_sequence
+
+        with pytest.raises(ModelError, match="Generator"):
+            as_seed_sequence(np.random.default_rng(3), allow_generator=False)
+
+    def test_unsupported_type_rejected(self):
+        from repro.chains.base import as_seed_sequence
+
+        with pytest.raises(ModelError, match="seed type"):
+            as_seed_sequence("nope")
+
+    def test_facade_local_engine_accepts_seed_sequence(self):
+        import repro
+
+        mrf = proper_coloring_mrf(cycle_graph(5), 5)
+        by_int = repro.sample(mrf, engine="reference", rounds=4, seed=11)
+        by_seq = repro.sample(
+            mrf, engine="reference", rounds=4, seed=np.random.SeedSequence(11)
+        )
+        assert np.array_equal(by_int, by_seq)
+
+    def test_fallback_ensemble_accepts_seed_sequence(self):
+        from repro.analysis.convergence import SequentialChainEnsemble
+
+        mrf = proper_coloring_mrf(cycle_graph(5), 4)
+
+        def factory(rng):
+            return GlauberDynamics(mrf, seed=rng)
+
+        a = SequentialChainEnsemble(factory, 4, seed=9).advance(10).config
+        b = SequentialChainEnsemble(
+            factory, 4, seed=np.random.SeedSequence(9)
+        ).advance(10).config
+        assert np.array_equal(a, b)

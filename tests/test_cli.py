@@ -386,3 +386,88 @@ class TestParallelCli:
         assert payload["engine"] == "ShardedEnsemble"
         assert payload["jobs"] == 2
         assert len(payload["curve"]) == 2
+
+
+class TestServeCli:
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.serve import ReproServer
+
+        with ReproServer(workers=1, cache_capacity=8, max_pending=8) as srv:
+            yield srv
+
+    @pytest.fixture(scope="class")
+    def server_arg(self, server):
+        host, port = server.address
+        return f"{host}:{port}"
+
+    def test_serve_runs_and_shuts_down(self, capsys):
+        code = main(["serve", "--port", "0", "--workers", "1",
+                     "--max-seconds", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "listening on http://127.0.0.1:" in out
+        assert "shut down" in out
+
+    def test_submit_sample_many_miss_then_hit(self, capsys, server_arg):
+        argv = [
+            "submit", "--server", server_arg, "--graph", "cycle", "--size", "6",
+            "--q", "3", "--kind", "sample_many", "--replicas", "4",
+            "--rounds", "4", "--seed", "11",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache: miss" in cold
+        assert "feasible: " in cold and "sample 0:" in cold
+        assert main(argv) == 0
+        hit = capsys.readouterr().out
+        assert "cache: hit" in hit
+        # Identical sample line: the cached replay is bit-identical.
+        assert cold.splitlines()[-1] == hit.splitlines()[-1]
+
+    def test_submit_tv_curve_json(self, capsys, server_arg):
+        code = main([
+            "submit", "--server", server_arg, "--graph", "cycle", "--size", "6",
+            "--q", "3", "--kind", "tv_curve", "--checkpoints", "1,2",
+            "--replicas", "64", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert [point[0] for point in payload["curve"]] == [1, 2]
+
+    def test_submit_stream_prints_checkpoints(self, capsys, server_arg):
+        code = main([
+            "submit", "--server", server_arg, "--graph", "cycle", "--size", "6",
+            "--q", "3", "--kind", "tv_curve", "--checkpoints", "1,2,4",
+            "--replicas", "64", "--seed", "6", "--stream",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accepted: job" in out
+        assert out.count("round ") == 3 and "tv " in out
+
+    def test_submit_mixing_time(self, capsys, server_arg):
+        code = main([
+            "submit", "--server", server_arg, "--graph", "cycle", "--size", "6",
+            "--q", "3", "--kind", "mixing_time", "--eps", "0.5",
+            "--replicas", "256", "--max-rounds", "64", "--stride", "4",
+            "--seed", "3",
+        ])
+        assert code == 0
+        assert "mixing_time: " in capsys.readouterr().out
+
+    def test_submit_bad_server_argument(self, capsys):
+        code = main([
+            "submit", "--server", "nonsense", "--graph", "cycle", "--size", "6",
+        ])
+        assert code == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_submit_unreachable_server(self, capsys):
+        code = main([
+            "submit", "--server", "127.0.0.1:1", "--graph", "cycle",
+            "--size", "6", "--timeout", "2",
+        ])
+        assert code == 1
+        assert "failed" in capsys.readouterr().err

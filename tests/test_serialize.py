@@ -1,0 +1,198 @@
+"""Canonical serialization: to_dict/from_dict round-trips and fingerprints.
+
+The contract under test (see :mod:`repro.serialize`): a round-tripped
+model is *operationally identical* — same exact distribution, same
+sampling bits for the same seed — and ``model_fingerprint()`` is stable
+across round trips, independent of cosmetic names, and sensitive to
+every parameter that can reach a sampled bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.csp.builders import (
+    coloring_csp,
+    dominating_set_csp,
+    maximal_independent_set_csp,
+    not_all_equal_csp,
+)
+from repro.csp.model import LocalCSP
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, grid_graph, path_graph, random_regular_graph
+from repro.mrf import (
+    hardcore_mrf,
+    ising_mrf,
+    potts_mrf,
+    proper_coloring_mrf,
+    uniform_mrf,
+)
+from repro.mrf.model import MRF
+from repro.serialize import (
+    canonical_json,
+    model_from_dict,
+    model_to_dict,
+    payload_fingerprint,
+)
+
+SEED = 20170625
+
+
+def _random_graph(rng):
+    kind = rng.integers(4)
+    if kind == 0:
+        return path_graph(int(rng.integers(2, 7)))
+    if kind == 1:
+        return cycle_graph(int(rng.integers(3, 8)))
+    if kind == 2:
+        return grid_graph(2, int(rng.integers(2, 4)))
+    return random_regular_graph(2, int(rng.integers(4, 8)), seed=int(rng.integers(2**31)))
+
+
+def _random_mrf(rng) -> MRF:
+    graph = _random_graph(rng)
+    family = rng.integers(5)
+    if family == 0:
+        return proper_coloring_mrf(graph, int(rng.integers(3, 6)))
+    if family == 1:
+        return hardcore_mrf(graph, float(rng.uniform(0.2, 2.5)))
+    if family == 2:
+        return ising_mrf(graph, float(rng.uniform(0.5, 2.0)))
+    if family == 3:
+        return potts_mrf(graph, int(rng.integers(2, 5)), float(rng.uniform(0.5, 2.0)))
+    return uniform_mrf(graph, int(rng.integers(2, 4)))
+
+
+def _random_csp(rng) -> LocalCSP:
+    graph = _random_graph(rng)
+    family = rng.integers(4)
+    if family == 0:
+        return dominating_set_csp(graph, weight=float(rng.uniform(0.5, 2.0)))
+    if family == 1:
+        return maximal_independent_set_csp(graph)
+    if family == 2:
+        return coloring_csp(graph, int(rng.integers(3, 6)))
+    n = graph.number_of_nodes()
+    scopes = sorted({tuple(sorted({v, *graph.neighbors(v)})) for v in range(n)})
+    scopes = [s for s in scopes if len(s) >= 2]
+    if not scopes:
+        return coloring_csp(graph, 3)
+    return not_all_equal_csp(scopes, n=n, q=int(rng.integers(2, 4)))
+
+
+def _assert_equivalent(model, clone):
+    assert type(clone) is type(model)
+    assert clone.n == model.n and clone.q == model.q
+    assert clone.name == model.name
+    assert clone.model_fingerprint() == model.model_fingerprint()
+    # Operational identity: identical sampling bits for an identical seed.
+    a = repro.sample(model, rounds=6, seed=SEED)
+    b = repro.sample(clone, rounds=6, seed=SEED)
+    np.testing.assert_array_equal(a, b)
+
+
+class TestFuzzRoundTrip:
+    def test_mrf_families_roundtrip_through_json(self):
+        rng = np.random.default_rng(SEED)
+        for _ in range(25):
+            model = _random_mrf(rng)
+            payload = json.loads(json.dumps(model.to_dict()))
+            _assert_equivalent(model, MRF.from_dict(payload))
+
+    def test_csp_families_roundtrip_through_json(self):
+        rng = np.random.default_rng(SEED + 1)
+        for _ in range(25):
+            model = _random_csp(rng)
+            payload = json.loads(json.dumps(model.to_dict()))
+            _assert_equivalent(model, LocalCSP.from_dict(payload))
+
+    def test_dispatching_helpers_roundtrip_both_types(self):
+        rng = np.random.default_rng(SEED + 2)
+        for build in (_random_mrf, _random_csp):
+            model = build(rng)
+            clone = model_from_dict(json.loads(json.dumps(model_to_dict(model))))
+            _assert_equivalent(model, clone)
+
+
+class TestFingerprint:
+    def test_name_is_cosmetic(self, path3_coloring):
+        payload = path3_coloring.to_dict()
+        payload["name"] = "renamed"
+        clone = MRF.from_dict(payload)
+        assert clone.name == "renamed"
+        assert clone.model_fingerprint() == path3_coloring.model_fingerprint()
+
+    def test_csp_constraint_names_are_cosmetic(self):
+        csp = dominating_set_csp(cycle_graph(4))
+        payload = csp.to_dict()
+        for constraint in payload["constraints"]:
+            constraint["name"] = "anon"
+        clone = LocalCSP.from_dict(payload)
+        assert clone.model_fingerprint() == csp.model_fingerprint()
+
+    def test_parameters_reach_the_fingerprint(self):
+        graph = cycle_graph(5)
+        assert (
+            hardcore_mrf(graph, 1.0).model_fingerprint()
+            != hardcore_mrf(graph, 1.5).model_fingerprint()
+        )
+        assert (
+            proper_coloring_mrf(graph, 3).model_fingerprint()
+            != proper_coloring_mrf(graph, 4).model_fingerprint()
+        )
+        assert (
+            dominating_set_csp(graph, weight=1.0).model_fingerprint()
+            != dominating_set_csp(graph, weight=2.0).model_fingerprint()
+        )
+
+    def test_fingerprint_stable_across_processes_contract(self, path3_coloring):
+        # sha256 over canonical JSON: recomputing must be bit-stable.
+        assert (
+            path3_coloring.model_fingerprint()
+            == MRF.from_dict(path3_coloring.to_dict()).model_fingerprint()
+        )
+
+    def test_constraint_order_is_significant(self):
+        # Factor evaluation order fixes float-product order, hence bits:
+        # reordering constraints is a *different* canonical payload.
+        csp = coloring_csp(path_graph(3), 3)
+        payload = csp.to_dict()
+        reordered = dict(payload, constraints=list(reversed(payload["constraints"])))
+        assert payload_fingerprint(
+            {k: v for k, v in payload.items() if k != "name"}
+        ) != payload_fingerprint(
+            {k: v for k, v in reordered.items() if k != "name"}
+        )
+
+
+class TestMalformed:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError, match="type"):
+            model_from_dict({"type": "bogus"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict([1, 2, 3])
+
+    def test_mrf_table_count_mismatch_rejected(self, path3_coloring):
+        payload = path3_coloring.to_dict()
+        payload["edge_activities"] = payload["edge_activities"][:-1]
+        with pytest.raises(ModelError):
+            MRF.from_dict(payload)
+
+    def test_csp_malformed_constraint_rejected(self):
+        payload = dominating_set_csp(cycle_graph(3)).to_dict()
+        payload["constraints"][0] = {"scope": [0, 1]}  # missing table
+        with pytest.raises(ModelError):
+            LocalCSP.from_dict(payload)
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ModelError):
+            canonical_json({"x": float("nan")})
+
+    def test_canonical_json_is_key_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1.5, 2]}) == '{"a":[1.5,2],"b":1}'

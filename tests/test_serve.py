@@ -1,0 +1,307 @@
+"""The sampling service: caching, admission control, streaming, lifecycle.
+
+The load-bearing guarantees under test:
+
+* a served result — cold or cached — is **bit-identical** to calling the
+  :mod:`repro.api` facade directly with the same spec;
+* the LRU cache evicts at capacity and replays only safely-cacheable
+  requests;
+* overload is a fast backpressure error (HTTP 429 /
+  :class:`~repro.errors.ServerOverloadedError`), never a hang;
+* a client disconnecting mid-stream neither kills the worker pool nor
+  loses the result (it still lands in the cache);
+* cooperative cancellation settles a queued job through the normal event
+  stream.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ServeError, ServerOverloadedError
+from repro.graphs import cycle_graph, grid_graph
+from repro.mrf import proper_coloring_mrf
+from repro.serve import ReproServer, ResultCache, ServeClient
+from repro.spec import JobSpec
+
+SEED = 20170625
+
+
+@pytest.fixture(scope="module")
+def coloring():
+    return proper_coloring_mrf(grid_graph(3, 3), 5)
+
+
+@pytest.fixture(scope="module")
+def small_coloring():
+    return proper_coloring_mrf(cycle_graph(6), 3)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(workers=2, cache_capacity=32, max_pending=16) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServeClient(*server.address)
+
+
+def _wait_until(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestBitIdentity:
+    def test_sample_many_cold_and_hit_match_direct(self, client, coloring):
+        spec = JobSpec.sample_many(coloring, 16, seed=SEED, rounds=12)
+        direct = repro.run_spec(spec)
+        cold = client.submit(spec)
+        hit = client.submit(spec)
+        assert cold["cached"] is False and hit["cached"] is True
+        np.testing.assert_array_equal(cold["result"], direct)
+        np.testing.assert_array_equal(hit["result"], direct)
+        assert hit["result"].dtype == direct.dtype
+
+    def test_tv_curve_bitwise(self, client, small_coloring):
+        spec = JobSpec.tv_curve(small_coloring, (1, 2, 4, 8), replicas=64, seed=3)
+        direct = repro.run_spec(spec)
+        assert client.run(spec) == direct  # exact float equality, not approx
+        assert client.run(spec) == direct  # cached replay, same bits
+
+    def test_mixing_time_bitwise(self, client, small_coloring):
+        spec = JobSpec.mixing_time(
+            small_coloring, eps=0.5, replicas=256, max_rounds=64, stride=4, seed=3
+        )
+        assert client.run(spec) == repro.run_spec(spec)
+
+    def test_sharded_spec_served(self, client, coloring):
+        spec = JobSpec.sample_many(coloring, 16, seed=SEED, rounds=12, parallel=2)
+        np.testing.assert_array_equal(client.run(spec), repro.run_spec(spec))
+
+    def test_streamed_checkpoints_and_result(self, client, small_coloring):
+        spec = JobSpec.tv_curve(small_coloring, (1, 2, 4), replicas=64, seed=91)
+        events = list(client.stream(spec))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "accepted"
+        assert kinds.count("checkpoint") == 3
+        assert kinds[-1] == "result"
+        direct = repro.run_spec(spec)
+        assert events[-1]["result"] == direct
+        checkpoints = [
+            (event["round"], event["value"])
+            for event in events
+            if event["event"] == "checkpoint"
+        ]
+        assert checkpoints == direct
+
+
+class TestCachePolicy:
+    def test_unseeded_requests_never_cached(self, client, coloring):
+        spec = JobSpec.sample_many(coloring, 4, rounds=5)
+        a = client.submit(spec)
+        b = client.submit(spec)
+        assert a["cached"] is False and b["cached"] is False
+        assert not np.array_equal(a["result"], b["result"])
+
+    def test_lru_eviction_under_small_capacity(self, small_coloring):
+        with ReproServer(workers=1, cache_capacity=2, max_pending=8) as srv:
+            cli = ServeClient(*srv.address)
+            specs = [
+                JobSpec.sample_many(small_coloring, 4, seed=s, rounds=4)
+                for s in (101, 102, 103)
+            ]
+            for spec in specs:
+                assert cli.submit(spec)["cached"] is False
+            stats = cli.stats()["cache"]
+            assert stats["size"] == 2
+            assert stats["evictions"] == 1
+            # 101 was evicted (LRU); 103 is still resident.
+            assert cli.submit(specs[2])["cached"] is True
+            assert cli.submit(specs[0])["cached"] is False
+
+    def test_result_cache_unit_behaviour(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes a
+        cache.put("c", 3)  # evicts b, the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.evictions == 1
+        assert cache.stats()["hits"] == 3
+        disabled = ResultCache(capacity=0)
+        disabled.put("a", 1)
+        assert disabled.get("a") is None
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_instead_of_hanging(self, coloring):
+        slow = JobSpec.sample_many(coloring, 256, seed=1, rounds=4000, name="slow")
+        quick = JobSpec.sample_many(coloring, 2, seed=2, rounds=2)
+        with ReproServer(workers=1, cache_capacity=4, max_pending=1) as srv:
+            cli = ServeClient(*srv.address)
+            results: dict = {}
+
+            def occupy():
+                results["slow"] = cli.submit(slow)
+
+            thread = threading.Thread(target=occupy)
+            thread.start()
+            try:
+                assert _wait_until(lambda: cli.stats()["pending"] >= 1)
+                began = time.monotonic()
+                with pytest.raises(ServerOverloadedError, match="overloaded"):
+                    cli.submit(quick)
+                assert time.monotonic() - began < 5.0  # rejected, not queued
+                assert cli.stats()["jobs"]["rejected"] >= 1
+            finally:
+                thread.join(timeout=120)
+            assert not thread.is_alive()
+            assert results["slow"]["cached"] is False
+            # The pool drained; the server accepts work again.
+            np.testing.assert_array_equal(cli.run(quick), repro.run_spec(quick))
+
+    def test_cache_hits_served_even_when_saturated(self, coloring):
+        warm = JobSpec.sample_many(coloring, 4, seed=5, rounds=4)
+        slow = JobSpec.sample_many(coloring, 256, seed=6, rounds=4000)
+        with ReproServer(workers=1, cache_capacity=4, max_pending=1) as srv:
+            cli = ServeClient(*srv.address)
+            direct = cli.run(warm)  # populate the cache while idle
+            results: dict = {}
+            thread = threading.Thread(
+                target=lambda: results.update(slow=cli.submit(slow))
+            )
+            thread.start()
+            try:
+                assert _wait_until(lambda: cli.stats()["pending"] >= 1)
+                hit = cli.submit(warm)  # saturated, but hits bypass admission
+                assert hit["cached"] is True
+                np.testing.assert_array_equal(hit["result"], direct)
+            finally:
+                thread.join(timeout=120)
+
+
+class TestDisconnectAndCancel:
+    def test_client_disconnect_mid_stream_keeps_runner_and_caches(
+        self, server, client, small_coloring
+    ):
+        spec = JobSpec.tv_curve(
+            small_coloring, tuple(range(1, 30)), replicas=256, seed=77
+        )
+        completed_before = client.stats()["jobs"]["completed"]
+        connection = http.client.HTTPConnection(*server.address, timeout=60)
+        connection.request(
+            "POST",
+            "/v1/jobs",
+            body=json.dumps({"spec": spec.to_wire(), "stream": True}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        accepted = json.loads(response.readline())
+        assert accepted["event"] == "accepted"
+        connection.close()  # hang up mid-stream
+        # The job keeps running server-side and completes...
+        assert _wait_until(
+            lambda: client.stats()["jobs"]["completed"] > completed_before
+        )
+        # ...its result landed in the cache despite the disconnect...
+        hit = client.submit(spec)
+        assert hit["cached"] is True
+        assert hit["result"] == repro.run_spec(spec)
+        # ...and the pool is fully alive for fresh work.
+        probe = JobSpec.sample_many(small_coloring, 2, seed=123, rounds=2)
+        np.testing.assert_array_equal(client.run(probe), repro.run_spec(probe))
+
+    def test_cancel_queued_job_settles_with_error(self, coloring, small_coloring):
+        slow = JobSpec.sample_many(coloring, 256, seed=8, rounds=4000)
+        queued = JobSpec.sample_many(small_coloring, 4, seed=9, rounds=4)
+        with ReproServer(workers=1, cache_capacity=4, max_pending=8) as srv:
+            cli = ServeClient(*srv.address)
+            results: dict = {}
+            thread = threading.Thread(
+                target=lambda: results.update(slow=cli.submit(slow))
+            )
+            thread.start()
+            try:
+                assert _wait_until(lambda: cli.stats()["pending"] >= 1)
+                stream = cli.stream(queued)
+                accepted = next(stream)
+                assert accepted["event"] == "accepted"
+                assert cli.cancel(accepted["job_id"]) is True
+                terminal = [event for event in stream]
+                assert terminal[-1]["event"] == "error"
+                assert "Cancelled" in terminal[-1]["message"]
+            finally:
+                thread.join(timeout=120)
+            assert "slow" in results  # the busy job was untouched
+
+    def test_cancel_unknown_job_is_false(self, client):
+        assert client.cancel(99_999) is False
+
+
+class TestProtocolErrors:
+    def test_malformed_spec_is_400(self, server):
+        connection = http.client.HTTPConnection(*server.address, timeout=30)
+        connection.request("POST", "/v1/jobs", body=json.dumps({"spec": {"kind": "x"}}))
+        response = connection.getresponse()
+        assert response.status == 400
+        assert "kind" in json.loads(response.read())["error"]
+        connection.close()
+
+    def test_invalid_json_is_400(self, server):
+        connection = http.client.HTTPConnection(*server.address, timeout=30)
+        connection.request("POST", "/v1/jobs", body="{not json")
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError, match="no route"):
+            client._request("GET", "/v1/nope")
+
+    def test_failing_job_is_500_with_message(self, client, small_coloring):
+        # An unreachable tolerance raises ConvergenceError server-side.
+        doomed = JobSpec.mixing_time(
+            small_coloring, eps=1e-9, replicas=8, max_rounds=4, stride=4, seed=1
+        )
+        with pytest.raises(ServeError, match="did not reach"):
+            client.run(doomed)
+
+    def test_health_and_stats_shapes(self, client):
+        health = client.health()
+        assert health["ok"] is True and health["workers"] == 2
+        stats = client.stats()
+        assert {"workers", "pending", "jobs", "cache"} <= set(stats)
+
+
+class TestLifecycle:
+    def test_closed_server_refuses_restart_and_double_close(self):
+        srv = ReproServer(workers=1)
+        srv.start()
+        cli = ServeClient(*srv.address)
+        assert cli.health()["ok"] is True
+        srv.close()
+        srv.close()  # idempotent
+        with pytest.raises(ServeError, match="closed"):
+            srv.start()
+        with pytest.raises(ServeError):
+            cli.health()
+
+    def test_address_before_start_raises(self):
+        srv = ReproServer(workers=1)
+        with pytest.raises(ServeError, match="start"):
+            srv.address
+        srv.close()

@@ -1,0 +1,240 @@
+"""JobSpec: the unified request description and its facade integration.
+
+Covers the request-API redesign contract: one dataclass describes a
+request for every layer; ``run_spec``/JobSpec-accepting facade forms are
+bit-identical to the historical positional calls; ``cache_key`` hashes
+exactly the bit-reaching parameters; ``to_wire``/``from_wire`` round-trip
+through JSON without changing results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro import api
+from repro.csp.builders import not_all_equal_csp
+from repro.errors import ModelError
+from repro.graphs import cycle_graph, grid_graph
+from repro.mrf import proper_coloring_mrf
+from repro.spec import JobSpec
+
+SEED = 20170625
+
+
+@pytest.fixture(scope="module")
+def coloring():
+    return proper_coloring_mrf(grid_graph(3, 3), 5)
+
+
+@pytest.fixture(scope="module")
+def small_coloring():
+    return proper_coloring_mrf(cycle_graph(6), 3)
+
+
+@pytest.fixture(scope="module")
+def csp():
+    return not_all_equal_csp([(0, 1, 2), (1, 2, 3), (2, 3, 4)], n=5, q=3)
+
+
+class TestValidation:
+    def test_unknown_kind(self, coloring):
+        with pytest.raises(ModelError, match="kind"):
+            JobSpec(kind="bogus", model=coloring)
+
+    def test_tv_curve_needs_checkpoints(self, coloring):
+        with pytest.raises(ModelError, match="checkpoints"):
+            JobSpec(kind="tv_curve", model=coloring)
+
+    def test_mixing_time_needs_eps(self, coloring):
+        with pytest.raises(ModelError, match="eps"):
+            JobSpec(kind="mixing_time", model=coloring)
+
+    def test_shard_size_requires_parallel(self, coloring):
+        with pytest.raises(ModelError, match="parallel"):
+            JobSpec.sample_many(coloring, 8, shard_size=4)
+
+    def test_negative_parallel_rejected(self, coloring):
+        with pytest.raises(ModelError, match="parallel"):
+            JobSpec.sample_many(coloring, 8, parallel=-1)
+
+    def test_label_defaults_to_kind_method(self, coloring):
+        assert JobSpec.sample_many(coloring, 4).label == "sample_many:local-metropolis"
+        assert JobSpec.sample_many(coloring, 4, name="x").label == "x"
+
+
+class TestRunSpec:
+    def test_sample_many_equals_positional(self, coloring):
+        spec = JobSpec.sample_many(coloring, 16, seed=SEED, rounds=12)
+        direct = repro.sample_many(coloring, 16, seed=SEED, rounds=12)
+        np.testing.assert_array_equal(repro.run_spec(spec), direct)
+        np.testing.assert_array_equal(repro.sample_many(spec), direct)
+        np.testing.assert_array_equal(spec.run(), direct)
+
+    def test_tv_curve_equals_positional(self, small_coloring):
+        spec = JobSpec.tv_curve(small_coloring, (1, 2, 4), replicas=64, seed=3)
+        direct = repro.tv_curve(small_coloring, [1, 2, 4], replicas=64, seed=3)
+        assert repro.run_spec(spec) == direct
+        assert repro.tv_curve(spec) == direct
+
+    def test_mixing_time_equals_positional(self, small_coloring):
+        spec = JobSpec.mixing_time(
+            small_coloring, eps=0.5, replicas=256, max_rounds=64, stride=4, seed=3
+        )
+        direct = repro.mixing_time(
+            small_coloring, eps=0.5, replicas=256, max_rounds=64, stride=4, seed=3
+        )
+        assert repro.run_spec(spec) == direct
+        assert repro.mixing_time(spec) == direct
+
+    def test_csp_spec(self, csp):
+        spec = JobSpec.sample_many(csp, 8, seed=SEED, rounds=10)
+        np.testing.assert_array_equal(
+            repro.run_spec(spec), repro.sample_many(csp, 8, seed=SEED, rounds=10)
+        )
+
+    def test_sharded_spec_bit_identical_across_worker_counts(self, coloring):
+        base = repro.run_spec(
+            JobSpec.sample_many(coloring, 16, seed=SEED, rounds=10, parallel=0)
+        )
+        pooled = repro.run_spec(
+            JobSpec.sample_many(coloring, 16, seed=SEED, rounds=10, parallel=2)
+        )
+        np.testing.assert_array_equal(base, pooled)
+
+    def test_kind_mismatch_rejected(self, coloring):
+        spec = JobSpec.sample_many(coloring, 4)
+        with pytest.raises(ModelError, match="kind"):
+            repro.tv_curve(spec)
+
+    def test_extras_alongside_spec_rejected(self, coloring):
+        spec = JobSpec.sample_many(coloring, 4)
+        with pytest.raises(ModelError, match="complete request"):
+            repro.sample_many(spec, 8)
+
+    def test_positional_path_still_requires_args(self, coloring):
+        with pytest.raises(ModelError, match="replica count"):
+            repro.sample_many(coloring)
+        with pytest.raises(ModelError, match="checkpoints"):
+            repro.tv_curve(coloring)
+
+    def test_run_spec_rejects_non_spec(self, coloring):
+        with pytest.raises(ModelError, match="JobSpec"):
+            api.run_spec(coloring)
+
+
+class TestCacheKey:
+    def test_deterministic_and_seed_sensitive(self, coloring):
+        a = JobSpec.sample_many(coloring, 8, seed=1, rounds=5)
+        b = JobSpec.sample_many(coloring, 8, seed=1, rounds=5)
+        c = JobSpec.sample_many(coloring, 8, seed=2, rounds=5)
+        assert a.cache_key() == b.cache_key()
+        assert a.cache_key() != c.cache_key()
+
+    def test_unseeded_and_generator_uncacheable(self, coloring):
+        assert JobSpec.sample_many(coloring, 8).cache_key() is None
+        gen = np.random.default_rng(1)
+        assert JobSpec.sample_many(coloring, 8, seed=gen).cache_key() is None
+
+    def test_fresh_seed_sequence_equals_int(self, coloring):
+        by_int = JobSpec.sample_many(coloring, 8, seed=7, rounds=5)
+        by_seq = JobSpec.sample_many(
+            coloring, 8, seed=np.random.SeedSequence(7), rounds=5
+        )
+        assert by_int.cache_key() == by_seq.cache_key()
+        np.testing.assert_array_equal(repro.run_spec(by_int), repro.run_spec(by_seq))
+
+    def test_spent_seed_sequence_uncacheable(self, coloring):
+        spent = np.random.SeedSequence(7)
+        spent.spawn(1)  # its next spawn differs from a fresh SeedSequence(7)
+        assert JobSpec.sample_many(coloring, 8, seed=spent).cache_key() is None
+
+    def test_name_is_cosmetic(self, coloring):
+        a = JobSpec.sample_many(coloring, 8, seed=1, name="alpha")
+        b = JobSpec.sample_many(coloring, 8, seed=1, name="beta")
+        assert a.cache_key() == b.cache_key()
+
+    def test_shardedness_changes_key_but_worker_count_does_not(self, coloring):
+        mono = JobSpec.sample_many(coloring, 8, seed=1, rounds=5)
+        sharded0 = JobSpec.sample_many(coloring, 8, seed=1, rounds=5, parallel=0)
+        sharded2 = JobSpec.sample_many(coloring, 8, seed=1, rounds=5, parallel=2)
+        sized = JobSpec.sample_many(
+            coloring, 8, seed=1, rounds=5, parallel=0, shard_size=2
+        )
+        # Monolithic and sharded runs produce different bits -> different keys;
+        # worker count is placement only -> same key.
+        assert mono.cache_key() != sharded0.cache_key()
+        assert sharded0.cache_key() == sharded2.cache_key()
+        assert sized.cache_key() != sharded0.cache_key()
+
+    def test_params_reach_the_key(self, coloring, small_coloring):
+        base = JobSpec.sample_many(coloring, 8, seed=1, rounds=5)
+        assert base.cache_key() != JobSpec.sample_many(
+            coloring, 9, seed=1, rounds=5
+        ).cache_key()
+        assert base.cache_key() != JobSpec.sample_many(
+            coloring, 8, seed=1, rounds=6
+        ).cache_key()
+        assert base.cache_key() != JobSpec.sample_many(
+            coloring, 8, seed=1, rounds=5, method="glauber"
+        ).cache_key()
+        assert base.cache_key() != JobSpec.sample_many(
+            small_coloring, 8, seed=1, rounds=5
+        ).cache_key()
+
+
+class TestWire:
+    def test_roundtrip_preserves_results_and_key(self, coloring):
+        spec = JobSpec.sample_many(coloring, 8, seed=SEED, rounds=8, name="wired")
+        clone = JobSpec.from_wire(json.loads(json.dumps(spec.to_wire())))
+        assert clone.name == "wired"
+        assert clone.cache_key() == spec.cache_key()
+        np.testing.assert_array_equal(repro.run_spec(clone), repro.run_spec(spec))
+
+    def test_roundtrip_all_kinds(self, small_coloring):
+        specs = [
+            JobSpec.sample_many(small_coloring, 8, seed=1, rounds=4),
+            JobSpec.tv_curve(small_coloring, (1, 3), replicas=32, seed=1),
+            JobSpec.mixing_time(
+                small_coloring, eps=0.5, replicas=256, max_rounds=64, stride=4, seed=1
+            ),
+        ]
+        for spec in specs:
+            clone = JobSpec.from_wire(json.loads(json.dumps(spec.to_wire())))
+            assert repro.run_spec(clone) == pytest.approx(repro.run_spec(spec))
+
+    def test_sharded_spec_travels_as_sharded(self, coloring):
+        spec = JobSpec.sample_many(
+            coloring, 8, seed=1, rounds=5, parallel=4, shard_size=2
+        )
+        clone = JobSpec.from_wire(spec.to_wire())
+        # Placement does not travel; sharded semantics (and their bits) do.
+        assert clone.parallel == 0
+        assert clone.shard_size == 2
+        assert clone.cache_key() == spec.cache_key()
+        np.testing.assert_array_equal(repro.run_spec(clone), repro.run_spec(spec))
+
+    def test_generator_seed_not_serialisable(self, coloring):
+        spec = JobSpec.sample_many(coloring, 8, seed=np.random.default_rng(1))
+        with pytest.raises(ModelError, match="seed"):
+            spec.to_wire()
+
+    def test_unseeded_spec_serialisable(self, coloring):
+        spec = JobSpec.sample_many(coloring, 4, rounds=3)
+        clone = JobSpec.from_wire(spec.to_wire())
+        assert clone.seed is None and clone.cache_key() is None
+
+    def test_malformed_payloads_rejected(self, coloring):
+        with pytest.raises(ModelError, match="dict"):
+            JobSpec.from_wire("nope")
+        with pytest.raises(ModelError, match="kind"):
+            JobSpec.from_wire({"kind": "bogus", "model": coloring.to_dict()})
+        with pytest.raises(ModelError, match="version"):
+            JobSpec.from_wire(
+                {"version": 99, "kind": "sample_many", "model": coloring.to_dict()}
+            )
+        with pytest.raises(ModelError):
+            JobSpec.from_wire({"kind": "sample_many"})  # missing model
