@@ -7,6 +7,11 @@ against the committed baselines under ``benchmarks/baselines/`` and exits
 non-zero if any shared metric regressed by more than the tolerance
 (default 30%; override with ``REPRO_BENCH_TOLERANCE``, a fraction).
 
+When ``$GITHUB_STEP_SUMMARY`` points at a writable file (as it does inside
+a GitHub Actions job), a per-benchmark markdown table of every comparison
+is appended to it, so the gate's verdict is readable from the run's
+summary page without digging through logs.
+
 All metrics are higher-is-better throughput numbers (ops/sec, speedups).
 A current/baseline pair is only compared when both runs used the same
 sizes (matching ``smoke`` flags) — comparing a CI smoke run against a
@@ -41,25 +46,37 @@ def load(path: Path) -> dict:
     return payload
 
 
-def check_file(current_path: Path, tolerance: float) -> list[str]:
-    """Return a list of regression messages for one BENCH_*.json file."""
+def check_file(
+    current_path: Path, tolerance: float
+) -> tuple[list[str], list[tuple[str, str, str, str, str]]]:
+    """Check one BENCH_*.json file.
+
+    Returns ``(regressions, rows)``: the failure messages, and one
+    ``(file, metric, current, baseline, status)`` row per metric for the
+    markdown step summary.
+    """
     current = load(current_path)
     baseline_path = BASELINES_DIR / current_path.name
     if not baseline_path.exists():
         print(f"  {current_path.name}: no committed baseline — skipping")
-        return []
+        return [], [(current_path.name, "—", "—", "—", "no baseline")]
     baseline = load(baseline_path)
     if bool(current.get("smoke")) != bool(baseline.get("smoke")):
         print(
             f"  {current_path.name}: smoke={current.get('smoke')} vs baseline "
             f"smoke={baseline.get('smoke')} — sizes differ, skipping comparison"
         )
-        return []
+        return [], [(current_path.name, "—", "—", "—", "smoke mismatch")]
     regressions: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
     shared = sorted(set(current["metrics"]) & set(baseline["metrics"]))
     for name in sorted(set(current["metrics"]) ^ set(baseline["metrics"])):
         side = "current" if name in current["metrics"] else "baseline"
         print(f"  {current_path.name}: metric {name!r} only in {side} — not compared")
+        value = current["metrics"].get(name, baseline["metrics"].get(name))
+        now_cell = f"{float(value):.4g}" if side == "current" else "—"
+        then_cell = f"{float(value):.4g}" if side == "baseline" else "—"
+        rows.append((current_path.name, name, now_cell, then_cell, f"only in {side}"))
     for name in shared:
         now = float(current["metrics"][name])
         then = float(baseline["metrics"][name])
@@ -72,7 +89,37 @@ def check_file(current_path: Path, tolerance: float) -> list[str]:
                 f"(baseline {then:.4g}, tolerance {tolerance:.0%})"
             )
         print(f"  {current_path.name}: {name}: {now:.4g} vs {then:.4g} [{status}]")
-    return regressions
+        rows.append((current_path.name, name, f"{now:.4g}", f"{then:.4g}", status))
+    return regressions, rows
+
+
+def render_step_summary(
+    rows: list[tuple[str, str, str, str, str]], tolerance: float, failed: bool
+) -> str:
+    """The markdown the gate appends to ``$GITHUB_STEP_SUMMARY``."""
+    verdict = "regressions detected ❌" if failed else "no regressions ✅"
+    lines = [
+        "## Benchmark-regression gate",
+        "",
+        f"Tolerance {tolerance:.0%} — {verdict}",
+        "",
+        "| benchmark | metric | current | baseline | status |",
+        "| --- | --- | ---: | ---: | --- |",
+    ]
+    for file_name, metric, now, then, status in rows:
+        lines.append(f"| {file_name} | {metric} | {now} | {then} | {status} |")
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(
+    rows: list[tuple[str, str, str, str, str]], tolerance: float, failed: bool
+) -> None:
+    """Append the markdown table when running under GitHub Actions."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as handle:
+        handle.write(render_step_summary(rows, tolerance, failed))
 
 
 def parse_tolerance(raw: str | None) -> float:
@@ -103,11 +150,15 @@ def main(argv: list[str]) -> int:
         return 1
     print(f"benchmark-regression gate (tolerance {tolerance:.0%})")
     regressions: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
     for path in paths:
         if not path.exists():
             print(f"error: {path} does not exist", file=sys.stderr)
             return 1
-        regressions.extend(check_file(path, tolerance))
+        file_regressions, file_rows = check_file(path, tolerance)
+        regressions.extend(file_regressions)
+        rows.extend(file_rows)
+    write_step_summary(rows, tolerance, failed=bool(regressions))
     if regressions:
         print("\nFAIL: benchmark regressions detected:", file=sys.stderr)
         for message in regressions:

@@ -39,8 +39,17 @@ from repro.api import (
     sample_many,
     tv_curve,
 )
+from repro.backend import (
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
 from repro.csp import LocalCSP
 from repro.errors import (
+    BackendError,
+    BackendUnavailableError,
     ConvergenceError,
     ExecError,
     FallbackEngineWarning,
@@ -69,7 +78,10 @@ __all__ = [
     "ENGINES",
     "METHODS",
     "MRF",
+    "ArrayBackend",
     "LocalCSP",
+    "BackendError",
+    "BackendUnavailableError",
     "ConvergenceError",
     "ExecError",
     "FallbackEngineWarning",
@@ -80,7 +92,9 @@ __all__ = [
     "ReproError",
     "StateSpaceTooLargeError",
     "__version__",
+    "available_backends",
     "default_round_budget",
+    "get_backend",
     "exact_gibbs_distribution",
     "hardcore_mrf",
     "independent_set_mrf",
@@ -91,6 +105,8 @@ __all__ = [
     "model_degree",
     "potts_mrf",
     "proper_coloring_mrf",
+    "register_backend",
+    "resolve_backend_name",
     "run_spec",
     "sample",
     "sample_many",

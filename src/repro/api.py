@@ -32,6 +32,7 @@ from repro.analysis.convergence import (
     empirical_mixing_time,
     ensemble_tv_curve,
 )
+from repro.backend import ArrayBackend, get_backend, resolve_backend_name
 from repro.chains.base import SeedLike, as_generator, as_seed_sequence
 from repro.chains.csp_chains import LocalMetropolisCSP, LubyGlauberCSP
 from repro.chains.ensemble import (
@@ -305,6 +306,7 @@ def make_ensemble(
     initial: np.ndarray | None = None,
     parallel: int | None = None,
     shard_size: int | None = None,
+    backend: str | ArrayBackend | None = None,
 ):
     """Build the fastest replica-ensemble engine for ``(model, method)``.
 
@@ -334,6 +336,12 @@ def make_ensemble(
     :class:`~repro.exec.pool.ShardedEnsemble` should be closed (it is a
     context manager) to release its workers; it requires an int or
     :class:`numpy.random.SeedSequence` seed.
+
+    ``backend`` selects the array backend the batched kernels run on
+    (:mod:`repro.backend`; name, instance, or ``None`` to resolve via
+    ``$REPRO_BACKEND``, then numpy).  The numpy backend is bit-identical
+    to the pre-backend engines; the sequential-chain fallback ignores the
+    argument (it has no batched kernels).
     """
     if r < 1:
         raise ModelError(f"ensemble needs r >= 1 replicas, got {r}")
@@ -349,6 +357,10 @@ def make_ensemble(
     if parallel is not None:
         from repro.exec.pool import ShardedEnsemble
 
+        # Resolve eagerly: an unusable backend fails here in the parent,
+        # not mid-run in a worker, and the picklable *name* (never an
+        # instance) is what travels to the worker processes.
+        backend_name = get_backend(backend).name
         return ShardedEnsemble(
             model,
             r,
@@ -357,6 +369,7 @@ def make_ensemble(
             initial=initial,
             workers=parallel,
             shard_size=shard_size,
+            backend=backend_name,
         )
     if shard_size is not None:
         raise ModelError("shard_size only applies to sharded runs; pass parallel=")
@@ -367,9 +380,9 @@ def make_ensemble(
             if method == "local-metropolis"
             else EnsembleLubyGlauberCSP
         )
-        return ensemble_cls(model, r, initial=initial, seed=rng)
+        return ensemble_cls(model, r, initial=initial, seed=rng, backend=backend)
     if method == "glauber":
-        return EnsembleGlauberDynamics(model, r, initial=initial, seed=rng)
+        return EnsembleGlauberDynamics(model, r, initial=initial, seed=rng, backend=backend)
     coloring_q = _uniform_coloring_q(model)
     if coloring_q is not None:
         ensemble_cls = (
@@ -377,8 +390,14 @@ def make_ensemble(
             if method == "local-metropolis"
             else EnsembleLubyGlauberColoring
         )
-        return ensemble_cls(model.graph, coloring_q, r, initial=initial, seed=rng)
+        return ensemble_cls(
+            model.graph, coloring_q, r, initial=initial, seed=rng, backend=backend
+        )
     # Generic-model fallback: r sequential chains behind the ensemble protocol.
+    # The sequential chains have no batched kernels, so the backend argument
+    # is unused here — but an unknown name still fails loudly.
+    if not isinstance(backend, ArrayBackend):
+        resolve_backend_name(backend)
     chain_cls = LocalMetropolisChain if method == "local-metropolis" else LubyGlauberChain
     starts = None if initial is None else np.asarray(initial, dtype=np.int64)
     if starts is not None and starts.ndim == 2 and starts.shape != (r, model.n):
@@ -407,6 +426,7 @@ def sample_many(
     initial: np.ndarray | None = None,
     parallel: int | None = None,
     shard_size: int | None = None,
+    backend: str | ArrayBackend | None = None,
 ) -> np.ndarray:
     """Draw ``r`` independent approximate Gibbs samples as an ``(r, n)`` batch.
 
@@ -436,6 +456,10 @@ def sample_many(
         Requires an int or ``SeedSequence`` seed, and the result is
         bit-identical for every worker count given the same seed and
         ``shard_size``.
+    backend:
+        Array backend for the batched kernels (:mod:`repro.backend`);
+        ``None`` resolves via ``$REPRO_BACKEND``, then numpy (the
+        bit-identical reference).
 
     Returns
     -------
@@ -457,6 +481,7 @@ def sample_many(
         initial=initial,
         parallel=parallel,
         shard_size=shard_size,
+        backend=backend,
     )
     try:
         return ensemble.run(rounds)
@@ -475,6 +500,7 @@ def tv_curve(
     target: GibbsDistribution | None = None,
     parallel: int | None = None,
     shard_size: int | None = None,
+    backend: str | ArrayBackend | None = None,
 ) -> list[tuple[int, float]]:
     """Ensemble-native TV-decay curve of ``method`` on ``model``.
 
@@ -509,6 +535,7 @@ def tv_curve(
         initial=initial,
         parallel=parallel,
         shard_size=shard_size,
+        backend=backend,
     )
     try:
         return ensemble_tv_curve(ensemble, target, checkpoints=list(checkpoints))
@@ -529,6 +556,7 @@ def mixing_time(
     target: GibbsDistribution | None = None,
     parallel: int | None = None,
     shard_size: int | None = None,
+    backend: str | ArrayBackend | None = None,
 ) -> int:
     """Empirical mixing time ``tau(eps)`` of ``method`` on ``model``.
 
@@ -558,6 +586,7 @@ def mixing_time(
         initial=initial,
         parallel=parallel,
         shard_size=shard_size,
+        backend=backend,
     )
     try:
         return empirical_mixing_time(
@@ -616,6 +645,7 @@ def run_spec(spec: JobSpec, target: GibbsDistribution | None = None):
             initial=spec.initial,
             parallel=spec.parallel,
             shard_size=spec.shard_size,
+            backend=spec.backend,
         )
     if spec.kind == "tv_curve":
         return tv_curve(
@@ -628,6 +658,7 @@ def run_spec(spec: JobSpec, target: GibbsDistribution | None = None):
             target=target,
             parallel=spec.parallel,
             shard_size=spec.shard_size,
+            backend=spec.backend,
         )
     return mixing_time(
         spec.model,
@@ -641,4 +672,5 @@ def run_spec(spec: JobSpec, target: GibbsDistribution | None = None):
         target=target,
         parallel=spec.parallel,
         shard_size=spec.shard_size,
+        backend=spec.backend,
     )

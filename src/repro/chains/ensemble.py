@@ -9,7 +9,7 @@ overhead dominates once ``n`` is modest, and per-chain construction
 (greedy colouring, edge-array setup) is paid R times.
 
 The ensembles in this module store all replicas in one array and advance
-them with single whole-ensemble numpy operations:
+them with single whole-ensemble array operations:
 
 * :class:`EnsembleLocalMetropolisColoring` — Algorithm 2 for proper
   q-colourings, R replicas per step;
@@ -29,12 +29,25 @@ them with single whole-ensemble numpy operations:
   are whole-ensemble gathers and segmented reductions rather than
   per-vertex ``itertools`` loops.
 
+Array-backend contract
+----------------------
+
+Every advance-path kernel below runs through an
+:class:`~repro.backend.base.ArrayBackend` (the local ``xp``), selected by
+the ``backend=`` constructor argument: numpy by default, torch CPU/CUDA
+optionally.  Setup and precompute (CSR construction, table flattening,
+greedy starts) stay plain numpy/scipy and hand the finished structures to
+the backend once; diagnostics return numpy.  All backends draw randomness
+from the engine's single numpy Generator through the backend RNG bridge,
+so the proposal stream is backend-independent; only the numpy backend is
+*bitwise* reproducible (see :mod:`repro.backend.base`).
+
 Layout and exactness contract
 -----------------------------
 
 Publicly an ensemble is an ``(R, n)`` batch: ``config`` returns an
-``(R, n)`` int64 array, and ``run(steps)`` returns a fresh ``(R, n)``
-copy.  Internally the colouring ensembles store the transposed
+``(R, n)`` int64 numpy array, and ``run(steps)`` returns a fresh
+``(R, n)`` copy.  Internally the colouring ensembles store the transposed
 *vertex-major* ``(n, R)`` layout in the smallest integer dtype that holds
 ``q``: every per-edge operation then gathers contiguous rows, and the
 edge-to-vertex "any incident edge failed" reduction is a sparse
@@ -76,11 +89,11 @@ import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import ArrayBackend, get_backend
 from repro.chains.base import as_generator, greedy_feasible_config
 from repro.chains.csp_chains import greedy_csp_config
 from repro.chains.fastpaths import (
     build_csr_neighbours,
-    expand_neighbour_slots,
     greedy_coloring,
     sorted_edge_arrays,
 )
@@ -163,9 +176,7 @@ class EnsembleTrajectoryMixin:
 def _spin_dtype(q: int) -> np.dtype:
     """Smallest signed integer dtype that holds spins ``0..q-1``.
 
-    Signed so that the accept-mask blend (``x ^ ((x ^ p) & mask)`` with an
-    all-ones mask) works unchanged, and at least as small as possible: the
-    ensemble kernels are memory-bound, so halving the element size is a
+    The ensemble kernels are memory-bound, so halving the element size is a
     direct throughput win.
     """
     if q <= 127:
@@ -173,16 +184,6 @@ def _spin_dtype(q: int) -> np.dtype:
     if q <= 32_767:
         return np.dtype(np.int16)
     return np.dtype(np.int64)
-
-
-def _draw_uniform_spins(
-    rng: np.random.Generator, q: int, size, dtype: np.dtype
-) -> np.ndarray:
-    """Uniform spins in ``0..q-1`` in ``dtype`` (generated via int16 when
-    narrower — numpy's int8 bounded-integer path is measurably slower)."""
-    if dtype.itemsize < 2:
-        return rng.integers(0, q, size=size, dtype=np.int16).astype(dtype)
-    return rng.integers(0, q, size=size, dtype=dtype)
 
 
 def _initial_spin_batch(
@@ -221,28 +222,30 @@ def _initial_spin_batch(
 
 
 def _batched_luby_select(
+    xp: ArrayBackend,
     rng: np.random.Generator,
     n: int,
     replicas: int,
-    edge_u: np.ndarray,
-    edge_v: np.ndarray,
+    edge_u,
+    edge_v,
     side_u,
     side_v,
-) -> np.ndarray:
+):
     """Per-replica Luby step: i.i.d. ranks, strict local maxima win.
 
     Returns an ``(n, R)`` boolean mask; each column is an independent set
-    of the graph given by the edge arrays (ties lose on both sides,
-    exactly as the sequential kernels).  Shared by the colouring ensembles
-    (simple graph) and the CSP ensembles (conflict graph).
+    of the graph given by the (device) edge arrays (ties lose on both
+    sides, exactly as the sequential kernels).  ``side_u``/``side_v`` are
+    backend CSR handles of the one-sided incidence matrices.  Shared by
+    the colouring ensembles (simple graph) and the CSP ensembles (conflict
+    graph).
     """
-    if len(edge_u) == 0:
-        return np.ones((n, replicas), dtype=bool)
-    ranks = rng.random((n, replicas), dtype=np.float32)
+    if edge_u is None or int(edge_u.shape[0]) == 0:
+        return xp.ones((n, replicas), dtype=bool)
+    ranks = xp.random_f32(rng, (n, replicas))
     ru = ranks[edge_u]
     rv = ranks[edge_v]
-    lose_counts = side_u @ (ru <= rv).view(np.uint8)
-    lose_counts += side_v @ (rv <= ru).view(np.uint8)
+    lose_counts = xp.spmm_count(side_u, ru <= rv) + xp.spmm_count(side_v, rv <= ru)
     return lose_counts == 0
 
 
@@ -264,6 +267,9 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
     seed:
         Seed, :class:`numpy.random.SeedSequence` or Generator for the single
         shared RNG stream (module docstring: seed and stream contract).
+    backend:
+        Array backend name or instance (module docstring: array-backend
+        contract); ``None`` resolves via ``$REPRO_BACKEND``, then numpy.
     """
 
     def __init__(
@@ -273,6 +279,7 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
         seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        backend: str | ArrayBackend | None = None,
     ) -> None:
         check_vertex_labels(graph)
         if q < 2:
@@ -285,11 +292,12 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
         self.graph = graph
         self._dtype = _spin_dtype(self.q)
         self.rng = as_generator(seed)
+        self.xp = get_backend(backend)
 
         self._eu, self._ev = sorted_edge_arrays(graph)
         self._m = len(self._eu)
         self._build_adjacency()
-        self._config = self._initial_batch(initial)
+        self._config = self.xp.asarray(self._initial_batch(initial))
         self.steps_taken = 0
 
     # ------------------------------------------------------------------
@@ -298,22 +306,30 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
     def _build_adjacency(self) -> None:
         """CSR neighbour arrays plus the one-sided edge incidence matrices.
 
-        ``_side_u @ flags`` scatters a per-edge ``(m, R)`` flag array onto
-        each edge's u endpoint (``_side_v`` likewise); their sum is the full
+        ``side_u @ flags`` scatters a per-edge ``(m, R)`` flag array onto
+        each edge's u endpoint (``side_v`` likewise); their sum is the full
         incidence used for "any incident edge failed" reductions.  Sparse
         matmul is the fastest edge-to-vertex scatter available from numpy
         land — ``np.logical_or.reduceat`` is ~50x slower on the same data.
         """
+        xp = self.xp
         n, m = self.n, self._m
         self._degrees, self._indptr, self._csr_indices = build_csr_neighbours(
             self._eu, self._ev, n
         )
+        self._degrees_d = xp.asarray(self._degrees)
+        self._indptr_d = xp.asarray(self._indptr)
+        self._csr_indices_d = xp.asarray(self._csr_indices)
+        self._eu_d = xp.asarray(self._eu)
+        self._ev_d = xp.asarray(self._ev)
         if m:
             ones = np.ones(m, dtype=np.int32)
             arange = np.arange(m)
-            self._side_u = sp.csr_matrix((ones, (self._eu, arange)), shape=(n, m))
-            self._side_v = sp.csr_matrix((ones, (self._ev, arange)), shape=(n, m))
-            self._incidence = (self._side_u + self._side_v).tocsr()
+            side_u = sp.csr_matrix((ones, (self._eu, arange)), shape=(n, m))
+            side_v = sp.csr_matrix((ones, (self._ev, arange)), shape=(n, m))
+            self._side_u = xp.csr(side_u)
+            self._side_v = xp.csr(side_v)
+            self._incidence = xp.csr((side_u + side_v).tocsr())
         else:
             self._side_u = self._side_v = self._incidence = None
 
@@ -333,19 +349,21 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
     # ------------------------------------------------------------------
     @property
     def config(self) -> np.ndarray:
-        """The current ``(R, n)`` batch (an int64 copy — safe to mutate)."""
-        return self._config.T.astype(np.int64)
+        """The current ``(R, n)`` batch (an int64 numpy copy — safe to mutate)."""
+        return self.xp.to_numpy(self._config).T.astype(np.int64)
 
     def write_batch_into(self, out: np.ndarray) -> np.ndarray:
         """Transposed write from the internal vertex-major state, no copy."""
-        np.copyto(out, self._config.T)
+        np.copyto(out, self.xp.to_numpy(self._config).T)
         return out
 
     def monochromatic_edges(self) -> np.ndarray:
         """Per-replica count of improper (monochromatic) edges, shape ``(R,)``."""
         if self._m == 0:
             return np.zeros(self.replicas, dtype=np.int64)
-        return (self._config[self._eu] == self._config[self._ev]).sum(axis=0)
+        xp = self.xp
+        same = self._config[self._eu_d] == self._config[self._ev_d]
+        return xp.to_numpy(xp.sum(same, axis=0))
 
     def proper_mask(self) -> np.ndarray:
         """Boolean ``(R,)`` mask of replicas whose colouring is proper."""
@@ -368,46 +386,23 @@ class EnsembleLocalMetropolisColoring(_EnsembleColoringBase):
     and a vertex accepts iff none of its incident edges failed.
     """
 
-    def __init__(
-        self,
-        graph: nx.Graph,
-        q: int,
-        replicas: int,
-        initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
-    ) -> None:
-        super().__init__(graph, q, replicas, initial=initial, seed=seed)
-        m, r = self._m, self.replicas
-        self._pu = np.empty((m, r), dtype=self._dtype)
-        self._pv = np.empty((m, r), dtype=self._dtype)
-        self._xu = np.empty((m, r), dtype=self._dtype)
-        self._xv = np.empty((m, r), dtype=self._dtype)
-        self._failed = np.empty((m, r), dtype=bool)
-        self._scratch = np.empty((m, r), dtype=bool)
-
     def step(self) -> None:
-        proposals = _draw_uniform_spins(
+        xp = self.xp
+        proposals = xp.uniform_spins(
             self.rng, self.q, (self.n, self.replicas), self._dtype
         )
         if self._m == 0:
-            self._config[...] = proposals
+            self._config = proposals
             self.steps_taken += 1
             return
-        np.take(proposals, self._eu, axis=0, out=self._pu)
-        np.take(proposals, self._ev, axis=0, out=self._pv)
-        np.take(self._config, self._eu, axis=0, out=self._xu)
-        np.take(self._config, self._ev, axis=0, out=self._xv)
-        failed = np.equal(self._pu, self._pv, out=self._failed)
-        np.logical_or(failed, np.equal(self._pu, self._xv, out=self._scratch), out=failed)
-        np.logical_or(failed, np.equal(self._pv, self._xu, out=self._scratch), out=failed)
+        pu = proposals[self._eu_d]
+        pv = proposals[self._ev_d]
+        xu = self._config[self._eu_d]
+        xv = self._config[self._ev_d]
+        failed = (pu == pv) | (pu == xv) | (pv == xu)
         # (n, R) count of failed incident edges; a vertex accepts iff zero.
-        blocked_counts = self._incidence @ failed.view(np.uint8)
-        mask = (blocked_counts == 0).astype(self._dtype)
-        np.negative(mask, out=mask)  # 0 where blocked, all-ones where accepted
-        # Branch-free masked assignment: config ^= (config ^ proposals) & mask.
-        np.bitwise_xor(self._config, proposals, out=proposals)
-        proposals &= mask
-        self._config ^= proposals
+        blocked = xp.spmm_count(self._incidence, failed) > 0
+        self._config = xp.where(blocked, self._config, proposals)
         self.steps_taken += 1
 
 
@@ -424,33 +419,36 @@ class EnsembleLubyGlauberColoring(_EnsembleColoringBase):
     accept.
     """
 
-    def _luby_select(self) -> np.ndarray:
+    def _luby_select(self):
         """Per-replica Luby step on the colouring graph, ``(n, R)`` boolean."""
         return _batched_luby_select(
-            self.rng, self.n, self.replicas, self._eu, self._ev,
+            self.xp, self.rng, self.n, self.replicas, self._eu_d, self._ev_d,
             self._side_u, self._side_v,
         )
 
     def step(self) -> None:
-        v_idx, r_idx = np.nonzero(self._luby_select())
-        result = self._config.copy()
+        xp = self.xp
+        v_idx, r_idx = xp.nonzero_pairs(self._luby_select())
+        result = xp.copy(self._config)
         guard = 0
-        while v_idx.size:
-            draws = _draw_uniform_spins(self.rng, self.q, v_idx.size, self._dtype)
+        while int(v_idx.shape[0]):
+            pending = int(v_idx.shape[0])
+            draws = xp.uniform_spins(self.rng, self.q, pending, self._dtype)
             if self._m:
                 # Expand each pending pair to its CSR neighbour slots.  The
                 # neighbours of a selected vertex are unselected (Luby step),
                 # so their colours are fixed for the whole resampling pass.
-                pair_of_slot, slots = expand_neighbour_slots(
-                    v_idx, self._degrees, self._indptr
+                pair_of_slot, slots = xp.expand_neighbour_slots(
+                    v_idx, self._degrees_d, self._indptr_d
                 )
                 neighbour_spins = self._config[
-                    self._csr_indices[slots], np.repeat(r_idx, self._degrees[v_idx])
+                    self._csr_indices_d[slots],
+                    xp.repeat(r_idx, self._degrees_d[v_idx]),
                 ]
                 hits = neighbour_spins == draws[pair_of_slot]
-                conflict = np.bincount(pair_of_slot[hits], minlength=v_idx.size) > 0
+                conflict = xp.bincount(pair_of_slot[hits], minlength=pending) > 0
             else:
-                conflict = np.zeros(v_idx.size, dtype=bool)
+                conflict = xp.zeros(pending, dtype=bool)
             ok = ~conflict
             result[v_idx[ok], r_idx[ok]] = draws[ok]
             # Carry only the conflicted pairs into the next rejection round —
@@ -488,12 +486,14 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
         seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        backend: str | ArrayBackend | None = None,
     ) -> None:
         if replicas < 1:
             raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
         self.mrf = mrf
         self.replicas = int(replicas)
         self.rng = as_generator(seed)
+        self.xp = get_backend(backend)
         n, q, r = mrf.n, mrf.q, self.replicas
         if initial is None:
             base = greedy_feasible_config(mrf, self.rng)
@@ -511,7 +511,7 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
                 )
             if np.any(config < 0) or np.any(config >= q):
                 raise ModelError(f"initial spins must lie in 0..{q - 1}")
-        self._config = config.astype(np.int64)
+        self._config = self.xp.asarray(config.astype(np.int64))
         # Padded neighbour table (-1 pad) plus a per-slot index into the
         # deduplicated stack of edge-activity matrices, so heterogeneous
         # models cost no more than shared-matrix ones.
@@ -529,52 +529,60 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
                     matrices.append(np.asarray(matrix, dtype=float))
                 self._neighbour_pad[v, k] = u
                 self._activity_index[v, k] = matrix_ids[key]
-        self._activities = (
-            np.stack(matrices) if matrices else np.ones((1, q, q))
+        activities = np.stack(matrices) if matrices else np.ones((1, q, q))
+        xp = self.xp
+        self._neighbour_pad_d = xp.asarray(self._neighbour_pad)
+        self._activity_index_d = xp.asarray(self._activity_index)
+        self._activities = xp.asarray(activities)
+        self._vertex_activity = xp.asarray(
+            np.asarray(mrf.vertex_activity, dtype=float)
         )
+        self._rows = xp.arange(r)
         self.steps_taken = 0
 
     @property
     def config(self) -> np.ndarray:
-        """The current ``(R, n)`` batch (a copy — safe to mutate)."""
-        return self._config.copy()
+        """The current ``(R, n)`` batch (a numpy copy — safe to mutate)."""
+        return np.array(self.xp.to_numpy(self._config))
 
     def step(self) -> None:
         """One single-site heat-bath update in every replica."""
+        xp = self.xp
         r, q = self.replicas, self.mrf.q
-        vertices = self.rng.integers(self.mrf.n, size=r)
+        vertices = xp.integers(self.rng, self.mrf.n, r)
         # Conditional weights b_v(c) * prod_u A_uv(c, X_u), eq. (2), built
         # in ascending-neighbour order (bitwise-matching the sequential
         # implementation's float operation order).
-        weights = self.mrf.vertex_activity[vertices].copy()
-        rows = np.arange(r)
+        weights = xp.take_rows(self._vertex_activity, vertices)
+        rows = self._rows
         for k in range(self._neighbour_pad.shape[1]):
-            neighbour = self._neighbour_pad[vertices, k]
+            neighbour = self._neighbour_pad_d[vertices, k]
             valid = neighbour >= 0
-            if not np.any(valid):
+            if not xp.any(valid):
                 continue
             spins = self._config[rows[valid], neighbour[valid]]
             weights[valid] *= self._activities[
-                self._activity_index[vertices[valid], k], :, spins
+                self._activity_index_d[vertices[valid], k], :, spins
             ]
-        totals = weights.sum(axis=1)
-        if np.any(totals <= 0.0):
-            bad = int(vertices[np.argmax(totals <= 0.0)])
+        totals = xp.sum(weights, axis=1)
+        if xp.any(totals <= 0.0):
+            bad = int(vertices[xp.argmax(totals <= 0.0)])
             raise InfeasibleStateError(
                 f"conditional marginal at vertex {bad} is undefined: all {q} "
                 "spins have zero weight given the neighbours' spins"
             )
-        cdf = np.cumsum(weights / totals[:, None], axis=1)
-        uniforms = self.rng.random(r)
-        spins = (cdf <= uniforms[:, None]).sum(axis=1)
-        np.clip(spins, 0, q - 1, out=spins)
+        cdf = xp.cumsum(weights / totals[:, None], axis=1)
+        uniforms = xp.random(self.rng, r)
+        spins = xp.sum(cdf <= uniforms[:, None], axis=1)
+        spins = xp.clip(spins, 0, q - 1)
         self._config[rows, vertices] = spins
         self.steps_taken += 1
 
     def is_feasible(self) -> np.ndarray:
         """Per-replica feasibility mask, shape ``(R,)``."""
+        config = self.xp.to_numpy(self._config)
         return np.array(
-            [self.mrf.is_feasible(self._config[i]) for i in range(self.replicas)]
+            [self.mrf.is_feasible(config[i]) for i in range(self.replicas)]
         )
 
 
@@ -582,24 +590,6 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
 # CSP ensembles: batched extensions of Algorithms 1-2 to weighted local
 # CSPs (the remarks after both algorithms).
 # ----------------------------------------------------------------------
-def _segment_product(values: np.ndarray, sizes: np.ndarray) -> np.ndarray:
-    """Products of contiguous row segments of ``values``.
-
-    ``values`` has shape ``(S, ...)``; row block ``i`` holds ``sizes[i]``
-    consecutive rows.  Returns one product row per segment (all-ones rows
-    for empty segments) — the reduction primitive behind both CSP kernels,
-    implemented with one ``multiply.reduceat`` over the non-empty segments.
-    """
-    total = int(sizes.sum())
-    out = np.ones((sizes.size,) + values.shape[1:], dtype=float)
-    if total == 0 or sizes.size == 0:
-        return out
-    starts = np.cumsum(sizes) - sizes
-    nonempty = sizes > 0
-    out[nonempty] = np.multiply.reduceat(values, starts[nonempty], axis=0)
-    return out
-
-
 class _EnsembleCSPBase(EnsembleTrajectoryMixin):
     """Shared precompiled structure for the batched CSP chains.
 
@@ -624,6 +614,9 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
     seed:
         Seed, :class:`numpy.random.SeedSequence` or Generator for the single
         shared RNG stream (module docstring: seed and stream contract).
+    backend:
+        Array backend name or instance (module docstring: array-backend
+        contract); ``None`` resolves via ``$REPRO_BACKEND``, then numpy.
     """
 
     def __init__(
@@ -632,6 +625,7 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
         seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        backend: str | ArrayBackend | None = None,
     ) -> None:
         if replicas < 1:
             raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
@@ -641,8 +635,10 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
         self.replicas = int(replicas)
         self._dtype = _spin_dtype(self.q)
         self.rng = as_generator(seed)
+        self.xp = get_backend(backend)
         self._build_scope_tables()
-        self._config = self._initial_batch(initial)
+        self._config = self.xp.asarray(self._initial_batch(initial))
+        self._spin_arange = self.xp.arange(self.q)
         self.steps_taken = 0
 
     # ------------------------------------------------------------------
@@ -650,7 +646,7 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
     # ------------------------------------------------------------------
     def _build_scope_tables(self) -> None:
         """Flatten all constraint tables and precompile the scope strides."""
-        csp, n = self.csp, self.n
+        csp, n, xp = self.csp, self.n, self.xp
         constraints = csp.constraints
         self._num_constraints = len(constraints)
         raw_parts: list[np.ndarray] = []
@@ -672,17 +668,24 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
             cols.extend(constraint.scope)
             data.extend(int(s) for s in strides)
         self._table_starts = starts
-        self._flat_raw = (
+        self._table_starts_d = xp.asarray(starts)
+        flat_raw = (
             np.concatenate(raw_parts) if raw_parts else np.zeros(0, dtype=float)
         )
+        self._flat_raw = flat_raw
+        self._flat_raw_d = xp.asarray(flat_raw)
         if self._num_constraints:
-            self._scope_matrix = sp.csr_matrix(
-                (np.asarray(data, dtype=np.int64), (rows, cols)),
-                shape=(self._num_constraints, n),
+            self._scope_matrix = xp.csr(
+                sp.csr_matrix(
+                    (np.asarray(data, dtype=np.int64), (rows, cols)),
+                    shape=(self._num_constraints, n),
+                )
             )
             ones = np.ones(len(rows), dtype=np.int32)
-            self._vertex_incidence = sp.csr_matrix(
-                (ones, (cols, rows)), shape=(n, self._num_constraints)
+            self._vertex_incidence = xp.csr(
+                sp.csr_matrix(
+                    (ones, (cols, rows)), shape=(n, self._num_constraints)
+                )
             )
         else:
             self._scope_matrix = self._vertex_incidence = None
@@ -702,30 +705,31 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
     # ------------------------------------------------------------------
     @property
     def config(self) -> np.ndarray:
-        """The current ``(R, n)`` batch (an int64 copy — safe to mutate)."""
-        return self._config.T.astype(np.int64)
+        """The current ``(R, n)`` batch (an int64 numpy copy — safe to mutate)."""
+        return self.xp.to_numpy(self._config).T.astype(np.int64)
 
     def write_batch_into(self, out: np.ndarray) -> np.ndarray:
         """Transposed write from the internal vertex-major state, no copy."""
-        np.copyto(out, self._config.T)
+        np.copyto(out, self.xp.to_numpy(self._config).T)
         return out
 
-    def _scope_flat_indices(self, batch: np.ndarray) -> np.ndarray:
+    def _scope_flat_indices(self, batch):
         """Flat row-major index of every scope restriction, shape ``(C, R)``.
 
         ``result[c, i]`` addresses ``f_c(batch|_{S_c})`` for replica ``i``
         inside the flattened table stack (relative to the constraint's
         table start).
         """
-        return self._scope_matrix @ batch.astype(np.int64)
+        return self.xp.spmm_int(self._scope_matrix, batch)
 
     def feasible_mask(self) -> np.ndarray:
         """Boolean ``(R,)`` mask of replicas with positive total weight."""
         if not self._num_constraints:
             return np.ones(self.replicas, dtype=bool)
+        xp = self.xp
         flat = self._scope_flat_indices(self._config)
-        values = self._flat_raw[self._table_starts[:, None] + flat]
-        return np.all(values > 0.0, axis=0)
+        values = self._flat_raw_d[self._table_starts_d[:, None] + flat]
+        return np.all(xp.to_numpy(values) > 0.0, axis=0)
 
     def is_feasible(self) -> bool:
         """Return True iff *every* replica's configuration is feasible."""
@@ -755,20 +759,28 @@ class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
         seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        backend: str | ArrayBackend | None = None,
     ) -> None:
-        super().__init__(csp, replicas, initial=initial, seed=seed)
+        super().__init__(csp, replicas, initial=initial, seed=seed, backend=backend)
+        xp = self.xp
         # Conflict-graph edge arrays drive the batched Luby step; ties lose
         # on both sides, exactly as LubyScheduler's strict local maxima.
         self._cu, self._cv = sorted_edge_arrays(conflict_graph(csp))
         self._conflict_m = len(self._cu)
+        self._cu_d = xp.asarray(self._cu)
+        self._cv_d = xp.asarray(self._cv)
         if self._conflict_m:
             ones = np.ones(self._conflict_m, dtype=np.int32)
             arange = np.arange(self._conflict_m)
-            self._conflict_u = sp.csr_matrix(
-                (ones, (self._cu, arange)), shape=(self.n, self._conflict_m)
+            self._conflict_u = xp.csr(
+                sp.csr_matrix(
+                    (ones, (self._cu, arange)), shape=(self.n, self._conflict_m)
+                )
             )
-            self._conflict_v = sp.csr_matrix(
-                (ones, (self._cv, arange)), shape=(self.n, self._conflict_m)
+            self._conflict_v = xp.csr(
+                sp.csr_matrix(
+                    (ones, (self._cv, arange)), shape=(self.n, self._conflict_m)
+                )
             )
         else:
             self._conflict_u = self._conflict_v = None
@@ -786,61 +798,69 @@ class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
             indptr[v + 1] = len(inc_constraint)
         self._inc_indptr = indptr
         self._inc_degrees = np.diff(indptr)
-        self._inc_constraint = np.asarray(inc_constraint, dtype=np.int64)
-        self._inc_stride = np.asarray(inc_stride, dtype=np.int64)
+        self._inc_indptr_d = xp.asarray(indptr)
+        self._inc_degrees_d = xp.asarray(self._inc_degrees)
+        self._inc_constraint = xp.asarray(np.asarray(inc_constraint, dtype=np.int64))
+        self._inc_stride = xp.asarray(np.asarray(inc_stride, dtype=np.int64))
 
-    def _luby_select(self) -> np.ndarray:
+    def _luby_select(self):
         """Per-replica Luby step on the conflict graph, ``(n, R)`` boolean."""
         return _batched_luby_select(
-            self.rng, self.n, self.replicas, self._cu, self._cv,
+            self.xp, self.rng, self.n, self.replicas, self._cu_d, self._cv_d,
             self._conflict_u, self._conflict_v,
         )
 
     def step(self) -> None:
         """Select strongly independent sets; heat-bath-update them in parallel."""
-        v_idx, r_idx = np.nonzero(self._luby_select())
-        if v_idx.size == 0:  # pragma: no cover - Luby always selects someone
+        xp = self.xp
+        v_idx, r_idx = xp.nonzero_pairs(self._luby_select())
+        pairs = int(v_idx.shape[0])
+        if pairs == 0:  # pragma: no cover - Luby always selects someone
             self.steps_taken += 1
             return
-        pairs = v_idx.size
         q = self.q
-        weights = np.ones((pairs, q))
         if self._num_constraints:
-            config64 = self._config.astype(np.int64)
+            config64 = xp.astype(self._config, np.int64)
             flat = self._scope_flat_indices(self._config)
             # Expand each selected pair to its constraint-incidence slots.
             # Selected vertices are strongly independent, so every co-scoped
             # vertex is unselected and its spin is fixed this round.
-            pair_of_slot, slots = expand_neighbour_slots(
-                v_idx, self._inc_degrees, self._inc_indptr
+            pair_of_slot, slots = xp.expand_neighbour_slots(
+                v_idx, self._inc_degrees_d, self._inc_indptr_d
             )
             constraint = self._inc_constraint[slots]
             stride = self._inc_stride[slots]
             r_slot = r_idx[pair_of_slot]
             current = config64[v_idx[pair_of_slot], r_slot]
             base = (
-                self._table_starts[constraint]
+                self._table_starts_d[constraint]
                 + flat[constraint, r_slot]
                 - current * stride
             )
             # (slots, q) factor values for every candidate spin of the pair.
-            values = self._flat_raw[base[:, None] + stride[:, None] * np.arange(q)]
-            weights = _segment_product(values, self._inc_degrees[v_idx])
-        totals = weights.sum(axis=1)
-        if np.any(totals <= 0.0):
-            bad = int(v_idx[np.argmax(totals <= 0.0)])
+            values = self._flat_raw_d[
+                base[:, None] + stride[:, None] * self._spin_arange
+            ]
+            weights = xp.segment_prod(
+                values, self._inc_degrees[xp.to_numpy(v_idx)]
+            )
+        else:
+            weights = xp.ones((pairs, q))
+        totals = xp.sum(weights, axis=1)
+        if xp.any(totals <= 0.0):
+            bad = int(v_idx[xp.argmax(totals <= 0.0)])
             raise ModelError(
                 f"CSP conditional marginal at vertex {bad} is undefined (zero mass)"
             )
-        cdf = np.cumsum(weights / totals[:, None], axis=1)
-        uniforms = self.rng.random(pairs)
-        spins = (cdf <= uniforms[:, None]).sum(axis=1)
+        cdf = xp.cumsum(weights / totals[:, None], axis=1)
+        uniforms = xp.random(self.rng, pairs)
+        spins = xp.sum(cdf <= uniforms[:, None], axis=1)
         # Rounding can leave cdf[-1] < 1 so a draw lands past the end; fall
         # back to the *largest positive-mass* spin, never a zero-mass one
         # (same fallthrough rule as cftp._inverse_cdf_spin).
-        last_positive = q - 1 - np.argmax(weights[:, ::-1] > 0.0, axis=1)
-        np.minimum(spins, last_positive, out=spins)
-        self._config[v_idx, r_idx] = spins.astype(self._dtype)
+        last_positive = q - 1 - xp.argmax_axis(xp.flip(weights, axis=1) > 0.0, axis=1)
+        spins = xp.minimum(spins, last_positive)
+        self._config[v_idx, r_idx] = xp.astype(spins, self._dtype)
         self.steps_taken += 1
 
 
@@ -872,15 +892,18 @@ class EnsembleLocalMetropolisCSP(_EnsembleCSPBase):
         replicas: int,
         initial: Sequence[int] | np.ndarray | None = None,
         seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        backend: str | ArrayBackend | None = None,
     ) -> None:
-        super().__init__(csp, replicas, initial=initial, seed=seed)
+        super().__init__(csp, replicas, initial=initial, seed=seed, backend=backend)
+        xp = self.xp
         norm_parts = [
             np.asarray(c.normalized_table(), dtype=float).ravel()
             for c in csp.constraints
         ]
-        self._flat_norm = (
+        flat_norm = (
             np.concatenate(norm_parts) if norm_parts else np.zeros(0, dtype=float)
         )
+        self._flat_norm = xp.asarray(flat_norm)
         total_rows = sum(2**c.arity - 1 for c in csp.constraints)
         if total_rows > self.MAX_MIXING_ROWS:
             raise StateSpaceTooLargeError(
@@ -916,39 +939,49 @@ class EnsembleLocalMetropolisCSP(_EnsembleCSPBase):
                 row += 1
         self._mask_rows = row
         self._mask_starts = mask_starts[: self._num_constraints]
-        self._row_table_start = np.asarray(row_start, dtype=np.int64)
+        # Segment sizes of the per-constraint mixing-row blocks (each is
+        # 2^arity - 1 >= 1, so every segment is non-empty).
+        self._mask_sizes = np.diff(np.append(self._mask_starts, self._mask_rows))
+        self._row_table_start = xp.asarray(np.asarray(row_start, dtype=np.int64))
         if self._num_constraints:
             shape = (self._mask_rows, self.n)
-            self._proposal_matrix = sp.csr_matrix(
-                (np.asarray(data_p, dtype=np.int64), (rows_p, cols_p)), shape=shape
+            self._proposal_matrix = xp.csr(
+                sp.csr_matrix(
+                    (np.asarray(data_p, dtype=np.int64), (rows_p, cols_p)),
+                    shape=shape,
+                )
             )
-            self._current_matrix = sp.csr_matrix(
-                (np.asarray(data_c, dtype=np.int64), (rows_c, cols_c)), shape=shape
+            self._current_matrix = xp.csr(
+                sp.csr_matrix(
+                    (np.asarray(data_c, dtype=np.int64), (rows_c, cols_c)),
+                    shape=shape,
+                )
             )
         else:
             self._proposal_matrix = self._current_matrix = None
 
     def step(self) -> None:
         """Uniform proposals; batched 2^k - 1-factor filter; accept if clean."""
-        proposals = _draw_uniform_spins(
+        xp = self.xp
+        proposals = xp.uniform_spins(
             self.rng, self.q, (self.n, self.replicas), self._dtype
         )
         if not self._num_constraints:
-            self._config[...] = proposals
+            self._config = proposals
             self.steps_taken += 1
             return
         # Flat table index of every (constraint, mixing) row: proposal spins
         # where the mixing reads the proposal, current spins elsewhere.
-        flat = self._proposal_matrix @ proposals.astype(
-            np.int64
-        ) + self._current_matrix @ self._config.astype(np.int64)
+        flat = xp.spmm_int(self._proposal_matrix, proposals) + xp.spmm_int(
+            self._current_matrix, self._config
+        )
         factors = self._flat_norm[self._row_table_start[:, None] + flat]
-        pass_probability = np.multiply.reduceat(factors, self._mask_starts, axis=0)
+        pass_probability = xp.segment_prod(factors, self._mask_sizes)
         # One shared coin per (constraint, replica): u < p is almost surely
         # true at p = 1 and never true at p = 0, so the deterministic
         # branches of the sequential chain need no special-casing.
-        coins = self.rng.random((self._num_constraints, self.replicas))
+        coins = xp.random(self.rng, (self._num_constraints, self.replicas))
         failed = coins >= pass_probability
-        blocked = (self._vertex_incidence @ failed.view(np.uint8)) > 0
-        self._config = np.where(blocked, self._config, proposals)
+        blocked = xp.spmm_count(self._vertex_incidence, failed) > 0
+        self._config = xp.where(blocked, self._config, proposals)
         self.steps_taken += 1

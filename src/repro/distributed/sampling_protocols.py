@@ -196,20 +196,23 @@ class _VectorizedSamplingBase(VectorizedProtocol):
             raise ProtocolError(f"{type(self).__name__} needs SamplingInput private inputs")
         q = inputs[0].q if ctx.n else 1
         ctx.state["q"] = q
-        ctx.state["spins"] = np.array(
-            [inp.initial_spin for inp in inputs], dtype=np.int64
-        )
         vertex_activity = np.zeros((ctx.n, q), dtype=float)
         for v, inp in enumerate(inputs):
             vertex_activity[v] = inp.vertex_activity
         ctx.state["vertex_activity"] = vertex_activity
         self._build_tables(ctx)
+        # Round-handler state lives on the backend device; the numpy
+        # originals above stay host-side for setup code.
+        ctx.state["spins"] = ctx.xp.asarray(
+            np.array([inp.initial_spin for inp in inputs], dtype=np.int64)
+        )
+        ctx.state["vertex_activity_d"] = ctx.xp.asarray(vertex_activity)
 
     def _build_tables(self, ctx: VectorizedContext) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def finalize(self, ctx: VectorizedContext) -> np.ndarray:
-        return ctx.state["spins"].copy()
+        return ctx.xp.to_numpy(ctx.state["spins"]).copy()
 
     @staticmethod
     def _dedup(matrix: np.ndarray, stack: list[np.ndarray], seen: dict[bytes, int]) -> int:
@@ -246,50 +249,54 @@ class VectorizedLubyGlauber(_VectorizedSamplingBase):
             for k, u in enumerate(sorted(inp.edge_activities)):
                 pad[v, k] = u
                 act_idx[v, k] = self._dedup(inp.edge_activities[u], stack, seen)
-        ctx.state["neighbour_pad"] = pad
-        ctx.state["activity_index"] = act_idx
-        ctx.state["activities"] = np.stack(stack) if stack else np.ones((1, q, q))
+        xp = ctx.xp
+        ctx.state["neighbour_pad"] = xp.asarray(pad)
+        ctx.state["activity_index"] = xp.asarray(act_idx)
+        ctx.state["activities"] = xp.asarray(
+            np.stack(stack) if stack else np.ones((1, q, q))
+        )
 
     def round(self, ctx: VectorizedContext, round_index: int) -> None:
+        xp = ctx.xp
         spins = ctx.state["spins"]
         # Luby step: every node draws a rank; strict local maxima update
         # (ties lose on both sides, as in the reference protocol).
-        ranks = ctx.rng.random(ctx.n)
-        loses = np.zeros(ctx.n, dtype=bool)
+        ranks = xp.random(ctx.rng, ctx.n)
+        loses = xp.zeros(ctx.n, dtype=bool)
         if ctx.m:
-            ru = ranks[ctx.edge_u]
-            rv = ranks[ctx.edge_v]
-            loses[ctx.edge_u[ru <= rv]] = True
-            loses[ctx.edge_v[rv <= ru]] = True
-        selected = np.nonzero(~loses)[0]
-        if selected.size == 0:
+            ru = ranks[ctx.edge_u_d]
+            rv = ranks[ctx.edge_v_d]
+            loses[ctx.edge_u_d[ru <= rv]] = True
+            loses[ctx.edge_v_d[rv <= ru]] = True
+        selected = xp.nonzero1d(~loses)
+        if int(selected.shape[0]) == 0:
             return
         # Heat-bath redraw: conditional weights b_v(c) * prod_u A_uv(c, X_u),
         # assembled one padded neighbour position at a time (bounded by Delta).
-        weights = ctx.state["vertex_activity"][selected].copy()
+        weights = xp.take_rows(ctx.state["vertex_activity_d"], selected)
         pad = ctx.state["neighbour_pad"]
         act_idx = ctx.state["activity_index"]
         activities = ctx.state["activities"]
-        for k in range(pad.shape[1]):
+        for k in range(int(pad.shape[1])):
             neighbour = pad[selected, k]
             valid = neighbour >= 0
-            if not np.any(valid):
+            if not xp.any(valid):
                 break  # pad is left-filled: later positions are empty too
             neighbour_spins = spins[neighbour[valid]]
             weights[valid] *= activities[
                 act_idx[selected[valid], k], :, neighbour_spins
             ]
-        totals = weights.sum(axis=1)
-        if np.any(totals <= 0.0):
-            bad = int(selected[np.argmax(totals <= 0.0)])
+        totals = xp.sum(weights, axis=1)
+        if xp.any(totals <= 0.0):
+            bad = int(selected[xp.argmax(totals <= 0.0)])
             raise ProtocolError(
                 f"node {bad}: conditional marginal undefined "
                 "(Glauber well-definedness assumption violated)"
             )
-        cdf = np.cumsum(weights, axis=1)
-        draws = ctx.rng.random(selected.size) * totals
-        new_spins = (cdf <= draws[:, None]).sum(axis=1)
-        np.clip(new_spins, 0, ctx.state["q"] - 1, out=new_spins)
+        cdf = xp.cumsum(weights, axis=1)
+        draws = xp.random(ctx.rng, int(selected.shape[0])) * totals
+        new_spins = xp.sum(cdf <= draws[:, None], axis=1)
+        new_spins = xp.clip(new_spins, 0, ctx.state["q"] - 1)
         spins[selected] = new_spins
 
 
@@ -318,35 +325,39 @@ class VectorizedLocalMetropolis(_VectorizedSamplingBase):
             edge_idx[e] = self._dedup(
                 ctx.private_inputs[v].edge_activities[u], stack, seen
             )
-        ctx.state["edge_activity_index"] = edge_idx
-        ctx.state["activities"] = np.stack(stack) if stack else np.ones((1, q, q))
+        xp = ctx.xp
+        ctx.state["edge_activity_index"] = xp.asarray(edge_idx)
+        ctx.state["activities"] = xp.asarray(
+            np.stack(stack) if stack else np.ones((1, q, q))
+        )
         vertex_activity = ctx.state["vertex_activity"]
         totals = vertex_activity.sum(axis=1, keepdims=True)
-        ctx.state["proposal_cdf"] = (
+        ctx.state["proposal_cdf"] = xp.asarray(
             np.cumsum(vertex_activity / totals, axis=1)
             if ctx.n
             else np.zeros((0, q))
         )
 
     def round(self, ctx: VectorizedContext, round_index: int) -> None:
+        xp = ctx.xp
         spins = ctx.state["spins"]
         cdf = ctx.state["proposal_cdf"]
         q = ctx.state["q"]
         # Proposals via vectorised inverse-CDF — identical semantics to the
         # reference's searchsorted(side="right") per node.
-        draws = ctx.rng.random(ctx.n)
-        proposals = (cdf <= draws[:, None]).sum(axis=1)
-        np.clip(proposals, 0, q - 1, out=proposals)
-        shares = ctx.rng.random(ctx.n)
+        draws = xp.random(ctx.rng, ctx.n)
+        proposals = xp.sum(cdf <= draws[:, None], axis=1)
+        proposals = xp.clip(proposals, 0, q - 1)
+        shares = xp.random(ctx.rng, ctx.n)
         if ctx.m == 0:
             spins[...] = proposals
             return
         activities = ctx.state["activities"]
         edge_idx = ctx.state["edge_activity_index"]
-        pu = proposals[ctx.edge_u]
-        pv = proposals[ctx.edge_v]
-        xu = spins[ctx.edge_u]
-        xv = spins[ctx.edge_v]
+        pu = proposals[ctx.edge_u_d]
+        pv = proposals[ctx.edge_v_d]
+        xu = spins[ctx.edge_u_d]
+        xv = spins[ctx.edge_v_d]
         # Paper Algorithm 2 line 6 — both endpoints of uv evaluate the same
         # three-factor product (the matrices are symmetric).
         probability = (
@@ -354,10 +365,10 @@ class VectorizedLocalMetropolis(_VectorizedSamplingBase):
             * activities[edge_idx, xu, pv]
             * activities[edge_idx, pu, xv]
         )
-        coin = (shares[ctx.edge_u] + shares[ctx.edge_v]) % 1.0
+        coin = (shares[ctx.edge_u_d] + shares[ctx.edge_v_d]) % 1.0
         failed = coin >= probability
         blocked = ctx.scatter_edge_flags(failed) > 0
-        np.copyto(spins, proposals, where=~blocked)
+        ctx.state["spins"] = xp.where(blocked, spins, proposals)
 
 
 def run_luby_glauber_protocol(
@@ -367,6 +378,7 @@ def run_luby_glauber_protocol(
     initial: np.ndarray | None = None,
     engine: str = "reference",
     collect_stats: bool = True,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, RunStats]:
     """Run Algorithm 1 on the LOCAL runtime; return (configuration, stats)."""
     network = Network(mrf.graph)
@@ -382,6 +394,7 @@ def run_luby_glauber_protocol(
         private_inputs=make_private_inputs(mrf, initial),
         engine=engine,
         collect_stats=collect_stats,
+        backend=backend,
     )
     return np.asarray(outputs, dtype=np.int64), stats
 
@@ -393,6 +406,7 @@ def run_local_metropolis_protocol(
     initial: np.ndarray | None = None,
     engine: str = "reference",
     collect_stats: bool = True,
+    backend: str | None = None,
 ) -> tuple[np.ndarray, RunStats]:
     """Run Algorithm 2 on the LOCAL runtime; return (configuration, stats)."""
     network = Network(mrf.graph)
@@ -408,5 +422,6 @@ def run_local_metropolis_protocol(
         private_inputs=make_private_inputs(mrf, initial),
         engine=engine,
         collect_stats=collect_stats,
+        backend=backend,
     )
     return np.asarray(outputs, dtype=np.int64), stats

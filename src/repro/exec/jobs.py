@@ -105,6 +105,7 @@ def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
             initial=job.initial,
             parallel=parallel,
             shard_size=job.shard_size,
+            backend=job.backend,
         )
         emit(JobUpdate(job_id, "result", job.label, payload=batch))
         return
@@ -118,6 +119,7 @@ def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
         initial=job.initial,
         parallel=parallel,
         shard_size=job.shard_size,
+        backend=job.backend,
     )
     try:
         if job.kind == "tv_curve":

@@ -68,6 +68,7 @@ def run_protocol(
     private_inputs: list[Any] | None = None,
     engine: str = "reference",
     collect_stats: bool = True,
+    backend: str | None = None,
 ) -> tuple[list[Any] | np.ndarray, RunStats]:
     """Execute ``protocol`` on ``network`` for ``rounds`` synchronous rounds.
 
@@ -93,6 +94,10 @@ def run_protocol(
         When False, skip the per-message payload walk entirely —
         ``max_message_atoms`` and ``messages_per_round`` stay empty, but
         ``rounds`` and ``messages`` are still counted (they are free).
+    backend:
+        Array backend for the vectorized engine (``None`` resolves via
+        ``$REPRO_BACKEND``, then numpy); the reference engine is pure
+        Python and ignores it.
 
     Returns
     -------
@@ -122,6 +127,7 @@ def run_protocol(
             seed=seed,
             private_inputs=private_inputs,
             collect_stats=collect_stats,
+            backend=backend,
         )
     n = network.n
     rngs = spawn_node_rngs(seed, n)

@@ -34,6 +34,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.chains.fastpaths import build_csr_neighbours, sorted_edge_arrays
 from repro.errors import ProtocolError
 from repro.local.network import Network
@@ -67,6 +68,12 @@ class VectorizedContext:
         :func:`repro.chains.fastpaths.build_csr_neighbours`).
     rng:
         One shared :class:`numpy.random.Generator` for the whole execution.
+    xp:
+        The :class:`~repro.backend.base.ArrayBackend` round handlers run
+        their array kernels through (numpy by default).
+    edge_u_d, edge_v_d:
+        Backend-device mirrors of the edge endpoint arrays, for use inside
+        round handlers; ``edge_u``/``edge_v`` stay numpy for setup code.
     private_inputs:
         The per-node private inputs (length ``n`` list).
     n_bound, delta_bound:
@@ -80,6 +87,7 @@ class VectorizedContext:
         network: Network,
         rng: np.random.Generator,
         private_inputs: list[Any],
+        backend: str | ArrayBackend | None = None,
     ) -> None:
         self.n = network.n
         self.edge_u, self.edge_v = sorted_edge_arrays(network.graph)
@@ -88,22 +96,27 @@ class VectorizedContext:
             self.edge_u, self.edge_v, self.n
         )
         self.rng = rng
+        self.xp = get_backend(backend)
+        self.edge_u_d = self.xp.asarray(self.edge_u)
+        self.edge_v_d = self.xp.asarray(self.edge_v)
         self.private_inputs = private_inputs
         self.n_bound = self.n
         self.delta_bound = network.max_degree
         self.state: dict[str, Any] = {}
 
-    def scatter_edge_flags(self, flags: np.ndarray) -> np.ndarray:
+    def scatter_edge_flags(self, flags):
         """Count, per vertex, how many incident edges have ``flags`` set.
 
-        ``flags`` is a boolean ``(m,)`` array; the result is an ``(n,)``
-        int64 array.  This is the edge-to-vertex reduction both paper
-        protocols need ("did any incident edge fail its check?").
+        ``flags`` is a boolean ``(m,)`` backend array; the result is an
+        ``(n,)`` int64 backend array.  This is the edge-to-vertex reduction
+        both paper protocols need ("did any incident edge fail its
+        check?").
         """
+        xp = self.xp
         if self.m == 0:
-            return np.zeros(self.n, dtype=np.int64)
-        endpoints = np.concatenate([self.edge_u[flags], self.edge_v[flags]])
-        return np.bincount(endpoints, minlength=self.n).astype(np.int64)
+            return xp.zeros(self.n, dtype=np.int64)
+        endpoints = xp.concatenate([self.edge_u_d[flags], self.edge_v_d[flags]])
+        return xp.astype(xp.bincount(endpoints, minlength=self.n), np.int64)
 
 
 class VectorizedProtocol(ABC):
@@ -150,11 +163,14 @@ def run_vectorized(
     seed: "SeedLike" = None,
     private_inputs: list[Any] | None = None,
     collect_stats: bool = True,
+    backend: str | ArrayBackend | None = None,
 ) -> tuple[np.ndarray, "RunStats"]:
     """Execute a vectorized protocol for ``rounds`` synchronous rounds.
 
     The vectorized sibling of :func:`repro.local.runtime.run_protocol`
-    (which dispatches here for ``engine="vectorized"``).  Statistics are
+    (which dispatches here for ``engine="vectorized"``).  ``backend``
+    selects the array backend the round handlers run on (``None`` resolves
+    via ``$REPRO_BACKEND``, then numpy).  Statistics are
     analytic — :meth:`VectorizedProtocol.round_messages` per round and the
     declared ``message_atoms`` bound — so they cost nothing either way;
     ``collect_stats=False`` nevertheless leaves ``messages_per_round`` and
@@ -175,7 +191,7 @@ def run_vectorized(
     if len(private_inputs) != n:
         raise ValueError(f"private_inputs must have length {n}")
     rng = np.random.default_rng(root_seed_sequence(seed))
-    ctx = VectorizedContext(network, rng, private_inputs)
+    ctx = VectorizedContext(network, rng, private_inputs, backend=backend)
     protocol.initialize(ctx)
 
     stats = RunStats()
@@ -189,7 +205,7 @@ def run_vectorized(
     if collect_stats and stats.messages > 0:
         stats.max_message_atoms = int(protocol.message_atoms)
 
-    outputs = np.asarray(protocol.finalize(ctx))
+    outputs = np.asarray(ctx.xp.to_numpy(protocol.finalize(ctx)))
     if outputs.shape[:1] != (n,):
         raise ProtocolError(
             f"vectorized finalize must return {n} per-vertex outputs, "

@@ -17,7 +17,10 @@ A spec is:
   sampled bit, and *nothing else*.  Because results are bit-identical for
   any worker count, placement (``parallel``) is excluded, but *whether*
   the run is sharded (and the shard size) is included — shard plans change
-  the RNG streams.
+  the RNG streams.  The same rule governs ``backend``: the numpy backend
+  is the bit-identical reference, so ``backend in (None, "numpy")`` is
+  excluded (keys are stable across releases that predate the field), while
+  any other backend changes floating-point bits and is included.
 
 Requests without a reproducible seed (``seed=None`` or a live Generator)
 have no cache key: their results are honest fresh randomness and must
@@ -98,6 +101,11 @@ class JobSpec:
     fixes the RNG streams), the worker count is pure placement.  The cache
     key and the wire form therefore carry "sharded + shard_size", never
     the worker count.
+
+    ``backend`` names the array backend the engines run on
+    (:mod:`repro.backend`); ``None`` resolves server-side via
+    ``$REPRO_BACKEND``, then numpy.  It enters the cache key and the wire
+    params only when it is a non-numpy backend (see module docstring).
     """
 
     kind: str
@@ -114,10 +122,18 @@ class JobSpec:
     name: str | None = None
     parallel: int | None = None
     shard_size: int | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ModelError(f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}")
+        if self.backend is not None:
+            # Validate against the registry now (raises BackendError for
+            # unknown names) without constructing the backend — a client
+            # may submit a torch job to a torch-equipped server.
+            from repro.backend import resolve_backend_name
+
+            resolve_backend_name(self.backend)
         if self.replicas < 1:
             raise ModelError(f"job needs replicas >= 1, got {self.replicas}")
         if self.kind == "tv_curve" and not self.checkpoints:
@@ -157,6 +173,7 @@ class JobSpec:
         name: str | None = None,
         parallel: int | None = None,
         shard_size: int | None = None,
+        backend: str | None = None,
     ) -> JobSpec:
         """A spec whose result is ``repro.api.sample_many(...)`` — an ``(R, n)`` batch."""
         return cls(
@@ -171,6 +188,7 @@ class JobSpec:
             name=name,
             parallel=parallel,
             shard_size=shard_size,
+            backend=backend,
         )
 
     @classmethod
@@ -185,6 +203,7 @@ class JobSpec:
         name: str | None = None,
         parallel: int | None = None,
         shard_size: int | None = None,
+        backend: str | None = None,
     ) -> JobSpec:
         """A spec whose result is ``repro.api.tv_curve(...)``; checkpoints stream live."""
         return cls(
@@ -198,6 +217,7 @@ class JobSpec:
             name=name,
             parallel=parallel,
             shard_size=shard_size,
+            backend=backend,
         )
 
     @classmethod
@@ -214,6 +234,7 @@ class JobSpec:
         name: str | None = None,
         parallel: int | None = None,
         shard_size: int | None = None,
+        backend: str | None = None,
     ) -> JobSpec:
         """A spec whose result is ``repro.api.mixing_time(...)``; TV probes stream live."""
         return cls(
@@ -229,6 +250,7 @@ class JobSpec:
             name=name,
             parallel=parallel,
             shard_size=shard_size,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -275,6 +297,11 @@ class JobSpec:
             params["shard_size"] = (
                 None if self.shard_size is None else int(self.shard_size)
             )
+        # The numpy backend is the bit-identical reference, so naming it
+        # (or naming nothing) must hash like a pre-backend-field spec;
+        # only backends that change result bits enter the params.
+        if self.backend not in (None, "numpy"):
+            params["backend"] = str(self.backend)
         return params
 
     def cache_key(self) -> str | None:
@@ -343,6 +370,7 @@ class JobSpec:
             initial = params.pop("initial", None)
             sharded = bool(params.pop("sharded", False))
             shard_size = params.pop("shard_size", None) if sharded else None
+            backend = params.pop("backend", None)
         except (KeyError, TypeError, ValueError) as error:
             raise ModelError(f"malformed JobSpec payload: {error}") from None
         common = dict(
@@ -354,6 +382,7 @@ class JobSpec:
             name=None if name is None else str(name),
             parallel=0 if sharded else None,
             shard_size=None if shard_size is None else int(shard_size),
+            backend=None if backend is None else str(backend),
         )
         try:
             if kind == "sample_many":
