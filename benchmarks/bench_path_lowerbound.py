@@ -7,27 +7,51 @@ Regenerates:
 2. the protocol certificate: fixed centers every 3(2t+1) vertices, unfixed
    pairs at distance 2t+1 whose Gibbs joints have positive independence
    defect; any t-round protocol outputs independent pairs, so its TV from
-   the conditioned Gibbs measure is at least 1 - prod(1 - d_i).
+   the conditioned Gibbs measure is at least 1 - prod(1 - d_i);
+3. the achievable side: the exact-block t-round protocol's true TV, which
+   squeezes the certificate from above.
+
+Set ``REPRO_BENCH_SMOKE=1`` for CI-smoke sizes; the eta = 1/2 shape
+assertion at q=3 holds at either size, the scaling table's growth
+assertion only at full size.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import time
 
-
-from benchmarks.conftest import report
+from benchmarks.conftest import report, write_bench_json
 from repro.graphs import path_graph
 from repro.lowerbound import path_protocol_lower_bound
 from repro.lowerbound.correlation import correlation_profile, fit_decay_rate
 from repro.mrf import proper_coloring_mrf
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: Best-of-k timing under smoke: tiny CI sizes finish in milliseconds
+#: where scheduler noise alone can fake a regression.
+REPEATS = 3 if SMOKE else 1
+
+PATH_N = 80 if SMOKE else 200
+PROFILE_CENTER = 20 if SMOKE else 50
+CERT_SETTINGS = (
+    [(60, 1), (120, 1)] if SMOKE else [(100, 1), (400, 1), (400, 2), (1600, 2), (1600, 3)]
+)
+SCALING_NS = (100, 200) if SMOKE else (200, 400, 800, 1600)
+BLOCK_PATH_N = 9 if SMOKE else 11
+
 
 def correlation_rows() -> list[str]:
     lines = [f"{'q':>3} {'d=1':>10} {'d=2':>10} {'d=4':>10} {'d=8':>10} {'eta fit':>9}"]
     for q in (3, 4, 5):
-        mrf = proper_coloring_mrf(path_graph(200), q)
-        profile = correlation_profile(mrf, 50, [1, 2, 4, 8])
+        mrf = proper_coloring_mrf(path_graph(PATH_N), q)
+        profile = correlation_profile(mrf, PROFILE_CENTER, [1, 2, 4, 8])
         rate = fit_decay_rate(profile)
+        if q == 3:
+            # eta = 1/2 exactly at q=3 — the size-independent shape check.
+            assert abs(rate - 0.5) < 0.01
         values = {d: tv for d, tv in profile}
         lines.append(
             f"{q:>3} {values[1]:>10.2e} {values[2]:>10.2e} {values[4]:>10.2e} "
@@ -36,25 +60,28 @@ def correlation_rows() -> list[str]:
     return lines
 
 
-def certificate_rows() -> list[str]:
+def certificate_rows() -> tuple[list[str], int]:
     lines = [
         f"{'n':>6} {'t':>3} {'#pairs':>7} {'per-pair TV LB':>15} {'combined TV LB':>15}"
     ]
-    for n, t in [(100, 1), (400, 1), (400, 2), (1600, 2), (1600, 3)]:
+    pairs = 0
+    for n, t in CERT_SETTINGS:
         cert = path_protocol_lower_bound(n=n, q=3, t=t)
+        pairs += len(cert.pairs)
         lines.append(
             f"{n:>6} {t:>3} {len(cert.pairs):>7} "
             f"{min(cert.pair_lower_bounds):>15.2e} {cert.combined_lower_bound:>15.4f}"
         )
-    return lines
+    return lines, pairs
 
 
 def achievable_rows() -> list[str]:
     """Upper-bound companion: the exact-block t-round protocol's true TV."""
     from repro.lowerbound.block_protocols import block_protocol_tv
 
-    lines = [f"{'t':>3} {'achieved TV (block protocol, P11 q=3)':>38}"]
-    mrf = proper_coloring_mrf(path_graph(11), 3)
+    header = f"achieved TV (block protocol, P{BLOCK_PATH_N} q=3)"
+    lines = [f"{'t':>3} {header:>38}"]
+    mrf = proper_coloring_mrf(path_graph(BLOCK_PATH_N), 3)
     for t in (0, 1, 2, 3, 5):
         lines.append(f"{t:>3} {block_protocol_tv(mrf, t):>38.4f}")
     return lines
@@ -63,18 +90,43 @@ def achievable_rows() -> list[str]:
 def scaling_rows() -> list[str]:
     """t = c log n with small c keeps the bound large — the Omega(log n) shape."""
     lines = [f"{'n':>6} {'t=0.15 ln n':>12} {'combined TV LB':>15}"]
-    for n in (200, 400, 800, 1600):
+    bounds = []
+    for n in SCALING_NS:
         t = max(1, int(0.15 * math.log(n)))
         cert = path_protocol_lower_bound(n=n, q=3, t=t)
+        bounds.append(cert.combined_lower_bound)
         lines.append(f"{n:>6} {t:>12} {cert.combined_lower_bound:>15.4f}")
+    if not SMOKE:
+        # At fixed t the bound grows with n; along t ~ 0.15 ln n it stays
+        # bounded away from 0 — the Omega(log n) shape, full size only.
+        assert min(bounds) > 0.1
     return lines
 
 
-def test_e7_path_lower_bound(benchmark):
+def test_e7_path_lower_bound():
     correlation = correlation_rows()
-    certificate = benchmark.pedantic(certificate_rows, rounds=1, iterations=1)
+
+    best_cert = 0.0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        certificate, pairs = certificate_rows()
+        best_cert = max(best_cert, pairs / (time.perf_counter() - start))
+
+    best_block = 0.0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        achievable = achievable_rows()
+        best_block = max(best_block, 5 / (time.perf_counter() - start))
+
     scaling = scaling_rows()
-    achievable = achievable_rows()
+    write_bench_json(
+        "E7",
+        {
+            "certificate_pairs_per_sec": best_cert,
+            "block_protocol_tvs_per_sec": best_block,
+        },
+        smoke=SMOKE,
+    )
     report(
         "E7",
         "Omega(log n) lower bound on paths (Thm 5.1)",

@@ -41,6 +41,7 @@ from repro.chains.ensemble import (
     EnsembleLocalMetropolisCSP,
     EnsembleLubyGlauberColoring,
     EnsembleLubyGlauberCSP,
+    EnsembleLubyGlauberMRF,
 )
 from repro.chains.glauber import GlauberDynamics
 from repro.chains.local_metropolis import LocalMetropolisChain
@@ -280,9 +281,12 @@ def is_fallback_pair(model: MRF | LocalCSP, method: str) -> bool:
 
     Exactly the pairs :func:`make_ensemble` serves through the
     :class:`~repro.analysis.convergence.SequentialChainEnsemble` fallback —
-    one sequential chain per replica, correct but off the fast path.
+    one sequential chain per replica, correct but off the fast path.  Since
+    :class:`~repro.chains.ensemble.EnsembleLubyGlauberMRF` covers every
+    pairwise MRF, the only remaining fallback pair is a general
+    (non-uniform-colouring) MRF with ``"local-metropolis"``.
     """
-    if isinstance(model, LocalCSP) or method == "glauber":
+    if isinstance(model, LocalCSP) or method in ("glauber", "luby-glauber"):
         return False
     return _uniform_coloring_q(model) is None
 
@@ -317,10 +321,14 @@ def make_ensemble(
     (:class:`~repro.chains.ensemble.EnsembleLubyGlauberCSP` /
     :class:`~repro.chains.ensemble.EnsembleLocalMetropolisCSP`); uniform
     proper-colouring MRFs get the specialised batched colouring kernels
-    for the two distributed methods; any other model falls back to
+    for the two distributed methods; every other pairwise MRF gets the
+    general batched heat-bath kernel
+    :class:`~repro.chains.ensemble.EnsembleLubyGlauberMRF` for
+    ``"luby-glauber"``, and falls back to
     :class:`~repro.analysis.convergence.SequentialChainEnsemble` wrapping
-    ``r`` generic sequential chains (correct for every model, just not
-    batched — a :class:`~repro.errors.FallbackEngineWarning` says so).
+    ``r`` generic sequential chains only for ``"local-metropolis"``
+    (correct for every model, just not batched — a
+    :class:`~repro.errors.FallbackEngineWarning` says so).
     Every returned object exposes the same
     ``advance``/``run``/``config``/``iter_checkpoints`` protocol.
 
@@ -393,6 +401,10 @@ def make_ensemble(
         return ensemble_cls(
             model.graph, coloring_q, r, initial=initial, seed=rng, backend=backend
         )
+    if method == "luby-glauber":
+        # General pairwise MRFs (hardcore, Ising, list colourings) get the
+        # batched heat-bath LubyGlauber kernel.
+        return EnsembleLubyGlauberMRF(model, r, initial=initial, seed=rng, backend=backend)
     # Generic-model fallback: r sequential chains behind the ensemble protocol.
     # The sequential chains have no batched kernels, so the backend argument
     # is unused here — but an unknown name still fails loudly.

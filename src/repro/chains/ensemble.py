@@ -21,6 +21,12 @@ them with single whole-ensemble array operations:
 * :class:`EnsembleGlauberDynamics` — batched single-site heat-bath Glauber
   for *general* pairwise MRFs (Ising, hardcore, ...), so ensembles are not
   colouring-only;
+* :class:`EnsembleLubyGlauberMRF` — batched Algorithm 1 for general
+  pairwise MRFs (hardcore, Ising, *list* colourings): each replica draws
+  its own Luby independent set and heat-bath-resamples every selected
+  vertex from its exact conditional marginal, with the per-vertex weight
+  products assembled through CSR neighbour gathers and a segmented
+  product over a deduplicated edge-activity stack;
 * :class:`EnsembleLubyGlauberCSP` and :class:`EnsembleLocalMetropolisCSP` —
   the paper's CSP extensions (remarks after Algorithms 1-2) batched over
   replicas: constraint-scope evaluation is precompiled into flat-table
@@ -108,6 +114,7 @@ __all__ = [
     "EnsembleLocalMetropolisColoring",
     "EnsembleLubyGlauberColoring",
     "EnsembleGlauberDynamics",
+    "EnsembleLubyGlauberMRF",
     "EnsembleLubyGlauberCSP",
     "EnsembleLocalMetropolisCSP",
 ]
@@ -584,6 +591,183 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
         return np.array(
             [self.mrf.is_feasible(config[i]) for i in range(self.replicas)]
         )
+
+
+class EnsembleLubyGlauberMRF(EnsembleTrajectoryMixin):
+    """Batched Algorithm 1 (LubyGlauber) for *general* pairwise MRFs.
+
+    The general-model sibling of :class:`EnsembleLubyGlauberColoring`:
+    where the colouring engine rejection-samples uniform available
+    colours, this engine heat-bath-resamples every selected (replica,
+    vertex) pair from its exact conditional marginal (paper eq. (2)), so
+    it covers hardcore, Ising and *list-colouring* models — any pairwise
+    MRF — with one batched kernel.
+
+    One step advances all R replicas by one LubyGlauber round: each
+    replica draws its own Luby independent set, then the conditional
+    weight vectors of *all* selected pairs are assembled at once — the
+    CSR neighbour arrays expand each pair to its neighbour slots, one
+    gather pulls the neighbours' current spins, a second gather pulls the
+    matching columns of the deduplicated edge-activity stack, and a
+    segmented product reduces slots back to per-pair ``(q,)`` weight
+    vectors.  Sampling is one vectorised inverse-CDF, with the same
+    largest-positive-mass fallthrough rule as the CSP engine.
+
+    Each replica evolves by exactly the same Markov kernel as the
+    sequential :class:`~repro.chains.luby_glauber.LubyGlauberChain` (same
+    Luby selection law, same heat-bath conditional), so the ensemble is
+    distributionally identical to independent sequential runs.
+    """
+
+    def __init__(
+        self,
+        mrf: MRF,
+        replicas: int,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        backend: str | ArrayBackend | None = None,
+    ) -> None:
+        if replicas < 1:
+            raise ModelError(f"ensemble needs replicas >= 1, got {replicas}")
+        self.mrf = mrf
+        self.n = mrf.n
+        self.q = mrf.q
+        self.replicas = int(replicas)
+        self._dtype = _spin_dtype(self.q)
+        self.rng = as_generator(seed)
+        self.xp = get_backend(backend)
+        xp = self.xp
+        n = self.n
+        self._eu, self._ev = sorted_edge_arrays(mrf.graph)
+        self._m = len(self._eu)
+        self._degrees, self._indptr, self._csr_indices = build_csr_neighbours(
+            self._eu, self._ev, n
+        )
+        self._degrees_d = xp.asarray(self._degrees)
+        self._indptr_d = xp.asarray(self._indptr)
+        self._csr_indices_d = xp.asarray(self._csr_indices)
+        self._eu_d = xp.asarray(self._eu)
+        self._ev_d = xp.asarray(self._ev)
+        if self._m:
+            ones = np.ones(self._m, dtype=np.int32)
+            arange = np.arange(self._m)
+            self._side_u = xp.csr(
+                sp.csr_matrix((ones, (self._eu, arange)), shape=(n, self._m))
+            )
+            self._side_v = xp.csr(
+                sp.csr_matrix((ones, (self._ev, arange)), shape=(n, self._m))
+            )
+        else:
+            self._side_u = self._side_v = None
+        # CSR-slot-aligned deduplicated edge-activity stack: the slot
+        # ``indptr[v] + k`` (neighbour u = csr_indices[indptr[v] + k])
+        # holds the index of A_{uv} inside the stack, so heterogeneous
+        # models cost no more than shared-matrix ones.  Undirected edge
+        # matrices are symmetric, so gathering column ``X_u`` equals the
+        # row gather the sequential chain performs.
+        matrices: list[np.ndarray] = []
+        matrix_ids: dict[int, int] = {}
+        slot_activity = np.zeros(max(len(self._csr_indices), 1), dtype=np.int64)
+        for v in range(n):
+            for k in range(int(self._degrees[v])):
+                slot = int(self._indptr[v]) + k
+                u = int(self._csr_indices[slot])
+                matrix = mrf.edge_activity(u, v)
+                key = id(matrix)
+                if key not in matrix_ids:
+                    matrix_ids[key] = len(matrices)
+                    matrices.append(np.asarray(matrix, dtype=float))
+                slot_activity[slot] = matrix_ids[key]
+        activities = np.stack(matrices) if matrices else np.ones((1, self.q, self.q))
+        self._slot_activity_d = xp.asarray(slot_activity)
+        self._activities = xp.asarray(activities)
+        self._vertex_activity_d = xp.asarray(
+            np.asarray(mrf.vertex_activity, dtype=float)
+        )
+        self._config = xp.asarray(
+            _initial_spin_batch(
+                initial,
+                n,
+                self.q,
+                self.replicas,
+                self._dtype,
+                lambda: greedy_feasible_config(mrf, self.rng),
+                noun="spins",
+            )
+        )
+        self.steps_taken = 0
+
+    # ------------------------------------------------------------------
+    # batch views and diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> np.ndarray:
+        """The current ``(R, n)`` batch (an int64 numpy copy — safe to mutate)."""
+        return self.xp.to_numpy(self._config).T.astype(np.int64)
+
+    def write_batch_into(self, out: np.ndarray) -> np.ndarray:
+        """Transposed write from the internal vertex-major state, no copy."""
+        np.copyto(out, self.xp.to_numpy(self._config).T)
+        return out
+
+    def is_feasible(self) -> np.ndarray:
+        """Per-replica feasibility mask, shape ``(R,)``."""
+        config = self.xp.to_numpy(self._config).T
+        return np.array(
+            [self.mrf.is_feasible(config[i]) for i in range(self.replicas)]
+        )
+
+    def _luby_select(self):
+        """Per-replica Luby step on the model graph, ``(n, R)`` boolean."""
+        return _batched_luby_select(
+            self.xp, self.rng, self.n, self.replicas, self._eu_d, self._ev_d,
+            self._side_u, self._side_v,
+        )
+
+    def step(self) -> None:
+        """Select independent sets; heat-bath-update all pairs in parallel."""
+        xp = self.xp
+        v_idx, r_idx = xp.nonzero_pairs(self._luby_select())
+        pairs = int(v_idx.shape[0])
+        if pairs == 0:  # pragma: no cover - Luby always selects someone
+            self.steps_taken += 1
+            return
+        q = self.q
+        # Conditional weights b_v(c) * prod_u A_uv(c, X_u), eq. (2).  The
+        # neighbours of a selected vertex are unselected (Luby step), so
+        # their spins are fixed for the whole update.
+        weights = xp.take_rows(self._vertex_activity_d, v_idx)
+        if self._m:
+            pair_of_slot, slots = xp.expand_neighbour_slots(
+                v_idx, self._degrees_d, self._indptr_d
+            )
+            neighbour_spins = self._config[
+                self._csr_indices_d[slots],
+                xp.repeat(r_idx, self._degrees_d[v_idx]),
+            ]
+            values = self._activities[
+                self._slot_activity_d[slots], :, xp.astype(neighbour_spins, np.int64)
+            ]
+            weights = weights * xp.segment_prod(
+                values, self._degrees[xp.to_numpy(v_idx)]
+            )
+        totals = xp.sum(weights, axis=1)
+        if xp.any(totals <= 0.0):
+            bad = int(v_idx[xp.argmax(totals <= 0.0)])
+            raise InfeasibleStateError(
+                f"conditional marginal at vertex {bad} is undefined: all {q} "
+                "spins have zero weight given the neighbours' spins"
+            )
+        cdf = xp.cumsum(weights / totals[:, None], axis=1)
+        uniforms = xp.random(self.rng, pairs)
+        spins = xp.sum(cdf <= uniforms[:, None], axis=1)
+        # Rounding can leave cdf[-1] < 1 so a draw lands past the end; fall
+        # back to the *largest positive-mass* spin, never a zero-mass one
+        # (same fallthrough rule as the CSP engine and cftp._inverse_cdf_spin).
+        last_positive = q - 1 - xp.argmax_axis(xp.flip(weights, axis=1) > 0.0, axis=1)
+        spins = xp.minimum(spins, last_positive)
+        self._config[v_idx, r_idx] = xp.astype(spins, self._dtype)
+        self.steps_taken += 1
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,12 @@ Commands
     Build a :class:`~repro.spec.JobSpec` from the model arguments and
     submit it to a running service; ``--stream`` prints per-checkpoint
     events live.
+``sweep``
+    Expand a declarative TOML/JSON grid config (:mod:`repro.sweep`) into
+    frozen :class:`~repro.spec.JobSpec` cells and run them — in-process,
+    on a :class:`~repro.exec.jobs.JobRunner` pool (``--jobs N``) or
+    against a running service (``--server``) — emitting one
+    machine-readable ``repro.sweep/v1`` result table.
 ``info``
     Print the library's headline constants (thresholds, uniqueness
     boundary) and version.
@@ -303,6 +309,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0, help="client timeout in seconds"
     )
 
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative scenario sweep from a grid config"
+    )
+    sweep.add_argument(
+        "--config", required=True, metavar="PATH",
+        help="TOML or JSON sweep grid config (see repro.sweep)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="schedule cells onto a JobRunner pool of N worker processes "
+        "(bit-identical to in-process execution)",
+    )
+    sweep.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="submit cells to a running `repro serve` instead of executing "
+        "locally (its cache dedups repeats across sweeps)",
+    )
+    sweep.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the repro.sweep/v1 result table here (default: stdout)",
+    )
+    sweep.add_argument(
+        "--no-checks", action="store_true",
+        help="skip the per-cell stationarity/equivalence checks",
+    )
+
     sub.add_parser("info", help="print headline constants and version")
     return parser
 
@@ -568,6 +600,45 @@ def _command_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import load_grid, run_sweep
+
+    if args.jobs is not None and args.server is not None:
+        raise ReproError("--jobs and --server are mutually exclusive")
+    grid = load_grid(args.config)
+    if args.server is not None:
+        mode, workers = "serve", 2
+    elif args.jobs is not None:
+        if args.jobs < 1:
+            raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+        mode, workers = "jobs", args.jobs
+    else:
+        mode, workers = "local", 2
+    with _fallback_notices():
+        sweep = run_sweep(
+            grid,
+            mode=mode,
+            workers=workers,
+            server=args.server,
+            checks=not args.no_checks,
+        )
+    table = sweep.table
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            json.dump(table, handle, indent=2)
+            handle.write("\n")
+    else:
+        json.dump(table, sys.stdout, indent=2)
+        print()
+    counts = table["counts"]
+    print(
+        f"sweep {grid.name}: {counts['total']} cells — {counts['ok']} ok, "
+        f"{counts['dedup']} dedup, {counts['error']} error ({mode} mode)",
+        file=sys.stderr,
+    )
+    return 1 if counts["error"] else 0
+
+
 def _command_info() -> int:
     from repro.analysis.theory import alpha_star, two_plus_sqrt2
     from repro.lowerbound import lambda_critical
@@ -596,6 +667,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_serve(args)
         if args.command == "submit":
             return _command_submit(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
         if args.command == "info":
             return _command_info()
     except ReproError as error:

@@ -346,6 +346,23 @@ class JobRunner:
             )
         return dict(self.results)
 
+    def run_all(self, jobs) -> list[tuple[object, str | None]]:
+        """Submit ``jobs``, drain the stream, return aligned (result, error) pairs.
+
+        The failure-isolating sibling of :meth:`run`: one failed job does
+        not raise — its slot carries ``(None, message)`` while every other
+        job's ``(result, None)`` is still returned.  Pair ``i`` corresponds
+        to ``jobs[i]``.  Sweep harnesses use this to keep one broken grid
+        cell from discarding the rest of the table.
+        """
+        job_ids = [self.submit(job) for job in jobs]
+        for _ in self.stream():
+            pass
+        return [
+            (self.results.get(job_id), self.errors.get(job_id))
+            for job_id in job_ids
+        ]
+
     def next_event(self, timeout: float | None = None) -> JobUpdate | None:
         """Return the next :class:`JobUpdate`, or None if ``timeout`` expires.
 

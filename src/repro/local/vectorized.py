@@ -41,7 +41,12 @@ from repro.local.network import Network
 from repro.chains.base import SeedLike
 from repro.local.rng import root_seed_sequence
 
-__all__ = ["VectorizedContext", "VectorizedProtocol", "run_vectorized"]
+__all__ = [
+    "VectorizedContext",
+    "VectorizedProtocol",
+    "run_vectorized",
+    "run_vectorized_many",
+]
 
 
 class VectorizedContext:
@@ -212,3 +217,39 @@ def run_vectorized(
             f"got shape {outputs.shape}"
         )
     return outputs, stats
+
+
+def run_vectorized_many(
+    protocol_factory,
+    network: Network,
+    rounds: int,
+    replicas: int,
+    seed: "SeedLike" = None,
+    private_inputs: list[Any] | None = None,
+    backend: str | ArrayBackend | None = None,
+) -> np.ndarray:
+    """Run ``replicas`` independent vectorized executions; stack the outputs.
+
+    Replica ``i`` runs ``protocol_factory()`` through :func:`run_vectorized`
+    seeded with child ``i`` of ``root_seed_sequence(seed).spawn(replicas)``
+    — the same spawn discipline as the ensemble engines, so the batch is
+    reproducible from one seed and each replica's stream is independent.
+    Returns the ``(replicas, n)`` stacked output array (stats are analytic
+    and identical across replicas, so they are not collected).
+    """
+    if replicas < 1:
+        raise ProtocolError(f"run_vectorized_many needs replicas >= 1, got {replicas}")
+    children = root_seed_sequence(seed).spawn(replicas)
+    outputs = [
+        run_vectorized(
+            protocol_factory(),
+            network,
+            rounds,
+            seed=child,
+            private_inputs=private_inputs,
+            collect_stats=False,
+            backend=backend,
+        )[0]
+        for child in children
+    ]
+    return np.stack(outputs)

@@ -9,7 +9,10 @@
   Section 5.1.1;
 * :mod:`repro.lowerbound.lift` — the cycle lift H^G of Section 5.1.2;
 * :mod:`repro.lowerbound.phases` — phases Y(sigma), cut sizes and the
-  hardcore uniqueness threshold lambda_c(Delta).
+  hardcore uniqueness threshold lambda_c(Delta), with batched ``(R, n)``
+  reductions of each;
+* :mod:`repro.lowerbound.experiments` — the gadget/lift phase experiments
+  run as replica ensembles on the array execution stack.
 """
 
 from repro.lowerbound.correlation import (
@@ -18,9 +21,20 @@ from repro.lowerbound.correlation import (
     path_conditional_marginal,
     path_pair_joint,
 )
+from repro.lowerbound.experiments import (
+    GadgetPhaseSample,
+    LiftPhaseSample,
+    protocol_phase_hit_rate,
+    sample_gadget_phases,
+    sample_lift_phases,
+)
 from repro.lowerbound.gadget import BipartiteGadget, random_bipartite_gadget
 from repro.lowerbound.lift import CycleLift, build_cycle_lift
 from repro.lowerbound.phases import (
+    batch_cut_sizes,
+    batch_is_max_cut,
+    batch_phase_of_configurations,
+    batch_phase_vectors,
     hardcore_tree_occupancies,
     lambda_critical,
     phase_of_configuration,
@@ -37,6 +51,12 @@ from repro.lowerbound.protocols import (
 __all__ = [
     "BipartiteGadget",
     "CycleLift",
+    "GadgetPhaseSample",
+    "LiftPhaseSample",
+    "batch_cut_sizes",
+    "batch_is_max_cut",
+    "batch_phase_of_configurations",
+    "batch_phase_vectors",
     "build_cycle_lift",
     "correlation_decay",
     "fit_decay_rate",
@@ -50,6 +70,9 @@ __all__ = [
     "phase_of_configuration",
     "phase_vector",
     "product_tv_lower_bound",
+    "protocol_phase_hit_rate",
     "random_bipartite_gadget",
+    "sample_gadget_phases",
+    "sample_lift_phases",
     "tv_to_independent_coupling",
 ]

@@ -107,26 +107,31 @@ def random_bipartite_gadget(
     # Terminals are the *last* k vertices of each side.
     plus_terminals = plus_side[n_side - k :]
     minus_terminals = minus_side[n_side - k :]
-    plus_internal = plus_side[: n_side - k]
-    minus_internal = minus_side[: n_side - k]
 
+    full_arange = np.arange(n_side, dtype=np.int64)
+    internal_arange = np.arange(n_side - k, dtype=np.int64)
     for _ in range(max_attempts):
-        edge_multiset: list[tuple[int, int]] = []
+        # Matching edges are whole-array constructions: permutation p maps
+        # plus vertex i to minus vertex n_side + p[i].  The RNG call order
+        # (and hence the sampled graph for a given seed) is identical to
+        # the historical per-edge loop.
+        matchings = []
         # Delta - 1 perfect matchings between the full sides.
         for _ in range(delta - 1):
             permutation = rng.permutation(n_side)
-            edge_multiset.extend(
-                (plus_side[i], minus_side[int(permutation[i])]) for i in range(n_side)
+            matchings.append(
+                np.stack([full_arange, n_side + permutation], axis=1)
             )
-        # One perfect matching between the internal (non-terminal) vertices.
+        # One perfect matching between the internal (non-terminal) vertices
+        # (the first n_side - k of each side).
         permutation = rng.permutation(n_side - k)
-        edge_multiset.extend(
-            (plus_internal[i], minus_internal[int(permutation[i])])
-            for i in range(n_side - k)
+        matchings.append(
+            np.stack([internal_arange, n_side + permutation], axis=1)
         )
+        edge_multiset = np.concatenate(matchings)
         graph = nx.Graph()
         graph.add_nodes_from(range(2 * n_side))
-        graph.add_edges_from(edge_multiset)
+        graph.add_edges_from(edge_multiset.tolist())
         multi = len(edge_multiset) - graph.number_of_edges()
         if require_connected and not nx.is_connected(graph):
             continue

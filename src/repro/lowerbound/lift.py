@@ -90,25 +90,36 @@ def build_cycle_lift(
     block = gadget.n_vertices
     graph = nx.Graph()
     graph.add_nodes_from(range(m * block))
-    copy_plus: list[list[int]] = []
-    copy_minus: list[list[int]] = []
-    for x in range(m):
-        offset = x * block
-        for u, v in gadget.graph.edges():
-            graph.add_edge(offset + u, offset + v)
-        copy_plus.append([offset + v for v in gadget.plus_side])
-        copy_minus.append([offset + v for v in gadget.minus_side])
+    # Copy edges: the gadget's (E, 2) edge array broadcast against the m
+    # per-copy offsets — one array op instead of m * E add_edge calls.
+    base_edges = np.asarray(list(gadget.graph.edges()), dtype=np.int64)
+    offsets = np.arange(m, dtype=np.int64)[:, None, None] * block
+    copy_edges = (base_edges[None, :, :] + offsets).reshape(-1, 2)
+    graph.add_edges_from(copy_edges.tolist())
+    side_offsets = np.arange(m, dtype=np.int64)[:, None] * block
+    copy_plus = (np.asarray(gadget.plus_side)[None, :] + side_offsets).tolist()
+    copy_minus = (np.asarray(gadget.minus_side)[None, :] + side_offsets).tolist()
     # Inter-copy wiring: terminals are split into a "right-facing" half
-    # (first k) matched with the next copy's "left-facing" half (last k).
-    plus_terms = gadget.plus_terminals
-    minus_terms = gadget.minus_terminals
-    for x in range(m):
-        y = (x + 1) % m
-        off_x = x * block
-        off_y = y * block
-        for i in range(k):
-            graph.add_edge(off_x + plus_terms[i], off_y + plus_terms[k + i])
-            graph.add_edge(off_x + minus_terms[i], off_y + minus_terms[k + i])
+    # (first k) matched with the next copy's "left-facing" half (last k);
+    # broadcast against the (copy, next-copy) offset pairs, preserving the
+    # historical per-(copy, port) plus/minus interleaving.
+    plus_terms = np.asarray(gadget.plus_terminals, dtype=np.int64)
+    minus_terms = np.asarray(gadget.minus_terminals, dtype=np.int64)
+    next_offsets = np.roll(side_offsets, -1, axis=0)
+    plus_pairs = np.stack(
+        np.broadcast_arrays(
+            side_offsets + plus_terms[None, :k], next_offsets + plus_terms[None, k:]
+        ),
+        axis=2,
+    )
+    minus_pairs = np.stack(
+        np.broadcast_arrays(
+            side_offsets + minus_terms[None, :k], next_offsets + minus_terms[None, k:]
+        ),
+        axis=2,
+    )
+    wiring = np.stack([plus_pairs, minus_pairs], axis=2).reshape(-1, 2)
+    graph.add_edges_from(wiring.tolist())
     return CycleLift(
         graph=graph,
         m=m,

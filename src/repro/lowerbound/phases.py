@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.errors import ConvergenceError, ModelError
 
 __all__ = [
@@ -25,6 +27,10 @@ __all__ = [
     "phase_vector",
     "cut_size",
     "is_max_cut_phase",
+    "batch_phase_of_configurations",
+    "batch_phase_vectors",
+    "batch_cut_sizes",
+    "batch_is_max_cut",
     "hardcore_tree_occupancies",
     "theta_gamma_constants",
 ]
@@ -83,6 +89,63 @@ def is_max_cut_phase(phases: Sequence[int]) -> bool:
     if any(phase == 0 for phase in phases):
         return False
     return all(phases[x] != phases[(x + 1) % m] for x in range(m))
+
+
+def batch_phase_of_configurations(
+    configs: np.ndarray, plus_side: Sequence[int], minus_side: Sequence[int]
+) -> np.ndarray:
+    """Vectorized :func:`phase_of_configuration` over an ``(R, n)`` batch.
+
+    Returns an ``(R,)`` int array of phases in ``{-1, 0, +1}`` — the sign
+    of the per-replica occupancy imbalance, computed as two column gathers
+    and a row sum instead of a Python loop over vertices.
+    """
+    configs = np.asarray(configs)
+    if configs.ndim != 2:
+        raise ModelError("batch_phase_of_configurations needs an (R, n) batch")
+    plus_counts = configs[:, np.asarray(plus_side, dtype=np.int64)].sum(axis=1)
+    minus_counts = configs[:, np.asarray(minus_side, dtype=np.int64)].sum(axis=1)
+    return np.sign(plus_counts - minus_counts).astype(np.int64)
+
+
+def batch_phase_vectors(configs: np.ndarray, lift) -> np.ndarray:
+    """Vectorized :func:`phase_vector`: ``(R, n) -> (R, m)`` phase matrix.
+
+    Exploits the :class:`~repro.lowerbound.lift.CycleLift` vertex layout —
+    copy ``x`` occupies the contiguous block ``[x * 2 n_side, (x+1) * 2
+    n_side)`` with the plus side first — so the whole batch reduces to one
+    ``(R, m, 2, n_side)`` reshape and a sum over the side axis.
+    """
+    configs = np.asarray(configs)
+    if configs.ndim != 2 or configs.shape[1] != lift.n_vertices:
+        raise ModelError(
+            f"batch_phase_vectors needs an (R, {lift.n_vertices}) batch"
+        )
+    n_side = lift.gadget.n_side
+    side_counts = configs.reshape(configs.shape[0], lift.m, 2, n_side).sum(axis=3)
+    return np.sign(side_counts[:, :, 0] - side_counts[:, :, 1]).astype(np.int64)
+
+
+def batch_cut_sizes(phases: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`cut_size` over an ``(R, m)`` phase matrix."""
+    phases = np.asarray(phases)
+    if phases.ndim != 2:
+        raise ModelError("batch_cut_sizes needs an (R, m) phase matrix")
+    return (phases != np.roll(phases, -1, axis=1)).sum(axis=1)
+
+
+def batch_is_max_cut(phases: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`is_max_cut_phase`: ``(R,)`` boolean mask.
+
+    A replica is a maximum cut iff every phase is nonzero and every
+    consecutive (cyclic) pair disagrees — perfect alternation.
+    """
+    phases = np.asarray(phases)
+    if phases.ndim != 2:
+        raise ModelError("batch_is_max_cut needs an (R, m) phase matrix")
+    nonzero = (phases != 0).all(axis=1)
+    alternating = (phases != np.roll(phases, -1, axis=1)).all(axis=1)
+    return nonzero & alternating
 
 
 def hardcore_tree_occupancies(

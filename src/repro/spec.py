@@ -413,3 +413,16 @@ class JobSpec:
     def with_name(self, name: str | None) -> JobSpec:
         """A copy of this spec relabelled as ``name`` (specs are frozen)."""
         return replace(self, name=name)
+
+    def with_placement(
+        self, parallel: int | None = None, shard_size: int | None = None
+    ) -> JobSpec:
+        """A copy of this spec with different execution placement.
+
+        ``parallel=None`` returns to single-process execution.  Note that
+        placement is *not* free for result bits: switching between sharded
+        and unsharded execution (or changing ``shard_size``) changes the
+        RNG shard plan and therefore the cache key; changing only the
+        worker count of an already-sharded spec does not.
+        """
+        return replace(self, parallel=parallel, shard_size=shard_size)

@@ -1,0 +1,324 @@
+"""Declarative sweep grids: a TOML/JSON config expanded into frozen JobSpecs.
+
+A sweep config describes a cartesian experiment grid — model family x size
+x method x backend x workers x replicas x rounds x seed replicate — in one
+document::
+
+    [sweep]
+    name = "lb-squeeze"
+    kind = "sample_many"          # or tv_curve / mixing_time
+    base_seed = 20170625
+    seeds = 2                     # seed replicates per coordinate
+
+    [[sweep.models]]
+    family = "coloring"           # coloring | hardcore | ising
+    graph = "cycle"               # path | cycle | grid | torus | regular
+    q = 5
+
+    [sweep.axes]
+    size = [8, 16]
+    method = ["glauber", "luby-glauber"]
+    backend = ["numpy"]
+    replicas = [64]
+
+:func:`expand_grid` turns that into a :class:`SweepGrid` of
+:class:`SweepCell` entries, each carrying a frozen
+:class:`~repro.spec.JobSpec` ready for :func:`repro.api.run_spec`, a
+:class:`~repro.exec.jobs.JobRunner` or a running ``repro.serve`` daemon.
+
+Seed discipline: every distinct *coordinate* (everything but the worker
+count, which is pure placement) gets its own child of
+``SeedSequence(base_seed)`` in first-seen expansion order, reduced to a
+canonical int so the spec stays cacheable (a spawned ``SeedSequence``
+itself has no canonical wire form).  Repeating a coordinate — duplicated
+axis values, or two worker counts over the same shard plan — therefore
+reproduces the *same* spec, which the runner dedups via ``cache_key()``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.spec import JOB_KINDS, JobSpec
+
+__all__ = ["SweepCell", "SweepGrid", "load_grid_config", "expand_grid", "load_grid"]
+
+#: Cartesian axes in expansion order (models vary slowest, seeds fastest).
+AXIS_ORDER = ("size", "method", "backend", "workers", "replicas", "rounds")
+
+_FAMILIES = ("coloring", "hardcore", "ising")
+_GRAPHS = ("path", "cycle", "grid", "torus", "regular")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: its coordinates and the frozen spec that runs it."""
+
+    index: int
+    coords: dict
+    spec: JobSpec
+
+    @property
+    def label(self) -> str:
+        parts = [f"{key}={self.coords[key]}" for key in sorted(self.coords)]
+        return " ".join(parts)
+
+
+@dataclass
+class SweepGrid:
+    """The expanded grid plus the header metadata the result table carries."""
+
+    name: str
+    kind: str
+    base_seed: int
+    cells: list[SweepCell] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def load_grid_config(path: str | Path) -> dict:
+    """Read a sweep config file (``.toml`` or ``.json``) into a plain dict."""
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"sweep config {path} does not exist")
+    if path.suffix == ".toml":
+        with open(path, "rb") as handle:
+            return tomllib.load(handle)
+    if path.suffix == ".json":
+        with open(path) as handle:
+            return json.load(handle)
+    raise ModelError(
+        f"sweep config must be a .toml or .json file, got {path.name!r}"
+    )
+
+
+def _build_graph(kind: str, size: int, degree: int, seed: int):
+    from repro.graphs import (
+        cycle_graph,
+        grid_graph,
+        path_graph,
+        random_regular_graph,
+        torus_graph,
+    )
+
+    if kind == "path":
+        return path_graph(size)
+    if kind == "cycle":
+        return cycle_graph(size)
+    if kind == "grid":
+        return grid_graph(size, size)
+    if kind == "torus":
+        return torus_graph(size, size)
+    if kind == "regular":
+        return random_regular_graph(degree, size, seed=seed)
+    raise ModelError(f"unknown sweep graph {kind!r}; choose from {_GRAPHS}")
+
+
+def _build_model(entry: dict, size: int, base_seed: int):
+    """Instantiate one ``[[sweep.models]]`` entry at one size-axis value."""
+    family = entry.get("family")
+    if family not in _FAMILIES:
+        raise ModelError(
+            f"sweep model family must be one of {_FAMILIES}, got {family!r}"
+        )
+    graph_kind = entry.get("graph", "cycle")
+    graph = _build_graph(graph_kind, size, int(entry.get("degree", 4)), base_seed)
+    if family == "coloring":
+        from repro.mrf import proper_coloring_mrf
+
+        return proper_coloring_mrf(graph, int(entry.get("q", 5)))
+    if family == "hardcore":
+        from repro.mrf import hardcore_mrf
+
+        return hardcore_mrf(graph, float(entry.get("fugacity", 1.0)))
+    from repro.mrf import ising_mrf
+
+    return ising_mrf(graph, float(entry.get("beta", 0.5)))
+
+
+def _model_label(entry: dict) -> str:
+    if "name" in entry:
+        return str(entry["name"])
+    return f"{entry.get('family')}-{entry.get('graph', 'cycle')}"
+
+
+def _seed_for_coordinate(coord_key, seed_map: dict, root: np.random.SeedSequence) -> int:
+    """The canonical int seed of a coordinate, spawned in first-seen order.
+
+    Each new coordinate consumes the next child of ``root`` (spawn order is
+    deterministic state on the SeedSequence, so re-expanding the same
+    config always reproduces the same assignment); the child's first two
+    state words form the int seed ``JobSpec`` can canonicalise.
+    """
+    if coord_key not in seed_map:
+        child = root.spawn(1)[0]
+        seed_map[coord_key] = int.from_bytes(
+            child.generate_state(2).tobytes(), "little"
+        )
+    return seed_map[coord_key]
+
+
+def _cell_spec(
+    sweep: dict,
+    model,
+    label: str,
+    method: str,
+    backend,
+    workers,
+    replicas: int,
+    rounds,
+    seed: int,
+    name: str,
+) -> JobSpec:
+    kind = sweep.get("kind", "sample_many")
+    parallel = None if workers is None or workers < 0 else int(workers)
+    backend = None if backend in (None, "numpy") else str(backend)
+    if kind == "sample_many":
+        return JobSpec.sample_many(
+            model,
+            replicas,
+            method=method,
+            eps=float(sweep.get("eps", 0.05)),
+            rounds=None if rounds is None else int(rounds),
+            seed=seed,
+            name=name,
+            parallel=parallel,
+            backend=backend,
+        )
+    if kind == "tv_curve":
+        checkpoints = sweep.get("checkpoints")
+        if not checkpoints:
+            raise ModelError("a tv_curve sweep needs [sweep] checkpoints = [...]")
+        return JobSpec.tv_curve(
+            model,
+            [int(c) for c in checkpoints],
+            method=method,
+            replicas=replicas,
+            seed=seed,
+            name=name,
+            parallel=parallel,
+            backend=backend,
+        )
+    return JobSpec.mixing_time(
+        model,
+        eps=float(sweep.get("eps", 0.125)),
+        method=method,
+        replicas=replicas,
+        max_rounds=int(sweep.get("max_rounds", 10_000)),
+        stride=int(sweep.get("stride", 1)),
+        seed=seed,
+        name=name,
+        parallel=parallel,
+        backend=backend,
+    )
+
+
+def expand_grid(config: dict) -> SweepGrid:
+    """Expand a sweep config dict into the full :class:`SweepGrid`.
+
+    The cell count is ``len(models) * prod(len(axis) for axis in axes) *
+    seeds``; cells are emitted with models varying slowest and the seed
+    replicate fastest (the order is part of the contract — cell indices
+    and seed assignment are stable across runs).
+    """
+    sweep = config.get("sweep")
+    if not isinstance(sweep, dict):
+        raise ModelError("sweep config needs a [sweep] table")
+    kind = sweep.get("kind", "sample_many")
+    if kind not in JOB_KINDS:
+        raise ModelError(f"unknown sweep kind {kind!r}; choose from {JOB_KINDS}")
+    models = sweep.get("models")
+    if not models:
+        raise ModelError("sweep config needs at least one [[sweep.models]] entry")
+    seeds = int(sweep.get("seeds", 1))
+    if seeds < 1:
+        raise ModelError(f"[sweep] seeds must be >= 1, got {seeds}")
+    base_seed = int(sweep.get("base_seed", 0))
+    axes = dict(sweep.get("axes") or {})
+    unknown = set(axes) - set(AXIS_ORDER)
+    if unknown:
+        raise ModelError(
+            f"unknown sweep axes {sorted(unknown)}; choose from {AXIS_ORDER}"
+        )
+    values = {
+        "size": [int(v) for v in axes.get("size", [sweep.get("size", 16)])],
+        "method": [str(v) for v in axes.get("method", [sweep.get("method", "local-metropolis")])],
+        "backend": list(axes.get("backend", [sweep.get("backend")])),
+        "workers": list(axes.get("workers", [sweep.get("workers", -1)])),
+        "replicas": [int(v) for v in axes.get("replicas", [sweep.get("replicas", 64)])],
+        "rounds": list(axes.get("rounds", [sweep.get("rounds")])),
+    }
+    for axis, entries in values.items():
+        if not entries:
+            raise ModelError(f"sweep axis {axis!r} must not be empty")
+
+    grid = SweepGrid(
+        name=str(sweep.get("name", "sweep")), kind=kind, base_seed=base_seed
+    )
+    root = np.random.SeedSequence(base_seed)
+    seed_map: dict = {}
+    model_cache: dict = {}
+    index = 0
+    for entry in models:
+        label = _model_label(entry)
+        for size, method, backend, workers, replicas, rounds in itertools.product(
+            *(values[axis] for axis in AXIS_ORDER)
+        ):
+            cache_token = (label, size)
+            if cache_token not in model_cache:
+                model_cache[cache_token] = _build_model(entry, size, base_seed)
+            model = model_cache[cache_token]
+            for seed_index in range(seeds):
+                # The coordinate identifies the result bits; the worker
+                # count is placement and deliberately left out, so sweeps
+                # over worker counts share one seed (and one cache key
+                # when the shard plan matches).
+                coord_key = (
+                    label,
+                    size,
+                    method,
+                    None if backend in (None, "numpy") else str(backend),
+                    workers is not None and workers >= 0,  # sharded?
+                    replicas,
+                    rounds,
+                    seed_index,
+                )
+                seed = _seed_for_coordinate(coord_key, seed_map, root)
+                coords = {
+                    "model": label,
+                    "size": size,
+                    "method": method,
+                    "backend": "numpy" if backend is None else str(backend),
+                    "workers": -1 if workers is None else int(workers),
+                    "replicas": replicas,
+                    "rounds": rounds,
+                    "seed_index": seed_index,
+                }
+                spec = _cell_spec(
+                    sweep,
+                    model,
+                    label,
+                    method,
+                    backend,
+                    workers,
+                    replicas,
+                    rounds,
+                    seed,
+                    name=f"{grid.name}[{index}]",
+                )
+                grid.cells.append(SweepCell(index=index, coords=coords, spec=spec))
+                index += 1
+    return grid
+
+
+def load_grid(path: str | Path) -> SweepGrid:
+    """Convenience: :func:`load_grid_config` then :func:`expand_grid`."""
+    return expand_grid(load_grid_config(path))

@@ -471,3 +471,82 @@ class TestServeCli:
         ])
         assert code == 1
         assert "failed" in capsys.readouterr().err
+
+
+class TestSweepCli:
+    _TINY = (
+        "[sweep]\n"
+        'name = "tiny"\n'
+        'kind = "sample_many"\n'
+        "base_seed = 3\n"
+        "seeds = 1\n"
+        "rounds = 24\n"
+        "[[sweep.models]]\n"
+        'family = "coloring"\n'
+        'graph = "cycle"\n'
+        "q = 4\n"
+        "[sweep.axes]\n"
+        "size = [4, 5]\n"
+        'method = ["glauber"]\n'
+        "replicas = [48]\n"
+    )
+
+    def _write_config(self, tmp_path):
+        path = tmp_path / "tiny.toml"
+        path.write_text(self._TINY)
+        return str(path)
+
+    def test_sweep_stdout_table(self, capsys, tmp_path):
+        code = main(["sweep", "--config", self._write_config(tmp_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        table = json.loads(captured.out)
+        assert table["schema"] == "repro.sweep/v1"
+        assert table["counts"] == {"total": 2, "ok": 2, "error": 0, "dedup": 0}
+        for row in table["cells"]:
+            assert row["checks"]["stationarity"]["passed"]
+        assert "sweep tiny: 2 cells" in captured.err
+
+    def test_sweep_output_file_and_jobs_mode(self, capsys, tmp_path):
+        out_path = tmp_path / "table.json"
+        code = main([
+            "sweep", "--config", self._write_config(tmp_path),
+            "--jobs", "2", "--no-checks", "--output", str(out_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        table = json.loads(out_path.read_text())
+        assert table["counts"]["ok"] == 2
+        assert table["cells"][0]["checks"] == {}
+
+    def test_sweep_committed_smoke_grid(self, capsys):
+        # The exact config the CI sweep-smoke job runs.
+        from pathlib import Path
+
+        config = Path(__file__).resolve().parents[1] / "examples" / "sweep_smoke.toml"
+        code = main(["sweep", "--config", str(config), "--no-checks"])
+        assert code == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["name"] == "smoke"
+        assert table["counts"] == {"total": 16, "ok": 16, "error": 0, "dedup": 0}
+
+    def test_sweep_jobs_and_server_mutually_exclusive(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--config", self._write_config(tmp_path),
+            "--jobs", "2", "--server", "127.0.0.1:1",
+        ])
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_bad_jobs_count(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--config", self._write_config(tmp_path), "--jobs", "0",
+        ])
+        assert code == 1
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_sweep_missing_config(self, capsys, tmp_path):
+        code = main(["sweep", "--config", str(tmp_path / "nope.toml")])
+        assert code == 1
+        assert "does not exist" in capsys.readouterr().err

@@ -275,9 +275,26 @@ class TestApiConvenience:
         assert 1 <= tau <= 400
 
     def test_generic_fallback_tv_curve(self, path3_ising):
-        # Non-colouring model + distributed method => SequentialChainEnsemble.
+        # Non-colouring model + local-metropolis => SequentialChainEnsemble
+        # (the one remaining fallback pair).
         curve = repro.tv_curve(
-            path3_ising, [1, 8], method="luby-glauber", replicas=200, seed=24
+            path3_ising, [1, 8], method="local-metropolis", replicas=200, seed=24
         )
         assert len(curve) == 2
         assert all(0.0 <= tv <= 1.0 for _, tv in curve)
+
+    def test_generic_luby_glauber_tv_curve_is_batched(self, path3_ising):
+        # Non-colouring model + luby-glauber now gets the batched MRF
+        # heat-bath kernel, and its TV curve decays like the dynamics.
+        import warnings as warnings_module
+
+        from repro.errors import FallbackEngineWarning
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", FallbackEngineWarning)
+            curve = repro.tv_curve(
+                path3_ising, [1, 16], method="luby-glauber", replicas=400, seed=24
+            )
+        assert len(curve) == 2
+        assert all(0.0 <= tv <= 1.0 for _, tv in curve)
+        assert curve[-1][1] < curve[0][1]

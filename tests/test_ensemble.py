@@ -15,14 +15,15 @@ Markov kernel as the corresponding sequential chain.  Validated three ways:
 
 import numpy as np
 import pytest
-from statutils import assert_stationary
+from statutils import assert_same_distribution, assert_stationary
 
 import repro
-from repro.chains import GlauberDynamics
+from repro.chains import GlauberDynamics, LubyGlauberChain
 from repro.chains.ensemble import (
     EnsembleGlauberDynamics,
     EnsembleLocalMetropolisColoring,
     EnsembleLubyGlauberColoring,
+    EnsembleLubyGlauberMRF,
 )
 from repro.chains.fastpaths import FastLocalMetropolisColoring
 from repro.errors import InfeasibleStateError, ModelError
@@ -166,6 +167,18 @@ class TestStationarity:
         ensemble = EnsembleGlauberDynamics(mrf, 4000, seed=13)
         assert_stationary(ensemble.run(80), gibbs)
 
+    def test_luby_glauber_mrf_matches_exact_hardcore(self):
+        mrf = hardcore_mrf(cycle_graph(4), 1.5)
+        gibbs = exact_gibbs_distribution(mrf)
+        ensemble = EnsembleLubyGlauberMRF(mrf, 4000, seed=14)
+        assert_stationary(ensemble.run(60), gibbs)
+
+    def test_luby_glauber_mrf_matches_exact_ising(self):
+        mrf = ising_mrf(path_graph(3), beta=0.8, field=1.2)
+        gibbs = exact_gibbs_distribution(mrf)
+        ensemble = EnsembleLubyGlauberMRF(mrf, 4000, seed=15)
+        assert_stationary(ensemble.run(60), gibbs)
+
 
 class TestSequentialEquivalence:
     def test_glauber_single_replica_bitwise(self):
@@ -189,6 +202,43 @@ class TestSequentialEquivalence:
         )
         with pytest.raises(InfeasibleStateError):
             ensemble.run(50)
+
+    def test_luby_glauber_mrf_and_sequential_same_distribution(self):
+        """Batched MRF heat-bath kernel == sequential LubyGlauberChain.
+
+        The engine-equivalence contract of the vectorized lower-bound
+        experiments: the same per-round Markov kernel, verified by the
+        two-sample homogeneity test between the batched ensemble and R
+        independent sequential chains at a matched round budget.
+        """
+        mrf = hardcore_mrf(cycle_graph(5), 2.0)
+        rounds, replicas = 50, 3000
+        ensemble = EnsembleLubyGlauberMRF(mrf, replicas, seed=16)
+        batched = ensemble.run(rounds)
+        sequential = np.stack(
+            [
+                LubyGlauberChain(mrf, seed=1000 + i).run(rounds)
+                for i in range(replicas // 4)
+            ]
+        )
+        assert_same_distribution(batched, sequential, mrf.q)
+
+    def test_luby_glauber_mrf_infeasible_state_raises(self):
+        mrf = proper_coloring_mrf(cycle_graph(3), 2)
+        ensemble = EnsembleLubyGlauberMRF(
+            mrf, 8, initial=np.array([0, 1, 0]), seed=5
+        )
+        with pytest.raises(InfeasibleStateError):
+            ensemble.run(50)
+
+    def test_luby_glauber_mrf_dispatch_and_feasibility(self):
+        mrf = hardcore_mrf(cycle_graph(6), 1.0)
+        ensemble = repro.make_ensemble(mrf, 5, method="luby-glauber", seed=6)
+        assert isinstance(ensemble, EnsembleLubyGlauberMRF)
+        batch = ensemble.run(10)
+        assert batch.shape == (5, 6)
+        assert all(mrf.is_feasible(row) for row in batch)
+        assert ensemble.is_feasible().all()
 
     def test_lm_ensemble_and_sequential_same_distribution(self):
         """Both implementations reproduce the exact edge pair-marginal.

@@ -350,6 +350,26 @@ class TestJobs:
             with pytest.raises(ExecError, match="doomed"):
                 runner.run()
 
+    def test_run_all_aligns_results_and_isolates_failures(self):
+        """run_all never raises: each job yields (result, error) in order."""
+        model = proper_coloring_mrf(path_graph(3), 3)
+        jobs = [
+            SamplingJob.sample_many(model, 4, rounds=2, seed=1, name="first"),
+            SamplingJob.mixing_time(model, eps=1e-9, replicas=8,
+                                    max_rounds=3, seed=2, name="doomed"),
+            SamplingJob.sample_many(model, 4, rounds=2, seed=3, name="last"),
+        ]
+        with JobRunner(workers=2) as runner:
+            outcomes = runner.run_all(jobs)
+        assert len(outcomes) == 3
+        for position in (0, 2):
+            batch, error = outcomes[position]
+            assert error is None
+            assert np.asarray(batch).shape == (4, 3)
+        doomed_result, doomed_error = outcomes[1]
+        assert doomed_result is None
+        assert "ConvergenceError" in doomed_error
+
     def test_dead_worker_fails_only_its_job(self):
         """A worker killed mid-job loses that job; the pool keeps serving."""
         model = proper_coloring_mrf(path_graph(3), 3)

@@ -1,0 +1,133 @@
+"""Dedicated tests for the exact t-round block protocols (Thm 5.1 upper side).
+
+The block protocol partitions the canonical path into consecutive blocks
+of ``2t + 1`` vertices and outputs the exact Gibbs marginal of each block
+independently.  These tests pin down its defining properties:
+
+* the output is a genuine product measure across blocks,
+* within a block it reproduces the Gibbs marginal exactly,
+* its TV from the true Gibbs law decays as the round budget grows and
+  hits 0 exactly once a single block covers the path,
+* together with the Theorem 5.1 certificate it squeezes the achievable
+  TV from both sides, and
+* the input validation (canonical path only, ``t >= 0``, state-space
+  guard) fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, StateSpaceTooLargeError
+from repro.graphs import cycle_graph, path_graph
+from repro.lowerbound import path_protocol_lower_bound
+from repro.lowerbound.block_protocols import (
+    block_protocol_distribution,
+    block_protocol_tv,
+)
+from repro.mrf import ising_mrf, proper_coloring_mrf
+from repro.mrf.distribution import exact_gibbs_distribution
+
+
+def _ising_path(n, beta=0.6, field=0.2):
+    return ising_mrf(path_graph(n), beta=beta, field=field)
+
+
+class TestProductStructure:
+    def test_is_a_probability_distribution(self):
+        mrf = _ising_path(7)
+        for t in (0, 1, 2):
+            dist = block_protocol_distribution(mrf, t)
+            assert np.all(dist.probs >= 0)
+            assert dist.probs.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_t0_is_product_of_single_vertex_marginals(self):
+        mrf = _ising_path(5, beta=0.9, field=0.3)
+        gibbs = exact_gibbs_distribution(mrf)
+        expected = np.ones(1)
+        for v in range(mrf.n):
+            expected = np.kron(expected, gibbs.restrict([v]).probs)
+        dist = block_protocol_distribution(mrf, 0)
+        np.testing.assert_allclose(dist.probs, expected, atol=1e-12)
+
+    def test_block_marginals_match_gibbs_exactly(self):
+        # t=1 on a 7-path: blocks [0,1,2], [3,4,5], [6].  Restricting the
+        # protocol output to one block recovers the Gibbs marginal.
+        mrf = _ising_path(7, beta=0.8)
+        gibbs = exact_gibbs_distribution(mrf)
+        dist = block_protocol_distribution(mrf, 1)
+        for block in ([0, 1, 2], [3, 4, 5], [6]):
+            np.testing.assert_allclose(
+                dist.restrict(block).probs,
+                gibbs.restrict(block).probs,
+                atol=1e-12,
+            )
+
+    def test_cross_block_joint_factorises(self):
+        # Vertices in different blocks are independent under the protocol
+        # even though they are correlated under the Gibbs law.
+        mrf = _ising_path(6, beta=1.1)
+        dist = block_protocol_distribution(mrf, 1)
+        joint = dist.restrict([2, 3]).probs.reshape(2, 2)
+        left = joint.sum(axis=1)
+        right = joint.sum(axis=0)
+        np.testing.assert_allclose(joint, np.outer(left, right), atol=1e-12)
+        gibbs_joint = (
+            exact_gibbs_distribution(mrf).restrict([2, 3]).probs.reshape(2, 2)
+        )
+        assert not np.allclose(
+            gibbs_joint, np.outer(gibbs_joint.sum(1), gibbs_joint.sum(0))
+        )
+
+
+class TestTVDecay:
+    def test_tv_decays_and_vanishes_once_one_block_covers(self):
+        mrf = _ising_path(9, beta=2.0, field=0.8)
+        tvs = [block_protocol_tv(mrf, t) for t in (0, 1, 2, 4)]
+        assert tvs[0] > tvs[1] > tvs[2] > 1e-6
+        assert tvs[3] == pytest.approx(0.0, abs=1e-12)  # 2t+1 = 9 = n
+
+    def test_longer_paths_need_more_rounds(self):
+        # The round budget needed to drive the achievable TV below a fixed
+        # threshold is strictly increasing in n: locality is a genuine
+        # constraint, exactly what the Theorem 5.1 certificate quantifies.
+        eps = 0.1
+
+        def rounds_needed(n):
+            mrf = _ising_path(n, beta=2.0, field=0.8)
+            for t in range(n):
+                if block_protocol_tv(mrf, t) < eps:
+                    return t
+            return n
+
+        needs = [rounds_needed(n) for n in (4, 8, 12)]
+        assert needs == sorted(needs)
+        assert needs[-1] > needs[0]
+
+    def test_squeeze_against_certificate(self):
+        # Lower side: the Theorem 5.1 certificate is strictly positive at
+        # t=0 for colourings, so *no* 0-round protocol is exact; upper
+        # side: the explicit block protocol drives the TV down as t grows
+        # and reaches 0 exactly when one block covers the whole path.
+        n, q = 10, 3
+        certificate = path_protocol_lower_bound(n, q, t=0)
+        assert certificate.combined_lower_bound > 0
+        mrf = proper_coloring_mrf(path_graph(n), q)
+        achieved = [block_protocol_tv(mrf, t) for t in (0, 1, 5)]
+        assert achieved[0] > achieved[1] > achieved[2]
+        assert achieved[0] > certificate.combined_lower_bound
+        assert achieved[2] == pytest.approx(0.0, abs=1e-12)  # 2t+1 > n
+
+
+class TestValidation:
+    def test_rejects_non_path_models(self):
+        mrf = ising_mrf(cycle_graph(5), beta=0.5)
+        with pytest.raises(ModelError):
+            block_protocol_distribution(mrf, 1)
+
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(ModelError):
+            block_protocol_distribution(_ising_path(4), -1)
+
+    def test_state_space_guard(self):
+        with pytest.raises(StateSpaceTooLargeError):
+            block_protocol_tv(_ising_path(6), 1, max_states=10)

@@ -1,0 +1,156 @@
+"""Tests for the batched lower-bound experiments and phase kernels.
+
+Two layers:
+
+* the vectorized phase kernels in :mod:`repro.lowerbound.phases` must
+  agree element-for-element with the scalar originals they replace, and
+* the batched gadget/lift experiments in
+  :mod:`repro.lowerbound.experiments` must be distributionally
+  equivalent to the sequential per-chain oracle while reproducing the
+  paper's qualitative Section 5 physics (phase persistence, max-cut
+  metastability, the ``2^(1-m)`` protocol hit rate).
+"""
+
+import numpy as np
+import pytest
+from statutils import assert_same_distribution
+
+from repro.errors import ModelError
+from repro.lowerbound import (
+    batch_cut_sizes,
+    batch_is_max_cut,
+    batch_phase_of_configurations,
+    batch_phase_vectors,
+    build_cycle_lift,
+    phase_of_configuration,
+    phase_vector,
+    protocol_phase_hit_rate,
+    random_bipartite_gadget,
+    sample_gadget_phases,
+    sample_lift_phases,
+)
+from repro.lowerbound.phases import cut_size, is_max_cut_phase
+
+GADGET = random_bipartite_gadget(6, 2, 5, rng=11)
+LIFT = build_cycle_lift(4, 6, 1, 5, rng=12)
+
+
+class TestBatchKernelParity:
+    def test_batch_phases_match_scalar(self):
+        rng = np.random.default_rng(0)
+        configs = rng.integers(0, 2, size=(40, GADGET.n_vertices))
+        batched = batch_phase_of_configurations(
+            configs, GADGET.plus_side, GADGET.minus_side
+        )
+        scalar = [
+            phase_of_configuration(row, GADGET.plus_side, GADGET.minus_side)
+            for row in configs
+        ]
+        assert batched.tolist() == scalar
+
+    def test_batch_phase_vectors_match_scalar(self):
+        rng = np.random.default_rng(1)
+        configs = rng.integers(0, 2, size=(40, LIFT.n_vertices))
+        batched = batch_phase_vectors(configs, LIFT)
+        scalar = [phase_vector(row, LIFT) for row in configs]
+        assert batched.tolist() == scalar
+
+    def test_batch_cut_kernels_match_scalar(self):
+        rng = np.random.default_rng(2)
+        phases = rng.choice([-1, 0, 1], size=(60, LIFT.m))
+        assert batch_cut_sizes(phases).tolist() == [cut_size(p) for p in phases]
+        assert batch_is_max_cut(phases).tolist() == [
+            is_max_cut_phase(p) for p in phases
+        ]
+
+    def test_batch_kernels_validate_shapes(self):
+        with pytest.raises(ModelError):
+            batch_phase_of_configurations(
+                np.zeros(GADGET.n_vertices), GADGET.plus_side, GADGET.minus_side
+            )
+        with pytest.raises(ModelError):
+            batch_phase_vectors(np.zeros((3, LIFT.n_vertices + 1)), LIFT)
+
+
+class TestGadgetExperiment:
+    def test_shapes_and_phase_persistence(self):
+        sample = sample_gadget_phases(GADGET, 4.0, 64, 30, seed=5)
+        replicas, n = sample.configs.shape
+        assert (replicas, n) == (64, GADGET.n_vertices)
+        assert sample.phases.shape == (64,)
+        assert sample.plus_density.shape == (64,)
+        # Non-uniqueness regime: the seeded phase persists and the
+        # occupied side stays dense while the other side stays sparse.
+        assert sample.phase_persistence > 0.9
+        assert sample.plus_density.mean() > sample.minus_density.mean() + 0.3
+
+    def test_start_phase_minus_mirrors(self):
+        sample = sample_gadget_phases(GADGET, 4.0, 64, 30, seed=6, start_phase=-1)
+        assert float((sample.phases < 0).mean()) > 0.9
+        assert sample.minus_density.mean() > sample.plus_density.mean() + 0.3
+
+    def test_ensemble_matches_sequential_distribution(self):
+        # The batched engine and the per-chain oracle must sample the same
+        # law at equal round budgets (both from the same phase initial).
+        batched = sample_gadget_phases(GADGET, 1.5, 1200, 20, seed=7)
+        sequential = sample_gadget_phases(
+            GADGET, 1.5, 300, 20, seed=8, engine="sequential"
+        )
+        assert_same_distribution(batched.configs, sequential.configs, 2)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            sample_gadget_phases(GADGET, 2.0, 8, -1)
+        with pytest.raises(ModelError):
+            sample_gadget_phases(GADGET, 2.0, 8, 4, engine="abacus")
+
+
+class TestLiftExperiment:
+    def test_alternating_start_stays_on_max_cut(self):
+        sample = sample_lift_phases(LIFT, 3.5, 48, 20, seed=9)
+        assert sample.configs.shape == (48, LIFT.n_vertices)
+        assert sample.phase_vectors.shape == (48, LIFT.m)
+        assert sample.cut_sizes.shape == (48,)
+        assert sample.max_cut_fraction > 0.9
+
+    def test_constant_start_stays_off_max_cut(self):
+        sample = sample_lift_phases(
+            LIFT, 3.5, 48, 20, seed=10, start_pattern=[1] * LIFT.m
+        )
+        assert sample.max_cut_fraction < 0.1
+
+    def test_ensemble_matches_sequential_phase_law(self):
+        batched = sample_lift_phases(LIFT, 1.2, 900, 12, seed=11)
+        sequential = sample_lift_phases(
+            LIFT, 1.2, 150, 12, seed=12, engine="sequential"
+        )
+        # Compare the reduced per-copy phases (mapped to {0,1,2} states).
+        assert_same_distribution(
+            batched.phase_vectors + 1, sequential.phase_vectors + 1, 3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            sample_lift_phases(LIFT, 2.0, 8, 4, start_pattern=[1])
+        with pytest.raises(ModelError):
+            sample_lift_phases(LIFT, 2.0, 8, -1)
+
+
+class TestProtocolHitRate:
+    def test_matches_two_to_one_minus_m(self):
+        for m in (4, 6):
+            rate = protocol_phase_hit_rate(m, 40_000, rng=13)
+            assert rate == pytest.approx(2.0 ** (1 - m), abs=0.02)
+
+    def test_seeded_reproducibility(self):
+        assert protocol_phase_hit_rate(6, 5000, rng=14) == protocol_phase_hit_rate(
+            6, 5000, rng=14
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            protocol_phase_hit_rate(3, 100)
+        with pytest.raises(ModelError):
+            protocol_phase_hit_rate(0, 100)
+        with pytest.raises(ModelError):
+            protocol_phase_hit_rate(4, 0)

@@ -25,6 +25,7 @@ from repro.chains.ensemble import (
     EnsembleLocalMetropolisCSP,
     EnsembleLubyGlauberColoring,
     EnsembleLubyGlauberCSP,
+    EnsembleLubyGlauberMRF,
 )
 from repro.csp import dominating_set_csp, not_all_equal_csp
 from repro.exec import ShardedEnsemble
@@ -64,6 +65,9 @@ ENGINE_FACTORIES = {
         dominating_set_csp(cycle_graph(6)), REPLICAS, seed=seed
     ),
     "lm-csp": lambda seed: EnsembleLocalMetropolisCSP(_nae(), REPLICAS, seed=seed),
+    "lg-mrf": lambda seed: EnsembleLubyGlauberMRF(
+        ising_mrf(path_graph(5), beta=0.9, field=0.4), REPLICAS, seed=seed
+    ),
     "sequential-fallback": _fallback_ensemble,
     "sharded": lambda seed: ShardedEnsemble(
         proper_coloring_mrf(grid_graph(3, 3), 5),

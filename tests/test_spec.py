@@ -170,6 +170,20 @@ class TestCacheKey:
         assert sharded0.cache_key() == sharded2.cache_key()
         assert sized.cache_key() != sharded0.cache_key()
 
+    def test_with_placement_moves_between_layers(self, coloring):
+        base = JobSpec.sample_many(coloring, 8, seed=1, rounds=5)
+        sharded = base.with_placement(parallel=2, shard_size=4)
+        assert sharded.parallel == 2 and sharded.shard_size == 4
+        assert sharded.name == base.name
+        # Placement is not cosmetic here: shardedness reaches the bits.
+        assert sharded.cache_key() != base.cache_key()
+        # ...but worker count alone does not.
+        assert (
+            sharded.with_placement(parallel=6, shard_size=4).cache_key()
+            == sharded.cache_key()
+        )
+        assert sharded.with_placement().cache_key() == base.cache_key()
+
     def test_params_reach_the_key(self, coloring, small_coloring):
         base = JobSpec.sample_many(coloring, 8, seed=1, rounds=5)
         assert base.cache_key() != JobSpec.sample_many(

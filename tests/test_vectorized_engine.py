@@ -219,6 +219,38 @@ class TestDistributionalEquivalence:
         assert np.max(np.abs(reference - vectorized)) < 0.08
 
 
+class TestRunVectorizedMany:
+    def _batch(self, replicas, seed):
+        from repro.local.vectorized import run_vectorized_many
+
+        mrf = proper_coloring_mrf(cycle_graph(5), 4)
+        return run_vectorized_many(
+            VectorizedLubyGlauber,
+            Network(mrf.graph),
+            rounds=12,
+            replicas=replicas,
+            seed=seed,
+            private_inputs=make_private_inputs(mrf, np.arange(5) % 2),
+        )
+
+    def test_stacked_shape_and_replica_independence(self):
+        batch = self._batch(6, seed=4)
+        assert batch.shape == (6, 5)
+        # Replicas draw from independent spawned streams.
+        assert any(not np.array_equal(batch[0], row) for row in batch[1:])
+
+    def test_reproducible_from_one_seed(self):
+        assert np.array_equal(self._batch(4, seed=9), self._batch(4, seed=9))
+
+    def test_rejects_empty_batch(self):
+        from repro.local.vectorized import run_vectorized_many
+
+        with pytest.raises(ProtocolError, match="replicas"):
+            run_vectorized_many(
+                VectorizedLubyGlauber, Network(cycle_graph(5)), 4, 0
+            )
+
+
 class TestCollectStats:
     def test_reference_fast_path_skips_payload_walk(self):
         mrf = proper_coloring_mrf(cycle_graph(6), 4)
