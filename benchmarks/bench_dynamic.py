@@ -1,0 +1,129 @@
+"""E20 — dynamic graphs: incremental region resampling vs full re-runs.
+
+The dynamic layer (:class:`repro.dynamic.DynamicEnsemble`) answers a
+single-edge mutation by resampling only the influence ball of the touched
+vertices with the boundary clamped, for a round budget governed by the
+region size |S| instead of n.  On a bounded-degree graph the ball has
+O(1) size, so the per-mutation cost is O(log |S|) region rounds over
+O(|S| * R) sites — versus O(log n) full rounds over O(n * R) sites for a
+from-scratch re-run on the mutated model.
+
+This experiment mixes one ensemble on a paper-scale torus colouring, then
+times a sequence of single-edge removals handled two ways:
+
+* **incremental** — ``remove_edge`` + ``resample()`` on the live
+  ``DynamicEnsemble`` (engine rebuild + clamped region re-mix), and
+* **full re-run** — a fresh ensemble on the mutated model advanced for
+  the method's full default round budget.
+
+Both paths are distributionally equivalent (the statutils equivalence
+suite in ``tests/test_dynamic.py`` is the correctness side of this
+claim); E20 measures the wall-clock separation.  The acceptance
+criterion — incremental handles a single-edge mutation >= 5x faster than
+a full re-run at n >= 4096 — is asserted at full benchmark size.
+
+Set ``REPRO_BENCH_SMOKE=1`` for CI-smoke sizes; the 5x assertion is only
+enforced at full size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import report, write_bench_json
+from repro.api import default_round_budget, make_ensemble
+from repro.dynamic import DynamicEnsemble
+from repro.graphs import torus_graph
+from repro.mrf import proper_coloring_mrf
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+SIDE = 16 if SMOKE else 64  # n = SIDE^2: 256 smoke, 4096 full
+Q = 8
+REPLICAS = 4 if SMOKE else 8
+MUTATIONS = 2 if SMOKE else 4
+RADIUS = 2
+EPS = 0.05
+METHOD = "luby-glauber"
+SEED = 20170625
+
+
+def _measure() -> dict[str, float]:
+    model = proper_coloring_mrf(torus_graph(SIDE, SIDE), Q)
+    dyn = DynamicEnsemble(
+        model, REPLICAS, method=METHOD, eps=EPS, radius=RADIUS, seed=SEED
+    )
+    dyn.mix()  # paid once; the dynamic workflow amortises it over mutations
+
+    # Well-spaced distinct edges so the influence balls do not overlap.
+    stride = len(model.edges) // MUTATIONS
+    edges = [model.edges[i * stride] for i in range(MUTATIONS)]
+
+    incremental, region_sizes = [], []
+    for u, v in edges:
+        start = time.perf_counter()
+        dyn.remove_edge(u, v)
+        region_sizes.append(int(dyn.pending_region.size))
+        dyn.resample()
+        incremental.append(time.perf_counter() - start)
+
+    # Full re-runs on the final mutated model: fresh ensemble, full budget.
+    mutated = dyn.model
+    full_rounds = default_round_budget(mutated, METHOD, EPS)
+    full = []
+    for i in range(MUTATIONS):
+        start = time.perf_counter()
+        engine = make_ensemble(mutated, REPLICAS, method=METHOD, seed=SEED + 1 + i)
+        engine.advance(full_rounds)
+        full.append(time.perf_counter() - start)
+
+    return {
+        "n": SIDE * SIDE,
+        "full_rounds": full_rounds,
+        "mean_region": float(np.mean(region_sizes)),
+        "incremental_ms": float(np.mean(incremental) * 1e3),
+        "full_ms": float(np.mean(full) * 1e3),
+        "incremental_events_per_sec": MUTATIONS / sum(incremental),
+        "full_reruns_per_sec": MUTATIONS / sum(full),
+        "speedup": float(np.mean(full) / np.mean(incremental)),
+    }
+
+
+def test_incremental_resampling_speedup():
+    values = _measure()
+    write_bench_json(
+        "E20",
+        {
+            "incremental_events_per_sec": values["incremental_events_per_sec"],
+            "full_reruns_per_sec": values["full_reruns_per_sec"],
+            "incremental_speedup_x": values["speedup"],
+        },
+        smoke=SMOKE,
+    )
+    lines = [
+        f"model: proper colouring (q={Q}) on the {SIDE}x{SIDE} torus "
+        f"(n={values['n']}), R={REPLICAS}, method={METHOD}",
+        f"{MUTATIONS} single-edge removals; influence radius {RADIUS} "
+        f"(mean region {values['mean_region']:.0f} of {values['n']} vertices)",
+        f"full re-run budget: {values['full_rounds']} rounds at eps={EPS}",
+        f"{'path':>12} {'ms/event':>10} {'events/s':>10} {'speedup':>9}",
+        f"{'full rerun':>12} {values['full_ms']:>10.1f} "
+        f"{values['full_reruns_per_sec']:>10.3g} {'1.0x':>9}",
+        f"{'incremental':>12} {values['incremental_ms']:>10.1f} "
+        f"{values['incremental_events_per_sec']:>10.3g} "
+        f"{values['speedup']:>8.1f}x",
+        "",
+        "claim: region-restricted resampling answers a single-edge",
+        "mutation >= 5x faster than re-running the mutated model from",
+        "scratch, while staying distributionally equivalent (the",
+        "statutils equivalence suite is the correctness half).",
+    ]
+    report("E20", "incremental resampling vs full re-run", lines)
+    if not SMOKE:
+        assert values["speedup"] >= 5.0, (
+            f"incremental speedup {values['speedup']:.1f}x is below the "
+            "5x acceptance criterion at full benchmark size"
+        )

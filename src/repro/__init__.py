@@ -29,11 +29,14 @@ Quick start::
 from repro.api import (
     ENGINES,
     METHODS,
+    MUTATIONS,
     JobSpec,
     default_round_budget,
     make_ensemble,
     mixing_time,
     model_degree,
+    mutate,
+    resample_region,
     run_spec,
     sample,
     sample_many,
@@ -47,6 +50,7 @@ from repro.backend import (
     resolve_backend_name,
 )
 from repro.csp import LocalCSP
+from repro.dynamic import DynamicEnsemble
 from repro.errors import (
     BackendError,
     BackendUnavailableError,
@@ -78,6 +82,8 @@ __all__ = [
     "ENGINES",
     "METHODS",
     "MRF",
+    "MUTATIONS",
+    "DynamicEnsemble",
     "ArrayBackend",
     "LocalCSP",
     "BackendError",
@@ -103,9 +109,11 @@ __all__ = [
     "make_ensemble",
     "mixing_time",
     "model_degree",
+    "mutate",
     "potts_mrf",
     "proper_coloring_mrf",
     "register_backend",
+    "resample_region",
     "resolve_backend_name",
     "run_spec",
     "sample",

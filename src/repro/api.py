@@ -58,6 +58,8 @@ __all__ = [
     "sample_many",
     "make_ensemble",
     "is_fallback_pair",
+    "mutate",
+    "resample_region",
     "tv_curve",
     "mixing_time",
     "run_spec",
@@ -66,7 +68,14 @@ __all__ = [
     "model_degree",
     "ENGINES",
     "METHODS",
+    "MUTATIONS",
 ]
+
+#: Named copy-on-write mutations accepted by :func:`mutate`, per model kind.
+MUTATIONS = {
+    "mrf": ("add_edge", "remove_edge", "update_factor", "update_vertex"),
+    "csp": ("add_constraint", "remove_constraint"),
+}
 
 METHODS = ("local-metropolis", "luby-glauber", "glauber")
 
@@ -266,13 +275,19 @@ def _uniform_coloring_q(mrf: MRF) -> int | None:
     ):
         return None
     off_diagonal = ~np.eye(mrf.q, dtype=bool)
+    # The per-edge checks are independent, so edges sharing one frozen
+    # matrix object (the homogeneous / copy-on-write case) are checked once.
+    seen: set[int] = set()
     for u, v in mrf.edges:
         matrix = mrf.edge_activity(u, v)
+        if id(matrix) in seen:
+            continue
         if np.any(np.diagonal(matrix) != 0.0):
             return None
         off = matrix[off_diagonal]
         if np.any(off <= 0.0) or not np.allclose(off, off[0], rtol=1e-9, atol=0.0):
             return None
+        seen.add(id(matrix))
     return mrf.q
 
 
@@ -607,6 +622,82 @@ def mixing_time(
     finally:
         if parallel is not None:
             ensemble.close()
+
+
+def mutate(model: MRF | LocalCSP, op: str, *args):
+    """Apply a named copy-on-write mutation; return the derived model.
+
+    The string-dispatched twin of the model classes' mutation methods, for
+    callers that receive operations as data (the CLI demo, streaming-update
+    feeds).  MRF operations: ``add_edge(u, v, activity)``,
+    ``remove_edge(u, v)``, ``update_factor(u, v, activity)``,
+    ``update_vertex(v, activity)``.  CSP operations:
+    ``add_constraint(constraint)``, ``remove_constraint(index)``.  The
+    original model is never modified, and the derived model's
+    ``model_fingerprint`` reflects the change — which is what keys cache
+    invalidation in :mod:`repro.serve`.
+    """
+    if isinstance(model, LocalCSP):
+        operations = {
+            "add_constraint": model.with_constraint,
+            "remove_constraint": model.without_constraint,
+        }
+        kind = "csp"
+    else:
+        operations = {
+            "add_edge": model.with_edge,
+            "remove_edge": model.without_edge,
+            "update_factor": model.with_edge_activity,
+            "update_vertex": model.with_vertex_activity,
+        }
+        kind = "mrf"
+    if op not in operations:
+        raise ModelError(
+            f"unknown {kind} mutation {op!r}; choose from {MUTATIONS[kind]}"
+        )
+    return operations[op](*args)
+
+
+def resample_region(
+    model: MRF | LocalCSP,
+    batch: np.ndarray,
+    region,
+    rounds: int | None = None,
+    method: str = "luby-glauber",
+    eps: float = 0.05,
+    seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+    backend: str | ArrayBackend | None = None,
+) -> np.ndarray:
+    """Resample ``region`` of an ``(R, n)`` batch under ``model``, boundary clamped.
+
+    The one-shot functional form of incremental resampling: warm-start the
+    engine picked by :func:`make_ensemble` from ``batch``, advance only
+    ``region`` for ``rounds`` rounds (default: the
+    :func:`~repro.dynamic.region.region_round_budget` for the region's
+    size), and return the new ``(R, n)`` batch.  Vertices outside
+    ``region`` are returned bit-unchanged.  For stateful streaming
+    mutation workflows use :class:`repro.dynamic.DynamicEnsemble`, which
+    owns the model, the batch and the RNG stream across operations.
+    """
+    from repro.dynamic.region import region_round_budget, sequential_region_glauber
+
+    batch = np.asarray(batch, dtype=np.int64)
+    if batch.ndim != 2 or batch.shape[1] != model.n:
+        raise ModelError(f"batch must have shape (R, {model.n}), got {batch.shape}")
+    region = np.asarray(sorted(int(v) for v in region), dtype=np.int64)
+    rng = as_generator(seed)
+    ensemble = make_ensemble(
+        model, batch.shape[0], method=method, seed=rng, initial=batch,
+        backend=backend,
+    )
+    batched = hasattr(ensemble, "advance_region")
+    if rounds is None:
+        kernel = method if batched else "glauber"
+        rounds = region_round_budget(model, kernel, int(region.size), eps)
+    if batched:
+        return ensemble.advance_region(rounds, region).config
+    result = ensemble.config
+    return sequential_region_glauber(model, result, region, rounds, rng)
 
 
 def _require_spec_kind(spec: JobSpec, kind: str, extras: bool) -> None:

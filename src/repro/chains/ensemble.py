@@ -228,6 +228,71 @@ def _initial_spin_batch(
     return config.astype(dtype)
 
 
+def _as_region(region, n: int) -> np.ndarray:
+    """Validate a vertex region into a sorted unique int64 array."""
+    vertices = np.unique(np.asarray(sorted(int(v) for v in region), dtype=np.int64))
+    if vertices.size == 0:
+        raise ModelError("region must contain at least one vertex")
+    if vertices[0] < 0 or vertices[-1] >= n:
+        raise ModelError(
+            f"region vertices must lie in 0..{n - 1}, got "
+            f"[{int(vertices[0])}, {int(vertices[-1])}]"
+        )
+    return vertices
+
+
+class _RegionSelector:
+    """Precompiled masked-Luby structures for a vertex region.
+
+    Restricting the Luby step to the *region-internal* edges is exact:
+    heat-bath updates preserve the conditional Gibbs distribution given
+    the clamped complement for any state-independently selected set that
+    is independent *within itself*, and two region vertices are adjacent
+    iff the connecting edge has both endpoints in the region.  Ranks are
+    drawn only for region vertices (``(|S|, R)`` instead of ``(n, R)``),
+    so a region step costs O(|S|·R) — the whole point of incremental
+    resampling.
+    """
+
+    def __init__(self, xp: ArrayBackend, region: np.ndarray, edge_u, edge_v, n: int):
+        self.xp = xp
+        self.region = region
+        self.size = int(region.size)
+        self.region_d = xp.asarray(region)
+        local_of = np.full(n, -1, dtype=np.int64)
+        local_of[region] = np.arange(self.size, dtype=np.int64)
+        if edge_u is not None and len(edge_u):
+            internal = (local_of[edge_u] >= 0) & (local_of[edge_v] >= 0)
+            leu = local_of[edge_u[internal]]
+            lev = local_of[edge_v[internal]]
+        else:
+            leu = lev = np.zeros(0, dtype=np.int64)
+        m = len(leu)
+        if m:
+            ones = np.ones(m, dtype=np.int32)
+            arange = np.arange(m)
+            self._leu_d = xp.asarray(leu)
+            self._lev_d = xp.asarray(lev)
+            self._side_u = xp.csr(
+                sp.csr_matrix((ones, (leu, arange)), shape=(self.size, m))
+            )
+            self._side_v = xp.csr(
+                sp.csr_matrix((ones, (lev, arange)), shape=(self.size, m))
+            )
+        else:
+            self._leu_d = self._lev_d = None
+            self._side_u = self._side_v = None
+
+    def select_pairs(self, rng: np.random.Generator, replicas: int):
+        """Luby-select over the region; return global ``(v_idx, r_idx)`` pairs."""
+        mask = _batched_luby_select(
+            self.xp, rng, self.size, replicas,
+            self._leu_d, self._lev_d, self._side_u, self._side_v,
+        )
+        s_idx, r_idx = self.xp.nonzero_pairs(mask)
+        return self.region_d[s_idx], r_idx
+
+
 def _batched_luby_select(
     xp: ArrayBackend,
     rng: np.random.Generator,
@@ -383,6 +448,74 @@ class _EnsembleColoringBase(EnsembleTrajectoryMixin):
     def step(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # region-restricted advancement (dynamic graphs)
+    # ------------------------------------------------------------------
+    def _resample_pairs(self, v_idx, r_idx) -> None:
+        """Heat-bath-resample the given (vertex, replica) pairs in place.
+
+        The pairs must form an independent set within each replica (their
+        neighbours' colours are read as fixed).  Uniform-available-colour
+        rejection sampling *is* the heat-bath conditional for proper
+        colourings, so this is the shared update kernel of the LubyGlauber
+        step and the region-restricted advance.
+        """
+        xp = self.xp
+        result = xp.copy(self._config)
+        guard = 0
+        while int(v_idx.shape[0]):
+            pending = int(v_idx.shape[0])
+            draws = xp.uniform_spins(self.rng, self.q, pending, self._dtype)
+            if self._m:
+                # Expand each pending pair to its CSR neighbour slots.  The
+                # neighbours of a selected vertex are unselected (Luby step),
+                # so their colours are fixed for the whole resampling pass.
+                pair_of_slot, slots = xp.expand_neighbour_slots(
+                    v_idx, self._degrees_d, self._indptr_d
+                )
+                neighbour_spins = self._config[
+                    self._csr_indices_d[slots],
+                    xp.repeat(r_idx, self._degrees_d[v_idx]),
+                ]
+                hits = neighbour_spins == draws[pair_of_slot]
+                conflict = xp.bincount(pair_of_slot[hits], minlength=pending) > 0
+            else:
+                conflict = xp.zeros(pending, dtype=bool)
+            ok = ~conflict
+            result[v_idx[ok], r_idx[ok]] = draws[ok]
+            # Carry only the conflicted pairs into the next rejection round —
+            # the work per round decays geometrically with the pending set.
+            v_idx, r_idx = v_idx[conflict], r_idx[conflict]
+            guard += 1
+            if guard > 200 * self.q:
+                raise ModelError(
+                    "rejection sampling stalled: some vertex has no available "
+                    "colour (needs q >= Delta + 1)"
+                )
+        self._config = result
+
+    def advance_region(self, steps: int, region) -> _EnsembleColoringBase:
+        """Advance only ``region`` for ``steps`` rounds, boundary clamped.
+
+        Every round Luby-selects an independent set among the region
+        vertices (over region-internal edges only) and heat-bath-resamples
+        it; vertices outside the region never change, and their colours
+        enter the update as fixed boundary conditions through the full CSR
+        neighbour gathers.  Used by :mod:`repro.dynamic` for incremental
+        resampling after a graph mutation.  Note the kernel is the
+        heat-bath (LubyGlauber) one for *both* colouring engines — a
+        clamped LocalMetropolis round has no stationarity guarantee.
+        """
+        if steps < 0:
+            raise ModelError(f"advance_region needs steps >= 0, got {steps}")
+        selector = _RegionSelector(
+            self.xp, _as_region(region, self.n), self._eu, self._ev, self.n
+        )
+        for _ in range(steps):
+            self._resample_pairs(*selector.select_pairs(self.rng, self.replicas))
+            self.steps_taken += 1
+        return self
+
 
 class EnsembleLocalMetropolisColoring(_EnsembleColoringBase):
     """Batched Algorithm 2 for proper q-colourings.
@@ -435,39 +568,7 @@ class EnsembleLubyGlauberColoring(_EnsembleColoringBase):
 
     def step(self) -> None:
         xp = self.xp
-        v_idx, r_idx = xp.nonzero_pairs(self._luby_select())
-        result = xp.copy(self._config)
-        guard = 0
-        while int(v_idx.shape[0]):
-            pending = int(v_idx.shape[0])
-            draws = xp.uniform_spins(self.rng, self.q, pending, self._dtype)
-            if self._m:
-                # Expand each pending pair to its CSR neighbour slots.  The
-                # neighbours of a selected vertex are unselected (Luby step),
-                # so their colours are fixed for the whole resampling pass.
-                pair_of_slot, slots = xp.expand_neighbour_slots(
-                    v_idx, self._degrees_d, self._indptr_d
-                )
-                neighbour_spins = self._config[
-                    self._csr_indices_d[slots],
-                    xp.repeat(r_idx, self._degrees_d[v_idx]),
-                ]
-                hits = neighbour_spins == draws[pair_of_slot]
-                conflict = xp.bincount(pair_of_slot[hits], minlength=pending) > 0
-            else:
-                conflict = xp.zeros(pending, dtype=bool)
-            ok = ~conflict
-            result[v_idx[ok], r_idx[ok]] = draws[ok]
-            # Carry only the conflicted pairs into the next rejection round —
-            # the work per round decays geometrically with the pending set.
-            v_idx, r_idx = v_idx[conflict], r_idx[conflict]
-            guard += 1
-            if guard > 200 * self.q:
-                raise ModelError(
-                    "rejection sampling stalled: some vertex has no available "
-                    "colour (needs q >= Delta + 1)"
-                )
-        self._config = result
+        self._resample_pairs(*xp.nonzero_pairs(self._luby_select()))
         self.steps_taken += 1
 
 
@@ -554,9 +655,33 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
 
     def step(self) -> None:
         """One single-site heat-bath update in every replica."""
+        vertices = self.xp.integers(self.rng, self.mrf.n, self.replicas)
+        self._update_sites(vertices)
+        self.steps_taken += 1
+
+    def advance_region(self, steps: int, region) -> EnsembleGlauberDynamics:
+        """Advance only ``region`` for ``steps`` rounds, boundary clamped.
+
+        Each round every replica heat-bath-updates one uniformly chosen
+        *region* vertex; the complement never changes and enters the
+        conditional weights as fixed boundary spins.  Used by
+        :mod:`repro.dynamic` for incremental resampling.
+        """
+        if steps < 0:
+            raise ModelError(f"advance_region needs steps >= 0, got {steps}")
+        xp = self.xp
+        region = _as_region(region, self.mrf.n)
+        region_d = xp.asarray(region)
+        for _ in range(steps):
+            picks = xp.integers(self.rng, int(region.size), self.replicas)
+            self._update_sites(region_d[picks])
+            self.steps_taken += 1
+        return self
+
+    def _update_sites(self, vertices) -> None:
+        """Heat-bath-resample ``vertices[i]`` in replica ``i``, in place."""
         xp = self.xp
         r, q = self.replicas, self.mrf.q
-        vertices = xp.integers(self.rng, self.mrf.n, r)
         # Conditional weights b_v(c) * prod_u A_uv(c, X_u), eq. (2), built
         # in ascending-neighbour order (bitwise-matching the sequential
         # implementation's float operation order).
@@ -583,7 +708,6 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
         spins = xp.sum(cdf <= uniforms[:, None], axis=1)
         spins = xp.clip(spins, 0, q - 1)
         self._config[rows, vertices] = spins
-        self.steps_taken += 1
 
     def is_feasible(self) -> np.ndarray:
         """Per-replica feasibility mask, shape ``(R,)``."""
@@ -726,11 +850,38 @@ class EnsembleLubyGlauberMRF(EnsembleTrajectoryMixin):
 
     def step(self) -> None:
         """Select independent sets; heat-bath-update all pairs in parallel."""
+        self._heatbath_update(*self.xp.nonzero_pairs(self._luby_select()))
+        self.steps_taken += 1
+
+    def advance_region(self, steps: int, region) -> EnsembleLubyGlauberMRF:
+        """Advance only ``region`` for ``steps`` rounds, boundary clamped.
+
+        Every round Luby-selects an independent set among the region
+        vertices (over region-internal edges only) and heat-bath-resamples
+        it from the exact conditional marginals; vertices outside the
+        region never change and enter the weights as fixed boundary spins
+        through the full CSR neighbour gathers.  Used by
+        :mod:`repro.dynamic` for incremental resampling.
+        """
+        if steps < 0:
+            raise ModelError(f"advance_region needs steps >= 0, got {steps}")
+        selector = _RegionSelector(
+            self.xp, _as_region(region, self.n), self._eu, self._ev, self.n
+        )
+        for _ in range(steps):
+            self._heatbath_update(*selector.select_pairs(self.rng, self.replicas))
+            self.steps_taken += 1
+        return self
+
+    def _heatbath_update(self, v_idx, r_idx) -> None:
+        """Heat-bath-resample the given (vertex, replica) pairs in place.
+
+        The pairs must form an independent set within each replica (their
+        neighbours' spins are read as fixed conditioning).
+        """
         xp = self.xp
-        v_idx, r_idx = xp.nonzero_pairs(self._luby_select())
         pairs = int(v_idx.shape[0])
         if pairs == 0:  # pragma: no cover - Luby always selects someone
-            self.steps_taken += 1
             return
         q = self.q
         # Conditional weights b_v(c) * prod_u A_uv(c, X_u), eq. (2).  The
@@ -767,7 +918,6 @@ class EnsembleLubyGlauberMRF(EnsembleTrajectoryMixin):
         last_positive = q - 1 - xp.argmax_axis(xp.flip(weights, axis=1) > 0.0, axis=1)
         spins = xp.minimum(spins, last_positive)
         self._config[v_idx, r_idx] = xp.astype(spins, self._dtype)
-        self.steps_taken += 1
 
 
 # ----------------------------------------------------------------------
@@ -823,6 +973,7 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
         self._build_scope_tables()
         self._config = self.xp.asarray(self._initial_batch(initial))
         self._spin_arange = self.xp.arange(self.q)
+        self._heatbath_ready = False
         self.steps_taken = 0
 
     # ------------------------------------------------------------------
@@ -922,31 +1073,20 @@ class _EnsembleCSPBase(EnsembleTrajectoryMixin):
     def step(self) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # heat-bath machinery (LubyGlauber step and region-restricted advance)
+    # ------------------------------------------------------------------
+    def _ensure_heatbath_structures(self) -> None:
+        """Conflict-graph edge arrays plus the (constraint, stride) incidence.
 
-class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
-    """Batched LubyGlauber on a weighted local CSP (remark after Algorithm 1).
-
-    One step advances all R replicas by one round: each replica draws its
-    own Luby independent set *of the CSP's conflict graph* (so the selected
-    set is strongly independent in the constraint hypergraph), then every
-    selected (replica, vertex) pair heat-bath-resamples from its
-    conditional marginal.  The marginal weights of *all* selected pairs are
-    assembled at once: the vertex-to-(constraint, stride) incidence CSR
-    expands each pair to its constraint slots, one flat gather pulls the
-    ``q`` candidate factor values per slot, and a segmented product reduces
-    slots back to per-pair weight vectors — no per-vertex Python loop.
-    """
-
-    def __init__(
-        self,
-        csp: LocalCSP,
-        replicas: int,
-        initial: Sequence[int] | np.ndarray | None = None,
-        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
-        backend: str | ArrayBackend | None = None,
-    ) -> None:
-        super().__init__(csp, replicas, initial=initial, seed=seed, backend=backend)
-        xp = self.xp
+        Built eagerly by :class:`EnsembleLubyGlauberCSP` (its every step
+        needs them) and lazily by the region-restricted advance on
+        :class:`EnsembleLocalMetropolisCSP` (which otherwise never pays
+        for them).
+        """
+        if self._heatbath_ready:
+            return
+        xp, csp = self.xp, self.csp
         # Conflict-graph edge arrays drive the batched Luby step; ties lose
         # on both sides, exactly as LubyScheduler's strict local maxima.
         self._cu, self._cv = sorted_edge_arrays(conflict_graph(csp))
@@ -986,21 +1126,18 @@ class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
         self._inc_degrees_d = xp.asarray(self._inc_degrees)
         self._inc_constraint = xp.asarray(np.asarray(inc_constraint, dtype=np.int64))
         self._inc_stride = xp.asarray(np.asarray(inc_stride, dtype=np.int64))
+        self._heatbath_ready = True
 
-    def _luby_select(self):
-        """Per-replica Luby step on the conflict graph, ``(n, R)`` boolean."""
-        return _batched_luby_select(
-            self.xp, self.rng, self.n, self.replicas, self._cu_d, self._cv_d,
-            self._conflict_u, self._conflict_v,
-        )
+    def _heatbath_update(self, v_idx, r_idx) -> None:
+        """Heat-bath-resample the given (vertex, replica) pairs in place.
 
-    def step(self) -> None:
-        """Select strongly independent sets; heat-bath-update them in parallel."""
+        The pairs must be strongly independent within each replica (no two
+        share a constraint scope), so every co-scoped vertex is fixed
+        conditioning.  Requires :meth:`_ensure_heatbath_structures`.
+        """
         xp = self.xp
-        v_idx, r_idx = xp.nonzero_pairs(self._luby_select())
         pairs = int(v_idx.shape[0])
         if pairs == 0:  # pragma: no cover - Luby always selects someone
-            self.steps_taken += 1
             return
         q = self.q
         if self._num_constraints:
@@ -1045,6 +1182,68 @@ class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
         last_positive = q - 1 - xp.argmax_axis(xp.flip(weights, axis=1) > 0.0, axis=1)
         spins = xp.minimum(spins, last_positive)
         self._config[v_idx, r_idx] = xp.astype(spins, self._dtype)
+
+    def advance_region(self, steps: int, region) -> _EnsembleCSPBase:
+        """Advance only ``region`` for ``steps`` rounds, boundary clamped.
+
+        Every round Luby-selects a strongly independent set among the
+        region vertices (over region-internal *conflict-graph* edges) and
+        heat-bath-resamples it; vertices outside the region never change
+        and enter the marginals as fixed conditioning.  Used by
+        :mod:`repro.dynamic` for incremental resampling after a constraint
+        mutation.  Note the kernel is the heat-bath (LubyGlauber) one for
+        *both* CSP engines — a clamped LocalMetropolis round has no
+        stationarity guarantee.
+        """
+        if steps < 0:
+            raise ModelError(f"advance_region needs steps >= 0, got {steps}")
+        self._ensure_heatbath_structures()
+        selector = _RegionSelector(
+            self.xp, _as_region(region, self.n), self._cu, self._cv, self.n
+        )
+        for _ in range(steps):
+            self._heatbath_update(*selector.select_pairs(self.rng, self.replicas))
+            self.steps_taken += 1
+        return self
+
+
+class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
+    """Batched LubyGlauber on a weighted local CSP (remark after Algorithm 1).
+
+    One step advances all R replicas by one round: each replica draws its
+    own Luby independent set *of the CSP's conflict graph* (so the selected
+    set is strongly independent in the constraint hypergraph), then every
+    selected (replica, vertex) pair heat-bath-resamples from its
+    conditional marginal.  The marginal weights of *all* selected pairs are
+    assembled at once: the vertex-to-(constraint, stride) incidence CSR
+    expands each pair to its constraint slots, one flat gather pulls the
+    ``q`` candidate factor values per slot, and a segmented product reduces
+    slots back to per-pair weight vectors — no per-vertex Python loop.
+    """
+
+    def __init__(
+        self,
+        csp: LocalCSP,
+        replicas: int,
+        initial: Sequence[int] | np.ndarray | None = None,
+        seed: int | np.random.SeedSequence | np.random.Generator | None = None,
+        backend: str | ArrayBackend | None = None,
+    ) -> None:
+        super().__init__(csp, replicas, initial=initial, seed=seed, backend=backend)
+        # Every step Luby-selects on the conflict graph and heat-bath
+        # updates through the incidence CSRs — build them eagerly.
+        self._ensure_heatbath_structures()
+
+    def _luby_select(self):
+        """Per-replica Luby step on the conflict graph, ``(n, R)`` boolean."""
+        return _batched_luby_select(
+            self.xp, self.rng, self.n, self.replicas, self._cu_d, self._cv_d,
+            self._conflict_u, self._conflict_v,
+        )
+
+    def step(self) -> None:
+        """Select strongly independent sets; heat-bath-update them in parallel."""
+        self._heatbath_update(*self.xp.nonzero_pairs(self._luby_select()))
         self.steps_taken += 1
 
 

@@ -26,6 +26,11 @@ Commands
     on a :class:`~repro.exec.jobs.JobRunner` pool (``--jobs N``) or
     against a running service (``--server``) — emitting one
     machine-readable ``repro.sweep/v1`` result table.
+``dynamic``
+    Demo of the dynamic-graph workflow (:mod:`repro.dynamic`): mix a
+    model, then toggle edges/constraints while resampling only each
+    mutation's influenced region, emitting the per-step region sizes and
+    round budgets as JSON.
 ``info``
     Print the library's headline constants (thresholds, uniqueness
     boundary) and version.
@@ -262,6 +267,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-capacity", type=int, default=128, help="LRU result-cache entries"
     )
     serve.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="additional LRU bound on the summed JSON size of cached "
+        "results (default: unbounded)",
+    )
+    serve.add_argument(
         "--max-pending",
         type=int,
         default=32,
@@ -333,6 +345,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-checks", action="store_true",
         help="skip the per-cell stationarity/equivalence checks",
+    )
+
+    dynamic = sub.add_parser(
+        "dynamic",
+        help="demo: stream model mutations with incremental resampling",
+    )
+    _add_model_arguments(dynamic)
+    dynamic.set_defaults(size=8)
+    dynamic.add_argument("--method", choices=repro.METHODS, default="luby-glauber")
+    dynamic.add_argument("--replicas", type=int, default=64)
+    dynamic.add_argument(
+        "--steps",
+        type=int,
+        default=3,
+        help="mutation toggles: each step removes one edge (or constraint), "
+        "resamples the influenced region, re-adds it and resamples again",
+    )
+    dynamic.add_argument(
+        "--radius",
+        type=int,
+        default=2,
+        help="influence radius around the touched vertices",
+    )
+    dynamic.add_argument("--eps", type=float, default=0.05)
+    dynamic.add_argument(
+        "--rounds", type=int, default=None, help="initial full-model mixing rounds"
+    )
+    dynamic.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the JSON event log to FILE",
     )
 
     sub.add_parser("info", help="print headline constants and version")
@@ -477,6 +519,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         cache_capacity=args.cache_capacity,
+        cache_max_bytes=args.cache_max_bytes,
         max_pending=args.max_pending,
     )
     host, port = server.start()
@@ -639,6 +682,94 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 1 if counts["error"] else 0
 
 
+def _command_dynamic(args: argparse.Namespace) -> int:
+    from repro.dynamic import DynamicEnsemble, region_round_budget
+
+    model = _build_model(args)
+    if args.steps < 1:
+        raise ReproError(f"--steps must be >= 1, got {args.steps}")
+    is_csp = isinstance(model, LocalCSP)
+    if is_csp and not model.constraints:
+        raise ReproError("the dynamic demo needs a model with constraints")
+    if not is_csp and not model.edges:
+        raise ReproError("the dynamic demo needs a model with edges")
+    with _fallback_notices():
+        dyn = DynamicEnsemble(
+            model,
+            args.replicas,
+            method=args.method,
+            eps=args.eps,
+            radius=args.radius,
+            seed=args.seed,
+        )
+        dyn.mix(args.rounds)
+        full_budget = repro.default_round_budget(model, args.method, args.eps)
+        events = []
+
+        def toggle(op, detail):
+            region = int(dyn.pending_region.size)
+            kernel = (
+                args.method
+                if hasattr(dyn.engine, "advance_region")
+                else "glauber"
+            )
+            rounds = region_round_budget(dyn.model, kernel, region, args.eps)
+            dyn.resample()
+            batch = dyn.config
+            feasible = sum(1 for row in batch if dyn.model.is_feasible(row))
+            events.append(
+                {
+                    "op": op,
+                    "detail": detail,
+                    "region": region,
+                    "rounds": rounds,
+                    "full_rounds": full_budget,
+                    "feasible_fraction": feasible / len(batch),
+                    "fingerprint": dyn.model_fingerprint()[:16],
+                }
+            )
+
+        for step in range(args.steps):
+            if is_csp:
+                # Toggle the tail constraint: re-appending the removed one
+                # then restores the exact constraint order (and fingerprint).
+                index = len(dyn.model.constraints) - 1
+                constraint = dyn.model.constraints[index]
+                detail = list(int(v) for v in constraint.scope)
+                dyn.remove_constraint(index)
+                toggle("remove_constraint", detail)
+                dyn.add_constraint(constraint)
+                toggle("add_constraint", detail)
+            else:
+                u, v = model.edges[step % len(model.edges)]
+                activity = model.edge_activity(u, v)
+                dyn.remove_edge(u, v)
+                toggle("remove_edge", [int(u), int(v)])
+                dyn.add_edge(u, v, activity)
+                toggle("add_edge", [int(u), int(v)])
+    payload = {
+        "model": model.name,
+        "graph": args.graph,
+        "n": model.n,
+        "method": args.method,
+        "engine": type(dyn.engine).__name__,
+        "replicas": args.replicas,
+        "radius": args.radius,
+        "seed": args.seed,
+        "mutations": dyn.mutations,
+        "resamples": dyn.resamples,
+        "restored_fingerprint": dyn.model_fingerprint() == model.model_fingerprint(),
+        "events": events,
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
 def _command_info() -> int:
     from repro.analysis.theory import alpha_star, two_plus_sqrt2
     from repro.lowerbound import lambda_critical
@@ -669,6 +800,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_submit(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "dynamic":
+            return _command_dynamic(args)
         if args.command == "info":
             return _command_info()
     except ReproError as error:

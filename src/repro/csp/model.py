@@ -182,6 +182,35 @@ class LocalCSP:
             )
         return weights / total
 
+    # ------------------------------------------------------------------
+    # copy-on-write mutation
+    # ------------------------------------------------------------------
+    def with_constraint(self, constraint: Constraint) -> LocalCSP:
+        """Return a copy with ``constraint`` appended (copy-on-write).
+
+        :class:`Constraint` objects are immutable (frozen tables), so the
+        derived model shares them with ``self``; only the index lists are
+        rebuilt.  :meth:`model_fingerprint` reflects the mutation
+        automatically because fingerprints are computed on demand.
+        """
+        return LocalCSP(
+            self.n, self.q, [*self.constraints, constraint], name=self.name
+        )
+
+    def without_constraint(self, index: int) -> LocalCSP:
+        """Return a copy with constraint ``index`` removed (copy-on-write)."""
+        index = int(index)
+        if not (0 <= index < len(self.constraints)):
+            raise ModelError(
+                f"constraint index {index} outside 0..{len(self.constraints) - 1}"
+            )
+        remaining = [
+            constraint
+            for position, constraint in enumerate(self.constraints)
+            if position != index
+        ]
+        return LocalCSP(self.n, self.q, remaining, name=self.name)
+
     def to_dict(self) -> dict:
         """Canonical plain-JSON form; inverse of :meth:`from_dict`.
 

@@ -90,6 +90,10 @@ class MRF:
     ) -> dict[tuple[int, int], np.ndarray]:
         activities: dict[tuple[int, int], np.ndarray] = {}
         if isinstance(spec, Mapping):
+            # Frozen matrices are shared by identity across edges (the
+            # copy-on-write mutation path maps every edge to one frozen
+            # table), so each distinct object is validated exactly once.
+            checked: dict[int, np.ndarray] = {}
             for edge in self.edges:
                 u, v = edge
                 if edge in spec:
@@ -98,7 +102,14 @@ class MRF:
                     matrix = spec[(v, u)]
                 else:
                     raise ModelError(f"no edge activity supplied for edge {edge}")
-                activities[edge] = self._check_edge_matrix(np.asarray(matrix, dtype=float), edge)
+                matrix = np.asarray(matrix, dtype=float)
+                if not matrix.flags.writeable and id(matrix) in checked:
+                    activities[edge] = checked[id(matrix)]
+                    continue
+                frozen = self._check_edge_matrix(matrix, edge)
+                if not matrix.flags.writeable:
+                    checked[id(matrix)] = frozen
+                activities[edge] = frozen
         else:
             matrix = self._check_edge_matrix(np.asarray(spec, dtype=float), None)
             for edge in self.edges:
@@ -119,30 +130,41 @@ class MRF:
             raise ModelError(f"{label}: activity matrix must be symmetric")
         if np.all(matrix == 0):
             raise ModelError(f"{label}: activity matrix must not be identically zero")
-        matrix = matrix.copy()
-        matrix.setflags(write=False)
+        if matrix.flags.writeable:  # already-frozen tables are shared, not copied
+            matrix = matrix.copy()
+            matrix.setflags(write=False)
         return matrix
 
     def _build_vertex_activities(
         self, spec: np.ndarray | Mapping[int, np.ndarray]
     ) -> np.ndarray:
-        table = np.empty((self.n, self.q), dtype=float)
-        if isinstance(spec, Mapping):
-            for v in range(self.n):
-                if v not in spec:
-                    raise ModelError(f"no vertex activity supplied for vertex {v}")
-                table[v] = np.asarray(spec[v], dtype=float)
+        if (
+            isinstance(spec, np.ndarray)
+            and spec.dtype == np.float64
+            and spec.shape == (self.n, self.q)
+            and not spec.flags.writeable
+        ):
+            # Copy-on-write fast path: share a frozen (n, q) table instead
+            # of copying it; the validity checks below still run.
+            table = spec
         else:
-            arr = np.asarray(spec, dtype=float)
-            if arr.shape == (self.q,):
-                table[:] = arr
-            elif arr.shape == (self.n, self.q):
-                table[:] = arr
+            table = np.empty((self.n, self.q), dtype=float)
+            if isinstance(spec, Mapping):
+                for v in range(self.n):
+                    if v not in spec:
+                        raise ModelError(f"no vertex activity supplied for vertex {v}")
+                    table[v] = np.asarray(spec[v], dtype=float)
             else:
-                raise ModelError(
-                    f"vertex activities must have shape ({self.q},) or "
-                    f"({self.n}, {self.q}), got {arr.shape}"
-                )
+                arr = np.asarray(spec, dtype=float)
+                if arr.shape == (self.q,):
+                    table[:] = arr
+                elif arr.shape == (self.n, self.q):
+                    table[:] = arr
+                else:
+                    raise ModelError(
+                        f"vertex activities must have shape ({self.q},) or "
+                        f"({self.n}, {self.q}), got {arr.shape}"
+                    )
         if np.any(table < 0):
             raise ModelError("vertex activities must be non-negative")
         if np.any(np.all(table == 0, axis=1)):
@@ -228,6 +250,66 @@ class MRF:
             bool(np.all((matrix == 0.0) | (matrix == 1.0)))
             for matrix in self._edge_activity.values()
         )
+
+    # ------------------------------------------------------------------
+    # copy-on-write mutation
+    # ------------------------------------------------------------------
+    def _replace(
+        self,
+        edge_activities: Mapping[tuple[int, int], np.ndarray],
+        vertex_activities: np.ndarray,
+    ) -> MRF:
+        """Build a sibling MRF sharing the (read-only) activity arrays."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n))
+        graph.add_edges_from(edge_activities.keys())
+        return MRF(graph, self.q, edge_activities, vertex_activities, name=self.name)
+
+    def with_edge(self, u: int, v: int, activity: np.ndarray) -> MRF:
+        """Return a copy with edge ``{u, v}`` added (or its activity replaced).
+
+        Copy-on-write: the untouched per-edge and per-vertex activity
+        tables are shared with ``self`` (they are read-only), so the cost
+        is O(n + m) bookkeeping, not a model rebuild.  The derived model's
+        :meth:`model_fingerprint` reflects the mutation automatically
+        because fingerprints are computed from content on demand.
+        """
+        u, v = int(u), int(v)
+        if u == v:
+            raise ModelError(f"cannot add a self-loop at vertex {u}")
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ModelError(f"edge ({u}, {v}) outside vertices 0..{self.n - 1}")
+        key = (min(u, v), max(u, v))
+        activities = dict(self._edge_activity)
+        activities[key] = self._check_edge_matrix(
+            np.asarray(activity, dtype=float), key
+        )
+        return self._replace(activities, self.vertex_activity)
+
+    def without_edge(self, u: int, v: int) -> MRF:
+        """Return a copy with edge ``{u, v}`` removed (copy-on-write)."""
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        if key not in self._edge_activity:
+            raise ModelError(f"({u}, {v}) is not an edge of the MRF graph")
+        activities = dict(self._edge_activity)
+        del activities[key]
+        return self._replace(activities, self.vertex_activity)
+
+    def with_edge_activity(self, u: int, v: int, activity: np.ndarray) -> MRF:
+        """Return a copy with the factor on existing edge ``{u, v}`` replaced."""
+        key = (min(int(u), int(v)), max(int(u), int(v)))
+        if key not in self._edge_activity:
+            raise ModelError(f"({u}, {v}) is not an edge of the MRF graph")
+        return self.with_edge(u, v, activity)
+
+    def with_vertex_activity(self, v: int, activity: np.ndarray) -> MRF:
+        """Return a copy with the external field ``b_v`` replaced."""
+        v = int(v)
+        if not (0 <= v < self.n):
+            raise ModelError(f"vertex {v} outside 0..{self.n - 1}")
+        table = np.array(self.vertex_activity, dtype=float)
+        table[v] = np.asarray(activity, dtype=float)
+        return self._replace(self._edge_activity, table)
 
     # ------------------------------------------------------------------
     # canonical serialization

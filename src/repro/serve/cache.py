@@ -7,20 +7,38 @@ entry is indistinguishable from re-running the job.  Values are the
 wire-encoded result payloads, ready to be written into a response with no
 re-encoding.
 
-Eviction is plain LRU over a bounded entry count; ``hits``/``misses``/
-``evictions`` counters feed the daemon's ``/v1/stats`` route and the E17
-benchmark.  The cache is thread-safe (the daemon touches it from its
-event loop, benchmarks and tests from wherever they like).
+Eviction is LRU over *two* bounds — a maximum entry count (``capacity``)
+and a maximum total payload size (``max_bytes``, measured as the JSON
+encoding of each value at insertion) — whichever is exceeded first.  A
+single sample_many result can be orders of magnitude larger than a
+mixing-time scalar, so an entry-count bound alone does not bound memory.
+
+Entries carry an optional *model fingerprint* tag; :meth:`invalidate`
+drops every entry tagged with a given fingerprint, which is how the
+daemon retires results for a model that has been mutated away.
+
+``hits``/``misses``/``evictions``/``invalidated`` counters feed the
+daemon's ``/v1/stats`` route and the E17 benchmark.  The cache is
+thread-safe (the daemon touches it from its event loop, benchmarks and
+tests from wherever they like).
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
+from typing import NamedTuple
 
 from repro.errors import ModelError
 
 __all__ = ["ResultCache"]
+
+
+class _Entry(NamedTuple):
+    value: object
+    nbytes: int
+    fingerprint: str | None
 
 
 class ResultCache:
@@ -28,54 +46,99 @@ class ResultCache:
 
     ``capacity`` is the maximum number of entries; ``0`` disables caching
     entirely (every ``get`` misses, ``put`` is a no-op) — useful for
-    measuring cold-path performance.
+    measuring cold-path performance.  ``max_bytes`` additionally bounds
+    the summed JSON-encoded size of the cached values (``None`` leaves
+    bytes unbounded); an entry larger than ``max_bytes`` on its own is
+    simply not retained.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(self, capacity: int = 128, max_bytes: int | None = None) -> None:
         if capacity < 0:
             raise ModelError(f"cache capacity must be >= 0, got {capacity}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ModelError(f"cache max_bytes must be >= 0, got {max_bytes}")
         self.capacity = int(capacity)
-        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._bytes = 0
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidated = 0
 
     def get(self, key: str):
         """Return the cached value for ``key`` (refreshing it), or None."""
         with self._lock:
-            if key in self._entries:
+            entry = self._entries.get(key)
+            if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
+                return entry.value
             self.misses += 1
             return None
 
-    def put(self, key: str, value) -> None:
-        """Insert/refresh ``key``; evicts least-recently-used past capacity."""
+    def put(self, key: str, value, fingerprint: str | None = None) -> None:
+        """Insert/refresh ``key``; evicts least-recently-used past either bound.
+
+        ``fingerprint`` tags the entry with the model fingerprint its
+        result belongs to, making it a target for :meth:`invalidate`.
+        """
         if self.capacity == 0:
             return
+        nbytes = len(json.dumps(value, separators=(",", ":")))
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _Entry(value, nbytes, fingerprint)
+            self._bytes += nbytes
+            while self._entries and self._over_bounds():
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
                 self.evictions += 1
+
+    def _over_bounds(self) -> bool:
+        if len(self._entries) > self.capacity:
+            return True
+        return self.max_bytes is not None and self._bytes > self.max_bytes
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry tagged with ``fingerprint``; returns the count.
+
+        Invalidated entries are counted separately from capacity
+        ``evictions`` — they were retired because their model mutated,
+        not because the cache was full.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if entry.fingerprint == fingerprint
+            ]
+            for key in stale:
+                self._bytes -= self._entries.pop(key).nbytes
+            self.invalidated += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they describe the lifetime)."""
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
 
     def stats(self) -> dict:
         """Counters and occupancy as one JSON-able dict."""
         with self._lock:
             return {
                 "capacity": self.capacity,
+                "max_bytes": self.max_bytes,
                 "size": len(self._entries),
+                "bytes": self._bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidated": self.invalidated,
             }
 
     def __len__(self) -> int:

@@ -3,7 +3,15 @@
 :class:`ServeClient` speaks the :mod:`repro.serve.server` request API with
 nothing beyond ``http.client``.  Each call opens a fresh connection (the
 server closes connections after every response anyway), so a client
-instance is cheap, stateless and safe to share across threads.
+instance is cheap and safe to share across threads (its only state is the
+set of model fingerprints the server has acknowledged).
+
+Repeat submissions for the same model take the *fingerprint fast path*:
+once a full model payload has been accepted, later specs on that model
+travel as ``{"type": "fingerprint", ...}`` stubs — a few hundred bytes
+instead of the full model document.  A server that no longer knows the
+fingerprint answers HTTP 409 and the client transparently falls back to
+(and re-registers with) a full submission.
 """
 
 from __future__ import annotations
@@ -16,6 +24,10 @@ from repro.serve.wire import decode_result
 from repro.spec import JobSpec
 
 __all__ = ["ServeClient"]
+
+
+class _UnknownFingerprintError(ServeError):
+    """The server rejected a fingerprint-only submission (HTTP 409)."""
 
 
 class ServeClient:
@@ -33,6 +45,7 @@ class ServeClient:
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self._known_models: set[str] = set()
 
     # ------------------------------------------------------------------
     # request plumbing
@@ -65,6 +78,10 @@ class ServeClient:
         connection.close()
         if response.status == 429:
             raise ServerOverloadedError(document.get("error", "server overloaded"))
+        if response.status == 409 and document.get("unknown_fingerprint"):
+            raise _UnknownFingerprintError(
+                document.get("error", "unknown model fingerprint")
+            )
         if response.status != 200:
             raise ServeError(
                 document.get("error", f"HTTP {response.status} from server")
@@ -87,6 +104,46 @@ class ServeClient:
         document = self._request("POST", f"/v1/jobs/{int(job_id)}/cancel")
         return bool(document.get("cancelled"))
 
+    def invalidate(self, model_or_fingerprint) -> int:
+        """``POST /v1/invalidate`` — retire cached results for one model.
+
+        Accepts a model object (its ``model_fingerprint()`` is used) or a
+        fingerprint hex string; returns the number of cache entries the
+        server dropped.  Call this after mutating a model away so the
+        server does not keep the stale model's results (and its registered
+        payload) alive until LRU eviction.
+        """
+        fingerprint = model_or_fingerprint
+        if not isinstance(fingerprint, str):
+            fingerprint = model_or_fingerprint.model_fingerprint()
+        self._known_models.discard(fingerprint)
+        document = self._request(
+            "POST", "/v1/invalidate", {"fingerprint": fingerprint}
+        )
+        return int(document.get("invalidated", 0))
+
+    def _submit_request(self, spec: JobSpec, stream: bool):
+        """POST a spec, fingerprint-first when the server should know it."""
+        fast = spec.to_wire_fingerprint()
+        fingerprint = None if fast is None else fast["model"]["fingerprint"]
+        if fingerprint is not None and fingerprint in self._known_models:
+            try:
+                return self._request(
+                    "POST", "/v1/jobs", {"spec": fast, "stream": stream},
+                    stream=stream,
+                )
+            except _UnknownFingerprintError:
+                # The server restarted or evicted the model: fall through
+                # to a full submission, which re-registers it.
+                self._known_models.discard(fingerprint)
+        outcome = self._request(
+            "POST", "/v1/jobs", {"spec": spec.to_wire(), "stream": stream},
+            stream=stream,
+        )
+        if fingerprint is not None:
+            self._known_models.add(fingerprint)
+        return outcome
+
     def submit(self, spec: JobSpec) -> dict:
         """Submit a spec and block for the full response document.
 
@@ -94,9 +151,7 @@ class ServeClient:
         the result is decoded back to the exact :mod:`repro.api` return
         type (bit-identical to a direct call).
         """
-        document = self._request(
-            "POST", "/v1/jobs", {"spec": spec.to_wire(), "stream": False}
-        )
+        document = self._submit_request(spec, stream=False)
         document["result"] = decode_result(document["kind"], document["result"])
         return document
 
@@ -113,9 +168,7 @@ class ServeClient:
         event.  Closing the generator early disconnects — the server keeps
         running (and caching) the job.
         """
-        connection, response = self._request(
-            "POST", "/v1/jobs", {"spec": spec.to_wire(), "stream": True}, stream=True
-        )
+        connection, response = self._submit_request(spec, stream=True)
         try:
             while True:
                 line = response.readline()

@@ -34,6 +34,7 @@ import asyncio
 import json
 import re
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import ModelError, ReproError, ServeError
@@ -54,12 +55,22 @@ _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
 _CANCEL_ROUTE = re.compile(r"^/v1/jobs/(\d+)/cancel$")
+
+#: Bound on the fingerprint -> wire-model registry behind the submission
+#: fast path (LRU).  An evicted fingerprint simply costs one 409 round
+#: trip: the client falls back to a full submission and re-registers it.
+_MODEL_REGISTRY_CAPACITY = 256
+
+
+class _UnknownFingerprint(Exception):
+    """A fingerprint-only submission named a model this server has not seen."""
 
 
 @dataclass
@@ -69,6 +80,7 @@ class _JobContext:
     job_id: int
     spec: JobSpec
     cache_key: str | None
+    fingerprint: str | None  # model fingerprint, tags the cached result
     queue: asyncio.Queue | None  # streamed responses; None for unary
     future: asyncio.Future | None  # unary responses; None for streamed
 
@@ -92,6 +104,7 @@ class ReproServer:
         port: int = 0,
         workers: int = 2,
         cache_capacity: int = 128,
+        cache_max_bytes: int | None = None,
         max_pending: int = 32,
         start_method: str | None = None,
     ) -> None:
@@ -101,7 +114,7 @@ class ReproServer:
         self._requested_port = int(port)
         self.workers = int(workers)
         self.max_pending = int(max_pending)
-        self.cache = ResultCache(cache_capacity)
+        self.cache = ResultCache(cache_capacity, max_bytes=cache_max_bytes)
         self._start_method = start_method
         self.host: str | None = None
         self.port: int | None = None
@@ -111,12 +124,17 @@ class ReproServer:
         self._dispatcher: threading.Thread | None = None
         self._server: asyncio.AbstractServer | None = None
         self._contexts: dict[int, _JobContext] = {}
+        # fingerprint -> wire model payload (loop thread only): lets a
+        # repeat client submit by fingerprint instead of re-shipping the
+        # (potentially very large) model document.
+        self._models: OrderedDict[str, dict] = OrderedDict()
         self._stop = threading.Event()
         self._closed = False
         self._submitted = 0
         self._completed = 0
         self._failed = 0
         self._rejected = 0
+        self._invalidations = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -253,7 +271,11 @@ class ReproServer:
         elif event.kind == "result":
             encoded = encode_result(ctx.spec.kind, event.payload)
             if ctx.cache_key is not None:
-                self.cache.put(ctx.cache_key, {"kind": ctx.spec.kind, "result": encoded})
+                self.cache.put(
+                    ctx.cache_key,
+                    {"kind": ctx.spec.kind, "result": encoded},
+                    fingerprint=ctx.fingerprint,
+                )
             self._completed += 1
             self._finish(
                 ctx,
@@ -366,6 +388,9 @@ class ReproServer:
         if method == "POST" and path == "/v1/jobs":
             await self._handle_submit(body, writer)
             return
+        if method == "POST" and path == "/v1/invalidate":
+            await self._handle_invalidate(body, writer)
+            return
         cancel = _CANCEL_ROUTE.match(path)
         if method == "POST" and cancel:
             cancelled = self._runner.cancel(int(cancel.group(1)))
@@ -376,13 +401,59 @@ class ReproServer:
     # ------------------------------------------------------------------
     # job submission
     # ------------------------------------------------------------------
+    def _resolve_model(self, spec_payload):
+        """Expand a fingerprint-only model reference from the registry.
+
+        Raises :class:`_UnknownFingerprint` when the fingerprint names a
+        model this server has not seen (or has evicted) — the client is
+        expected to fall back to a full submission.
+        """
+        if not isinstance(spec_payload, dict):
+            return spec_payload
+        model = spec_payload.get("model")
+        if not (isinstance(model, dict) and model.get("type") == "fingerprint"):
+            return spec_payload
+        fingerprint = model.get("fingerprint")
+        known = self._models.get(fingerprint)
+        if known is None:
+            raise _UnknownFingerprint(
+                f"unknown model fingerprint {str(fingerprint)[:16]}...; "
+                "resubmit with the full model payload"
+            )
+        self._models.move_to_end(fingerprint)
+        resolved = dict(spec_payload)
+        resolved["model"] = known
+        return resolved
+
+    def _register_model(self, spec: JobSpec, spec_payload) -> str | None:
+        """Remember the spec's wire model under its fingerprint (LRU)."""
+        fingerprint = getattr(spec.model, "model_fingerprint", None)
+        if fingerprint is None:
+            return None
+        digest = fingerprint()
+        model_payload = (
+            spec_payload.get("model") if isinstance(spec_payload, dict) else None
+        )
+        if isinstance(model_payload, dict):
+            self._models[digest] = model_payload
+            self._models.move_to_end(digest)
+            while len(self._models) > _MODEL_REGISTRY_CAPACITY:
+                self._models.popitem(last=False)
+        return digest
+
     async def _handle_submit(self, body: bytes, writer) -> None:
         try:
             payload = json.loads(body.decode("utf-8"))
             if not isinstance(payload, dict):
                 raise ModelError("request body must be a JSON object")
-            spec = JobSpec.from_wire(payload.get("spec"))
+            spec_payload = self._resolve_model(payload.get("spec"))
+            spec = JobSpec.from_wire(spec_payload)
             stream = bool(payload.get("stream", False))
+        except _UnknownFingerprint as error:
+            await self._respond(
+                writer, 409, {"error": str(error), "unknown_fingerprint": True}
+            )
+            return
         except (ValueError, UnicodeDecodeError) as error:
             await self._respond(writer, 400, {"error": f"malformed request: {error}"})
             return
@@ -390,6 +461,7 @@ class ReproServer:
             await self._respond(writer, 400, {"error": str(error)})
             return
 
+        fingerprint = self._register_model(spec, spec_payload)
         key = spec.cache_key()
         if key is not None:
             hit = self.cache.get(key)
@@ -428,6 +500,7 @@ class ReproServer:
             job_id=-1,
             spec=spec,
             cache_key=key,
+            fingerprint=fingerprint,
             queue=asyncio.Queue() if stream else None,
             future=None if stream else loop.create_future(),
         )
@@ -455,6 +528,35 @@ class ReproServer:
             return
 
         await self._stream_job(writer, ctx)
+
+    async def _handle_invalidate(self, body: bytes, writer) -> None:
+        """``POST /v1/invalidate`` — retire every result of one model.
+
+        The cache key already hashes the model fingerprint, so a *mutated*
+        model can never hit a pre-mutation entry; invalidation is the
+        explicit hygiene step that also frees the stale entries (and the
+        registered model payload) once a client knows the old model is
+        gone for good.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ModelError("request body must be a JSON object")
+            fingerprint = payload.get("fingerprint")
+            if not isinstance(fingerprint, str) or not fingerprint:
+                raise ModelError("invalidate needs a non-empty 'fingerprint' string")
+        except (ValueError, UnicodeDecodeError) as error:
+            await self._respond(writer, 400, {"error": f"malformed request: {error}"})
+            return
+        except ModelError as error:
+            await self._respond(writer, 400, {"error": str(error)})
+            return
+        removed = self.cache.invalidate(fingerprint)
+        self._models.pop(fingerprint, None)
+        self._invalidations += 1
+        await self._respond(
+            writer, 200, {"invalidated": removed, "fingerprint": fingerprint}
+        )
 
     async def _stream_lines(self, writer, lines) -> None:
         head = (
@@ -499,6 +601,8 @@ class ReproServer:
                 "failed": self._failed,
                 "rejected": self._rejected,
             },
+            "invalidations": self._invalidations,
+            "models": len(self._models),
             "cache": self.cache.stats(),
         }
 

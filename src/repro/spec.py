@@ -346,6 +346,29 @@ class JobSpec:
             "params": self.params_dict(),
         }
 
+    def to_wire_fingerprint(self) -> dict | None:
+        """A :meth:`to_wire` payload with the model sent *by fingerprint*.
+
+        The model field — typically the overwhelming bulk of the wire
+        payload — is replaced by ``{"type": "fingerprint", "fingerprint":
+        <hex>}``.  Only a server that has already seen the full model can
+        resolve it (it answers HTTP 409 otherwise, and the client falls
+        back to :meth:`to_wire`).  Returns ``None`` when the model has no
+        fingerprint and the fast path does not apply.
+        """
+        fingerprint = getattr(self.model, "model_fingerprint", None)
+        if fingerprint is None:
+            return None
+        return {
+            "version": WIRE_VERSION,
+            "kind": self.kind,
+            "method": self.method,
+            "model": {"type": "fingerprint", "fingerprint": fingerprint()},
+            "seed": _canonical_seed(self.seed, strict=True),
+            "name": self.name,
+            "params": self.params_dict(),
+        }
+
     @classmethod
     def from_wire(cls, payload: dict) -> JobSpec:
         """Rebuild a :class:`JobSpec` from a :meth:`to_wire` payload."""

@@ -53,7 +53,16 @@ __all__ = ["SweepCell", "SweepGrid", "load_grid_config", "expand_grid", "load_gr
 #: Cartesian axes in expansion order (models vary slowest, seeds fastest).
 AXIS_ORDER = ("size", "method", "backend", "workers", "replicas", "rounds")
 
-_FAMILIES = ("coloring", "hardcore", "ising")
+_FAMILIES = (
+    "coloring",
+    "hardcore",
+    "ising",
+    "list-coloring",
+    "coloring-csp",
+    "nae",
+    "dominating-set",
+    "mis",
+)
 _GRAPHS = ("path", "cycle", "grid", "torus", "regular")
 
 
@@ -139,6 +148,46 @@ def _build_model(entry: dict, size: int, base_seed: int):
         from repro.mrf import hardcore_mrf
 
         return hardcore_mrf(graph, float(entry.get("fugacity", 1.0)))
+    if family == "list-coloring":
+        from repro.mrf import list_coloring_mrf
+
+        q = int(entry.get("q", 5))
+        list_size = int(entry.get("list_size", max(2, q - 1)))
+        if not 1 <= list_size <= q:
+            raise ModelError(
+                f"list-coloring list_size must be in 1..{q}, got {list_size}"
+            )
+        # Deterministic per-vertex lists: derived from the config's
+        # base_seed only, so re-expanding the grid reproduces the model.
+        rng = np.random.default_rng(np.random.SeedSequence(base_seed))
+        lists = {
+            v: sorted(rng.choice(q, size=list_size, replace=False).tolist())
+            for v in range(graph.number_of_nodes())
+        }
+        return list_coloring_mrf(graph, q, lists)
+    if family == "coloring-csp":
+        from repro.csp.builders import coloring_csp
+
+        return coloring_csp(graph, int(entry.get("q", 5)))
+    if family == "nae":
+        from repro.csp.builders import not_all_equal_csp
+
+        # Hyperedges: one NAE constraint per inclusive neighbourhood.
+        scopes = [
+            tuple(sorted(set(graph.neighbors(v)) | {v}))
+            for v in range(graph.number_of_nodes())
+        ]
+        return not_all_equal_csp(
+            scopes, graph.number_of_nodes(), int(entry.get("q", 5))
+        )
+    if family == "dominating-set":
+        from repro.csp.builders import dominating_set_csp
+
+        return dominating_set_csp(graph, float(entry.get("weight", 1.0)))
+    if family == "mis":
+        from repro.csp.builders import maximal_independent_set_csp
+
+        return maximal_independent_set_csp(graph)
     from repro.mrf import ising_mrf
 
     return ising_mrf(graph, float(entry.get("beta", 0.5)))

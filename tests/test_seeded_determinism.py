@@ -28,6 +28,7 @@ from repro.chains.ensemble import (
     EnsembleLubyGlauberMRF,
 )
 from repro.csp import dominating_set_csp, not_all_equal_csp
+from repro.dynamic import DynamicEnsemble
 from repro.exec import ShardedEnsemble
 from repro.graphs import cycle_graph, grid_graph, path_graph
 from repro.mrf import ising_mrf, proper_coloring_mrf
@@ -76,6 +77,12 @@ ENGINE_FACTORIES = {
         shard_size=3,
         workers=0,
     ),
+    "dynamic": lambda seed: DynamicEnsemble(
+        proper_coloring_mrf(grid_graph(3, 3), 5),
+        REPLICAS,
+        method="luby-glauber",
+        seed=seed,
+    ),
 }
 
 
@@ -111,3 +118,33 @@ def test_seed_sequence_equals_the_integer_seed_it_wraps(name):
     from_int = make(SEED).run(10)
     from_sequence = make(np.random.SeedSequence(SEED)).run(10)
     assert np.array_equal(from_int, from_sequence)
+
+
+def _dynamic_trajectory(seed):
+    """One full mutate/resample trajectory of a DynamicEnsemble."""
+    dyn = DynamicEnsemble(
+        proper_coloring_mrf(grid_graph(3, 3), 5),
+        REPLICAS,
+        method="luby-glauber",
+        seed=seed,
+    )
+    dyn.mix(6)
+    dyn.remove_edge(0, 1)
+    dyn.resample(4)
+    dyn.add_edge(0, 1)
+    dyn.resample(4)
+    return dyn.config
+
+
+def test_dynamic_mutation_sequence_is_bit_identical():
+    """The whole mutate/resample trajectory is a pure function of the seed.
+
+    Mutations rebuild the engine warm-started on the *shared* Generator,
+    so two runs with the same seed and operation sequence must agree bit
+    for bit — including across the rebuilds.
+    """
+    assert np.array_equal(_dynamic_trajectory(SEED), _dynamic_trajectory(SEED))
+    assert not np.array_equal(_dynamic_trajectory(SEED), _dynamic_trajectory(SEED + 1))
+    assert np.array_equal(
+        _dynamic_trajectory(SEED), _dynamic_trajectory(np.random.SeedSequence(SEED))
+    )

@@ -305,3 +305,157 @@ class TestLifecycle:
         with pytest.raises(ServeError, match="start"):
             srv.address
         srv.close()
+
+
+class TestDynamicModels:
+    """Mutation safety: a mutated model must never see pre-mutation results."""
+
+    def test_mutation_never_serves_stale_results(self, small_coloring):
+        with ReproServer(workers=1, cache_capacity=8, max_pending=8) as srv:
+            cli = ServeClient(*srv.address)
+            spec = JobSpec.sample_many(small_coloring, 4, seed=SEED, rounds=4)
+            assert cli.submit(spec)["cached"] is False
+            assert cli.submit(spec)["cached"] is True
+            mutated = repro.mutate(small_coloring, "remove_edge", 0, 1)
+            mutated_spec = JobSpec.sample_many(mutated, 4, seed=SEED, rounds=4)
+            # same seed, same params — only the model changed, and the
+            # fingerprint-keyed cache key must miss.
+            document = cli.submit(mutated_spec)
+            assert document["cached"] is False
+            direct = repro.run_spec(mutated_spec)
+            assert np.array_equal(document["result"], direct)
+
+    def test_invalidate_route_drops_the_models_entries(self, small_coloring):
+        with ReproServer(workers=1, cache_capacity=8, max_pending=8) as srv:
+            cli = ServeClient(*srv.address)
+            specs = [
+                JobSpec.sample_many(small_coloring, 4, seed=s, rounds=4)
+                for s in (1, 2)
+            ]
+            for spec in specs:
+                cli.submit(spec)
+            other = repro.mutate(small_coloring, "remove_edge", 0, 1)
+            other_spec = JobSpec.sample_many(other, 4, seed=3, rounds=4)
+            cli.submit(other_spec)
+            assert cli.stats()["cache"]["size"] == 3
+            # invalidate by model object: only ITS two entries go
+            assert cli.invalidate(small_coloring) == 2
+            stats = cli.stats()
+            assert stats["cache"]["size"] == 1
+            assert stats["cache"]["invalidated"] == 2
+            assert stats["invalidations"] == 1
+            assert cli.submit(specs[0])["cached"] is False
+            assert cli.submit(other_spec)["cached"] is True  # untouched
+
+    def test_invalidate_validation(self, server):
+        client = ServeClient(*server.address)
+        connection = http.client.HTTPConnection(*server.address)
+        connection.request(
+            "POST", "/v1/invalidate", body=json.dumps({"fingerprint": 7})
+        )
+        assert connection.getresponse().status == 400
+        connection.close()
+        assert client.invalidate("not-a-known-fingerprint") == 0
+
+
+class TestFingerprintFastPath:
+    def test_repeat_submissions_skip_the_model_payload(self, small_coloring):
+        with ReproServer(workers=1, cache_capacity=8, max_pending=8) as srv:
+            cli = ServeClient(*srv.address)
+            spec_a = JobSpec.sample_many(small_coloring, 4, seed=1, rounds=4)
+            spec_b = JobSpec.sample_many(small_coloring, 4, seed=2, rounds=4)
+            first = cli.submit(spec_a)
+            assert small_coloring.model_fingerprint() in cli._known_models
+            assert srv.stats()["models"] == 1
+            # the second spec travels by fingerprint; the wire payload
+            # proves it resolves to the same model
+            second = cli.submit(spec_b)
+            assert second["cached"] is False
+            direct = repro.run_spec(spec_b)
+            assert np.array_equal(second["result"], direct)
+            # and a repeat is a cache hit through the fast path
+            assert cli.submit(spec_b)["cached"] is True
+            assert first["cached"] is False
+
+    def test_unknown_fingerprint_falls_back_to_full_submission(
+        self, small_coloring
+    ):
+        with ReproServer(workers=1, cache_capacity=8, max_pending=8) as srv:
+            cli = ServeClient(*srv.address)
+            fingerprint = small_coloring.model_fingerprint()
+            # pretend a previous life registered the model, then lose it
+            cli._known_models.add(fingerprint)
+            spec = JobSpec.sample_many(small_coloring, 4, seed=1, rounds=4)
+            document = cli.submit(spec)  # 409 inside, retried in full
+            assert np.array_equal(document["result"], repro.run_spec(spec))
+            assert fingerprint in cli._known_models
+            assert srv.stats()["models"] == 1
+
+    def test_raw_unknown_fingerprint_is_409(self, server, small_coloring):
+        spec = JobSpec.sample_many(small_coloring, 4, seed=99991, rounds=4)
+        wire = spec.to_wire_fingerprint()
+        wire["model"]["fingerprint"] = "0" * 64
+        connection = http.client.HTTPConnection(*server.address)
+        connection.request(
+            "POST", "/v1/jobs", body=json.dumps({"spec": wire, "stream": False})
+        )
+        response = connection.getresponse()
+        document = json.loads(response.read())
+        connection.close()
+        assert response.status == 409
+        assert document["unknown_fingerprint"] is True
+
+    def test_streamed_submission_uses_fast_path_too(self, small_coloring):
+        with ReproServer(workers=1, cache_capacity=8, max_pending=8) as srv:
+            cli = ServeClient(*srv.address)
+            spec = JobSpec.sample_many(small_coloring, 4, seed=5, rounds=4)
+            cli.submit(spec)
+            events = list(cli.stream(spec))
+            assert events[-1]["event"] == "result"
+            assert events[-1]["cached"] is True
+
+
+class TestCacheByteBound:
+    def test_max_bytes_evicts_before_capacity(self):
+        cache = ResultCache(capacity=100, max_bytes=64)
+        cache.put("a", {"payload": "x" * 30})
+        cache.put("b", {"payload": "y" * 30})
+        stats = cache.stats()
+        assert stats["size"] == 1  # a evicted on bytes, far below capacity
+        assert stats["bytes"] <= 64
+        assert cache.evictions == 1
+        assert cache.get("b") is not None
+
+    def test_oversized_single_entry_is_not_retained(self):
+        cache = ResultCache(capacity=4, max_bytes=16)
+        cache.put("huge", {"payload": "z" * 100})
+        assert len(cache) == 0
+        assert cache.stats()["bytes"] == 0
+
+    def test_replacing_an_entry_reaccounts_bytes(self):
+        cache = ResultCache(capacity=4, max_bytes=1000)
+        cache.put("a", "x" * 50)
+        first = cache.stats()["bytes"]
+        cache.put("a", "x" * 10)
+        assert cache.stats()["bytes"] < first
+        assert len(cache) == 1
+
+    def test_invalidate_reclaims_bytes(self):
+        cache = ResultCache(capacity=4, max_bytes=1000)
+        cache.put("a", "x" * 50, fingerprint="f1")
+        cache.put("b", "y" * 50, fingerprint="f2")
+        assert cache.invalidate("f1") == 1
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["invalidated"] == 1
+        assert cache.invalidate("f1") == 0
+
+    def test_server_byte_occupancy_in_stats(self, small_coloring):
+        with ReproServer(
+            workers=1, cache_capacity=8, cache_max_bytes=1 << 20, max_pending=8
+        ) as srv:
+            cli = ServeClient(*srv.address)
+            cli.submit(JobSpec.sample_many(small_coloring, 4, seed=1, rounds=4))
+            stats = cli.stats()["cache"]
+            assert stats["max_bytes"] == 1 << 20
+            assert stats["bytes"] > 0

@@ -16,6 +16,7 @@ The contracts under test, in the order the harness applies them:
 """
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -249,3 +250,69 @@ class TestConfigValidation:
         bad.write_text("sweep: {}")
         with pytest.raises(ModelError):
             load_grid_config(bad)
+
+
+class TestFamilyCoverage:
+    """List colouring and the csp/builders families through the grid."""
+
+    def _family_config(self, *models):
+        return _base_config(
+            seeds=1,
+            rounds=16,
+            models=list(models),
+            axes={"size": [6], "method": ["luby-glauber"], "replicas": [48]},
+        )
+
+    def test_list_coloring_expands_and_runs(self):
+        config = self._family_config(
+            {"family": "list-coloring", "graph": "cycle", "q": 5, "list_size": 3}
+        )
+        result = run_sweep(expand_grid(config), mode="local")
+        assert result.counts == {"total": 1, "ok": 1, "error": 0, "dedup": 0}
+        row = result.table["cells"][0]
+        assert row["checks"]["stationarity"]["applicable"]
+
+    def test_list_coloring_models_are_reproducible(self):
+        """Per-vertex lists derive from base_seed only: same config, same model."""
+        config = self._family_config(
+            {"family": "list-coloring", "graph": "cycle", "q": 5, "list_size": 3}
+        )
+        first = expand_grid(config).cells[0].spec.model
+        second = expand_grid(config).cells[0].spec.model
+        assert first.model_fingerprint() == second.model_fingerprint()
+
+    def test_list_coloring_list_size_validation(self):
+        config = self._family_config(
+            {"family": "list-coloring", "graph": "cycle", "q": 5, "list_size": 9}
+        )
+        with pytest.raises(ModelError):
+            expand_grid(config)
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            {"family": "coloring-csp", "graph": "cycle", "q": 4},
+            {"family": "nae", "graph": "cycle", "q": 3},
+            {"family": "dominating-set", "graph": "path"},
+            {"family": "mis", "graph": "path"},
+        ],
+        ids=lambda entry: entry["family"],
+    )
+    def test_csp_families_expand_and_run(self, entry):
+        result = run_sweep(expand_grid(self._family_config(entry)), mode="local")
+        assert result.counts["error"] == 0
+        row = result.table["cells"][0]
+        assert row["status"] == "ok"
+        assert row["summary"]["feasible_fraction"] == 1.0
+
+    def test_families_fixture_expands(self):
+        fixture = Path(__file__).resolve().parent.parent / "examples" / "sweep_families.toml"
+        grid = load_grid(fixture)
+        assert len(grid) == 16
+        families = {cell.coords["model"] for cell in grid.cells}
+        assert families == {
+            "list-coloring-cycle",
+            "coloring-csp-cycle",
+            "nae-cycle",
+            "mis-path",
+        }
