@@ -26,6 +26,7 @@ Quick start::
     coloring = repro.sample(mrf, method="local-metropolis", eps=0.01, seed=7)
 """
 
+from repro import obs
 from repro.api import (
     ENGINES,
     METHODS,
@@ -110,6 +111,7 @@ __all__ = [
     "mixing_time",
     "model_degree",
     "mutate",
+    "obs",
     "potts_mrf",
     "proper_coloring_mrf",
     "register_backend",

@@ -22,6 +22,7 @@ wrapped in the fallback automatically).
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from time import perf_counter
 
 import numpy as np
 
@@ -30,6 +31,8 @@ from repro.chains.base import SeedLike, as_seed_sequence
 from repro.chains.ensemble import EnsembleTrajectoryMixin
 from repro.errors import ConvergenceError, ModelError
 from repro.mrf.distribution import GibbsDistribution
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 
 __all__ = [
     "SequentialChainEnsemble",
@@ -91,9 +94,31 @@ class SequentialChainEnsemble(EnsembleTrajectoryMixin):
         # Per-chain inner loop: each chain owns its RNG, so chain-major and
         # round-major orders produce identical trajectories, and chain-major
         # avoids R attribute lookups per round.
-        for chain in self._chains:
-            for _ in range(steps):
-                chain.step()
+        if not (_obs_metrics.enabled or _obs_trace.enabled):
+            for chain in self._chains:
+                for _ in range(steps):
+                    chain.step()
+            self.steps_taken += steps
+            return self
+        with _obs_trace.span(
+            "engine.advance",
+            engine=type(self).__name__,
+            backend="python",
+            steps=int(steps),
+            replicas=self.replicas,
+        ):
+            start = perf_counter()
+            for chain in self._chains:
+                for _ in range(steps):
+                    chain.step()
+            elapsed = perf_counter() - start
+        if _obs_metrics.enabled and steps:
+            _obs_metrics.inc(
+                "repro_engine_rounds_total", steps, engine=type(self).__name__, backend="python"
+            )
+            _obs_metrics.inc(
+                "repro_engine_seconds_total", elapsed, engine=type(self).__name__, backend="python"
+            )
         self.steps_taken += steps
         return self
 

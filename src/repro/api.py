@@ -51,6 +51,7 @@ from repro.csp.model import LocalCSP, exact_csp_gibbs_distribution
 from repro.errors import FallbackEngineWarning, ModelError
 from repro.mrf.distribution import GibbsDistribution, exact_gibbs_distribution
 from repro.mrf.model import MRF
+from repro.obs import metrics as _obs_metrics
 from repro.spec import JobSpec
 
 __all__ = [
@@ -308,6 +309,9 @@ def is_fallback_pair(model: MRF | LocalCSP, method: str) -> bool:
 
 def _warn_fallback(model: MRF | LocalCSP, method: str) -> None:
     name = getattr(model, "name", type(model).__name__)
+    # Recorded unconditionally (cold path): served and swept runs never see
+    # the warning text, so the counter is how silent fallbacks surface.
+    _obs_metrics.inc("repro_fallback_engines_total", model=name, method=method)
     warnings.warn(
         f"no batched ensemble kernel for model {name!r} with method {method!r}; "
         "falling back to SequentialChainEnsemble (one sequential chain per "

@@ -90,6 +90,7 @@ the shards.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from time import perf_counter
 
 import networkx as nx
 import numpy as np
@@ -108,6 +109,8 @@ from repro.csp.model import LocalCSP
 from repro.errors import InfeasibleStateError, ModelError, StateSpaceTooLargeError
 from repro.graphs.structure import check_vertex_labels
 from repro.mrf.model import MRF
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 
 __all__ = [
     "EnsembleTrajectoryMixin",
@@ -139,8 +142,29 @@ class EnsembleTrajectoryMixin:
         """Advance all replicas ``steps`` rounds; returns ``self`` for chaining."""
         if steps < 0:
             raise ModelError(f"advance needs steps >= 0, got {steps}")
-        for _ in range(steps):
-            self.step()
+        if not (_obs_metrics.enabled or _obs_trace.enabled):
+            for _ in range(steps):
+                self.step()
+            return self
+        return self._advance_instrumented(steps)
+
+    def _advance_instrumented(self, steps: int):
+        engine = type(self).__name__
+        backend = getattr(getattr(self, "xp", None), "name", "python")
+        with _obs_trace.span(
+            "engine.advance",
+            engine=engine,
+            backend=backend,
+            steps=int(steps),
+            replicas=int(getattr(self, "replicas", 1)),
+        ):
+            start = perf_counter()
+            for _ in range(steps):
+                self.step()
+            elapsed = perf_counter() - start
+        if _obs_metrics.enabled and steps:
+            _obs_metrics.inc("repro_engine_rounds_total", steps, engine=engine, backend=backend)
+            _obs_metrics.inc("repro_engine_seconds_total", elapsed, engine=engine, backend=backend)
         return self
 
     def run(self, steps: int) -> np.ndarray:
@@ -178,6 +202,37 @@ class EnsembleTrajectoryMixin:
         """
         np.copyto(out, self.config)
         return out
+
+
+def _record_metropolis_step(engine, blocked) -> None:
+    """Accepted-move accounting for a LocalMetropolis round.
+
+    ``blocked`` is the ``(n, R)`` boolean mask of vertices whose proposal
+    failed; everything else accepted.  Called only when
+    ``repro.obs.metrics.enabled`` — the single device->host sum below is
+    the entire enabled-mode overhead of the Metropolis probes.
+    """
+    xp = engine.xp
+    total = engine.n * engine.replicas
+    rejected = int(xp.to_numpy(xp.sum(blocked)))
+    name = type(engine).__name__
+    _obs_metrics.inc("repro_engine_proposals_total", total, engine=name)
+    _obs_metrics.inc("repro_engine_accepted_total", total - rejected, engine=name)
+
+
+def _record_luby_step(engine, v_idx) -> None:
+    """Independent-set size accounting for a LubyGlauber round.
+
+    ``v_idx`` is the flat vertex index of every selected (vertex, replica)
+    pair across all R replicas; the histogram records the per-replica mean
+    independent-set size.
+    """
+    pairs = int(v_idx.shape[0])
+    name = type(engine).__name__
+    _obs_metrics.inc("repro_engine_luby_selected_total", pairs, engine=name)
+    _obs_metrics.observe(
+        "repro_engine_luby_set_size", pairs / max(engine.replicas, 1), engine=name
+    )
 
 
 def _spin_dtype(q: int) -> np.dtype:
@@ -542,6 +597,8 @@ class EnsembleLocalMetropolisColoring(_EnsembleColoringBase):
         failed = (pu == pv) | (pu == xv) | (pv == xu)
         # (n, R) count of failed incident edges; a vertex accepts iff zero.
         blocked = xp.spmm_count(self._incidence, failed) > 0
+        if _obs_metrics.enabled:
+            _record_metropolis_step(self, blocked)
         self._config = xp.where(blocked, self._config, proposals)
         self.steps_taken += 1
 
@@ -568,7 +625,10 @@ class EnsembleLubyGlauberColoring(_EnsembleColoringBase):
 
     def step(self) -> None:
         xp = self.xp
-        self._resample_pairs(*xp.nonzero_pairs(self._luby_select()))
+        v_idx, r_idx = xp.nonzero_pairs(self._luby_select())
+        if _obs_metrics.enabled:
+            _record_luby_step(self, v_idx)
+        self._resample_pairs(v_idx, r_idx)
         self.steps_taken += 1
 
 
@@ -656,6 +716,10 @@ class EnsembleGlauberDynamics(EnsembleTrajectoryMixin):
     def step(self) -> None:
         """One single-site heat-bath update in every replica."""
         vertices = self.xp.integers(self.rng, self.mrf.n, self.replicas)
+        if _obs_metrics.enabled:
+            _obs_metrics.inc(
+                "repro_engine_site_updates_total", self.replicas, engine=type(self).__name__
+            )
         self._update_sites(vertices)
         self.steps_taken += 1
 
@@ -850,7 +914,10 @@ class EnsembleLubyGlauberMRF(EnsembleTrajectoryMixin):
 
     def step(self) -> None:
         """Select independent sets; heat-bath-update all pairs in parallel."""
-        self._heatbath_update(*self.xp.nonzero_pairs(self._luby_select()))
+        v_idx, r_idx = self.xp.nonzero_pairs(self._luby_select())
+        if _obs_metrics.enabled:
+            _record_luby_step(self, v_idx)
+        self._heatbath_update(v_idx, r_idx)
         self.steps_taken += 1
 
     def advance_region(self, steps: int, region) -> EnsembleLubyGlauberMRF:
@@ -1243,7 +1310,10 @@ class EnsembleLubyGlauberCSP(_EnsembleCSPBase):
 
     def step(self) -> None:
         """Select strongly independent sets; heat-bath-update them in parallel."""
-        self._heatbath_update(*self.xp.nonzero_pairs(self._luby_select()))
+        v_idx, r_idx = self.xp.nonzero_pairs(self._luby_select())
+        if _obs_metrics.enabled:
+            _record_luby_step(self, v_idx)
+        self._heatbath_update(v_idx, r_idx)
         self.steps_taken += 1
 
 
@@ -1366,5 +1436,7 @@ class EnsembleLocalMetropolisCSP(_EnsembleCSPBase):
         coins = xp.random(self.rng, (self._num_constraints, self.replicas))
         failed = coins >= pass_probability
         blocked = xp.spmm_count(self._vertex_incidence, failed) > 0
+        if _obs_metrics.enabled:
+            _record_metropolis_step(self, blocked)
         self._config = xp.where(blocked, self._config, proposals)
         self.steps_taken += 1

@@ -378,6 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("info", help="print headline constants and version")
+
+    # Every subcommand takes --trace: enable repro.obs (metric probes +
+    # JSON-lines trace spans, propagated through exec workers and serve
+    # submissions) and append the spans to FILE.
+    for command_parser in sub.choices.values():
+        command_parser.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="enable repro.obs instrumentation; append trace spans to FILE",
+        )
     return parser
 
 
@@ -787,26 +796,33 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", None):
+        repro.obs.enable()
+        repro.obs.enable_tracing(args.trace)
     try:
-        if args.command == "sample":
-            return _command_sample(args)
-        if args.command == "budget":
-            return _command_budget(args)
-        if args.command == "mix":
-            return _command_mix(args)
-        if args.command == "serve":
-            return _command_serve(args)
-        if args.command == "submit":
-            return _command_submit(args)
-        if args.command == "sweep":
-            return _command_sweep(args)
-        if args.command == "dynamic":
-            return _command_dynamic(args)
-        if args.command == "info":
-            return _command_info()
+        with repro.obs.span(f"cli.{args.command}"):
+            if args.command == "sample":
+                return _command_sample(args)
+            if args.command == "budget":
+                return _command_budget(args)
+            if args.command == "mix":
+                return _command_mix(args)
+            if args.command == "serve":
+                return _command_serve(args)
+            if args.command == "submit":
+                return _command_submit(args)
+            if args.command == "sweep":
+                return _command_sweep(args)
+            if args.command == "dynamic":
+                return _command_dynamic(args)
+            if args.command == "info":
+                return _command_info()
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if getattr(args, "trace", None):
+            repro.obs.disable_tracing()
     return 2  # pragma: no cover - unreachable with required=True
 
 

@@ -41,6 +41,8 @@ from repro.dynamic.region import (
 )
 from repro.errors import FallbackEngineWarning, ModelError
 from repro.mrf.model import MRF
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 
 __all__ = ["DynamicEnsemble"]
 
@@ -213,12 +215,23 @@ class DynamicEnsemble:
             rounds = region_round_budget(
                 self.model, kernel, int(region.size), self.eps
             )
-        if batched:
-            self._engine.advance_region(rounds, region)
-        else:
-            batch = self._engine.config
-            sequential_region_glauber(self.model, batch, region, rounds, self.rng)
-            self._rebuild_engine(batch)
+        with _obs_trace.span(
+            "dynamic.resample",
+            engine=type(self._engine).__name__,
+            region=int(region.size),
+            rounds=int(rounds),
+            batched=batched,
+        ):
+            if batched:
+                self._engine.advance_region(rounds, region)
+            else:
+                batch = self._engine.config
+                sequential_region_glauber(self.model, batch, region, rounds, self.rng)
+                self._rebuild_engine(batch)
+        if _obs_metrics.enabled:
+            _obs_metrics.inc("repro_dynamic_resamples_total")
+            _obs_metrics.observe("repro_dynamic_region_size", int(region.size))
+            _obs_metrics.observe("repro_dynamic_region_rounds", int(rounds))
         self._pending.clear()
         self.resamples += 1
         return self
@@ -262,6 +275,8 @@ class DynamicEnsemble:
         self.model = new_model
         self._rebuild_engine(self._engine.config)
         self.mutations += 1
+        if _obs_metrics.enabled:
+            _obs_metrics.inc("repro_dynamic_mutations_total")
         return self
 
     def _rebuild_engine(self, batch: np.ndarray) -> None:

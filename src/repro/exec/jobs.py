@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 
 from repro.errors import ConvergenceError, ExecError, ModelError, ReproError
+from repro.obs import trace as _obs_trace
 from repro.spec import JOB_KINDS, JobSpec
 
 __all__ = ["JOB_KINDS", "SamplingJob", "JobUpdate", "JobRunner"]
@@ -66,6 +67,8 @@ class JobUpdate:
     carries the worker pid), ``"checkpoint"`` (``round``/``value`` carry a
     TV probe), ``"result"`` (``payload`` carries the job's return value)
     or ``"error"`` (``payload`` carries the message/traceback string).
+    ``elapsed`` rides on result events: the worker-side wall-clock seconds
+    the job took, which is otherwise unattributable from the parent.
     """
 
     job_id: int
@@ -74,6 +77,7 @@ class JobUpdate:
     round: int | None = None
     value: float | None = None
     payload: object = field(default=None, repr=False)
+    elapsed: float | None = None
 
 
 def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
@@ -93,6 +97,7 @@ def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
     from repro import api
     from repro.analysis.empirical import batch_tv_to_exact
 
+    started = time.perf_counter()
     parallel = None if job.parallel is None else 0
     if job.kind == "sample_many":
         batch = api.sample_many(
@@ -107,7 +112,15 @@ def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
             shard_size=job.shard_size,
             backend=job.backend,
         )
-        emit(JobUpdate(job_id, "result", job.label, payload=batch))
+        emit(
+            JobUpdate(
+                job_id,
+                "result",
+                job.label,
+                payload=batch,
+                elapsed=time.perf_counter() - started,
+            )
+        )
         return
 
     target = api._exact_distribution(job.model)
@@ -128,7 +141,15 @@ def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
                 tv = batch_tv_to_exact(batch, target)
                 curve.append((rounds, tv))
                 emit(JobUpdate(job_id, "checkpoint", job.label, round=rounds, value=tv))
-            emit(JobUpdate(job_id, "result", job.label, payload=curve))
+            emit(
+                JobUpdate(
+                    job_id,
+                    "result",
+                    job.label,
+                    payload=curve,
+                    elapsed=time.perf_counter() - started,
+                )
+            )
             return
 
         # mixing_time: the empirical_mixing_time loop with streamed TV probes.
@@ -140,7 +161,15 @@ def _execute_job(job_id, job, emit) -> None:  # pragma: no cover - worker-side
             tv = batch_tv_to_exact(ensemble.config, target)
             emit(JobUpdate(job_id, "checkpoint", job.label, round=rounds, value=tv))
             if tv <= job.eps:
-                emit(JobUpdate(job_id, "result", job.label, payload=rounds))
+                emit(
+                    JobUpdate(
+                        job_id,
+                        "result",
+                        job.label,
+                        payload=rounds,
+                        elapsed=time.perf_counter() - started,
+                    )
+                )
                 return
         raise ConvergenceError(
             f"ensemble TV did not reach {job.eps} within {job.max_rounds} rounds"
@@ -158,6 +187,11 @@ def _job_worker_main(tasks, events, control) -> None:  # pragma: no cover - work
     checked when a job is pulled off the queue (a queued job cancels
     before any work happens) and at every event emission (a running
     streamed job cancels at its next checkpoint boundary).
+
+    Task items are ``(job_id, job, trace)`` triples; ``trace`` is either
+    ``None`` or an exported trace context (``repro.obs.trace``) carrying
+    the submitter's trace-file path and span ids, so worker-side spans
+    stitch into the same trace across the pipe boundary.
     """
     cancelled: set[int] = set()
 
@@ -172,7 +206,7 @@ def _job_worker_main(tasks, events, control) -> None:  # pragma: no cover - work
         item = tasks.get()
         if item is None:
             return
-        job_id, job = item
+        job_id, job, trace = item
         drain_control()
         if job_id in cancelled:
             events.put(
@@ -195,7 +229,12 @@ def _job_worker_main(tasks, events, control) -> None:  # pragma: no cover - work
             # Announce the pickup with this worker's pid so the parent can
             # attribute the job if this process dies mid-execution.
             events.put(JobUpdate(job_id, "started", job.label, payload=os.getpid()))
-            _execute_job(job_id, job, emit)
+            if trace is not None and trace.get("file"):
+                _obs_trace.ensure_tracing(trace["file"])
+            with _obs_trace.span(
+                "runner.job", parent=trace, label=job.label, kind=job.kind, job_id=job_id
+            ):
+                _execute_job(job_id, job, emit)
         except _JobCancelled:
             events.put(
                 JobUpdate(
@@ -285,18 +324,30 @@ class JobRunner:
         self._lock = threading.Lock()
         self.results: dict[int, object] = {}
         self.errors: dict[int, str] = {}
+        #: Worker-side wall-clock seconds per completed job (from the
+        #: result event's ``elapsed`` field).
+        self.elapsed: dict[int, float] = {}
         self._closed = False
 
-    def submit(self, job: SamplingJob) -> int:
-        """Queue a job; returns its id (the key into ``results``/``errors``)."""
+    def submit(self, job: SamplingJob, trace: dict | None = None) -> int:
+        """Queue a job; returns its id (the key into ``results``/``errors``).
+
+        ``trace`` optionally carries an exported trace context
+        (:func:`repro.obs.trace.export_context` shape) to parent the
+        worker-side spans on; when omitted and tracing is enabled in this
+        process, the ambient context is captured automatically.
+        """
         if not isinstance(job, SamplingJob):
             raise ModelError(f"submit needs a SamplingJob, got {type(job).__name__}")
         self._ensure_open()
-        with self._lock:
-            job_id = next(self._ids)
-            self._jobs[job_id] = job
-            self._pending.add(job_id)
-        self._tasks.put((job_id, job))
+        with _obs_trace.span("runner.submit", label=job.label, kind=job.kind):
+            if trace is None:
+                trace = _obs_trace.export_context()
+            with self._lock:
+                job_id = next(self._ids)
+                self._jobs[job_id] = job
+                self._pending.add(job_id)
+            self._tasks.put((job_id, job, trace))
         return job_id
 
     def cancel(self, job_id: int) -> bool:
@@ -410,6 +461,8 @@ class JobRunner:
                 self._active[event.payload] = event.job_id
             elif event.kind == "result":
                 self.results[event.job_id] = event.payload
+                if event.elapsed is not None:
+                    self.elapsed[event.job_id] = event.elapsed
                 self._settle(event.job_id)
             elif event.kind == "error":
                 self.errors[event.job_id] = event.payload
@@ -428,6 +481,14 @@ class JobRunner:
             if not process.is_alive() and process.pid in active:
                 with self._lock:
                     job_id = self._active.pop(process.pid)
+                _obs_trace.event(
+                    "runner.job_lost",
+                    job_id=job_id,
+                    label=self._jobs[job_id].label,
+                    worker_pid=process.pid,
+                    exitcode=process.exitcode,
+                    reason="died_executing",
+                )
                 return JobUpdate(
                     job_id,
                     "error",
@@ -461,6 +522,14 @@ class JobRunner:
         if dead_unaccounted and unannounced and not live_busy:
             job_id = min(unannounced)
             victim = dead_unaccounted[0]
+            _obs_trace.event(
+                "runner.job_lost",
+                job_id=job_id,
+                label=self._jobs[job_id].label,
+                worker_pid=victim.pid,
+                exitcode=victim.exitcode,
+                reason="died_unannounced",
+            )
             return JobUpdate(
                 job_id,
                 "error",

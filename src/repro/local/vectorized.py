@@ -30,6 +30,7 @@ matching marginals at matched round budgets.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import Any
 
 import numpy as np
@@ -40,6 +41,8 @@ from repro.errors import ProtocolError
 from repro.local.network import Network
 from repro.chains.base import SeedLike
 from repro.local.rng import root_seed_sequence
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 
 __all__ = [
     "VectorizedContext",
@@ -175,12 +178,16 @@ def run_vectorized(
     The vectorized sibling of :func:`repro.local.runtime.run_protocol`
     (which dispatches here for ``engine="vectorized"``).  ``backend``
     selects the array backend the round handlers run on (``None`` resolves
-    via ``$REPRO_BACKEND``, then numpy).  Statistics are
-    analytic — :meth:`VectorizedProtocol.round_messages` per round and the
-    declared ``message_atoms`` bound — so they cost nothing either way;
-    ``collect_stats=False`` nevertheless leaves ``messages_per_round`` and
-    ``max_message_atoms`` at their defaults so the two engines report
-    identical stats under identical flags.
+    via ``$REPRO_BACKEND``, then numpy).
+
+    ``collect_stats`` follows the reference engine's contract exactly:
+    ``stats.rounds`` and ``stats.messages`` are always counted (they are
+    analytic — :meth:`VectorizedProtocol.round_messages` per round — and
+    free), while the per-round breakdown is gathered only when the flag is
+    True.  With ``collect_stats=False`` the returned
+    :class:`~repro.local.runtime.RunStats` has ``messages_per_round == []``
+    and ``max_message_atoms == 0``, identical to
+    :func:`~repro.local.runtime.run_protocol` under the same flag.
 
     Returns ``(outputs, stats)`` with ``outputs`` an ``(n,)`` ndarray.
     """
@@ -200,15 +207,29 @@ def run_vectorized(
     protocol.initialize(ctx)
 
     stats = RunStats()
-    for round_index in range(1, rounds + 1):
-        protocol.round(ctx, round_index)
-        round_messages = protocol.round_messages(ctx)
-        stats.rounds += 1
-        stats.messages += round_messages
-        if collect_stats:
-            stats.messages_per_round.append(round_messages)
+    with _obs_trace.span(
+        "local.run_vectorized",
+        protocol=type(protocol).__name__,
+        n=int(n),
+        rounds=int(rounds),
+        backend=ctx.xp.name,
+    ):
+        start = perf_counter()
+        for round_index in range(1, rounds + 1):
+            protocol.round(ctx, round_index)
+            round_messages = protocol.round_messages(ctx)
+            stats.rounds += 1
+            stats.messages += round_messages
+            if collect_stats:
+                stats.messages_per_round.append(round_messages)
+        elapsed = perf_counter() - start
     if collect_stats and stats.messages > 0:
         stats.max_message_atoms = int(protocol.message_atoms)
+    if _obs_metrics.enabled and stats.rounds:
+        labels = {"protocol": type(protocol).__name__, "backend": ctx.xp.name}
+        _obs_metrics.inc("repro_local_rounds_total", stats.rounds, **labels)
+        _obs_metrics.inc("repro_local_messages_total", stats.messages, **labels)
+        _obs_metrics.inc("repro_local_seconds_total", elapsed, **labels)
 
     outputs = np.asarray(ctx.xp.to_numpy(protocol.finalize(ctx)))
     if outputs.shape[:1] != (n,):

@@ -1,0 +1,237 @@
+"""Trace spans: JSON-lines events with monotonic timings and parent links.
+
+:func:`enable_tracing` opens an append-mode JSON-lines file; every
+completed :func:`span` writes one record::
+
+    {"kind": "span", "name": "engine.advance", "trace_id": "…",
+     "span_id": "…", "parent_id": "…", "pid": 1234,
+     "start_s": 12.345678, "duration_s": 0.0123,
+     "attrs": {"engine": "EnsembleLocalMetropolisColoring", "steps": 16}}
+
+``start_s`` is ``time.perf_counter()`` — monotonic and process-local, so
+durations are exact but offsets are only comparable within one process.
+Cross-process ordering comes from the parent links, not the clocks.
+
+The current span is tracked in a :class:`contextvars.ContextVar`, which
+nests correctly across both threads and asyncio tasks (each server
+request handler sees only its own span stack).  Crossing a process
+boundary is explicit: the sending side calls :func:`export_context` (the
+current ids plus the trace-file path) and ships the dict however it
+likes; the receiving side passes it as ``span(..., parent=ctx)`` after
+:func:`ensure_tracing` re-opens the same file.  ``repro.exec.JobRunner``
+and ``repro.serve`` do exactly this, so one served request stitches into
+a single trace across client, server, and worker processes.
+
+When tracing is disabled every span is a shared no-op object and the
+cost is one attribute load and one function call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from time import perf_counter
+from typing import IO, Iterator
+
+__all__ = [
+    "enable_tracing",
+    "disable_tracing",
+    "ensure_tracing",
+    "trace_path",
+    "span",
+    "event",
+    "current_context",
+    "export_context",
+]
+
+enabled = False
+_path: str | None = None
+_file: IO[str] | None = None
+_lock = threading.Lock()
+
+# (trace_id, span_id) of the innermost live span, per thread/task.
+_CURRENT: ContextVar[tuple[str, str] | None] = ContextVar("repro_obs_span", default=None)
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+def enable_tracing(path: str | os.PathLike[str]) -> None:
+    """Start appending span records to ``path`` (created if missing)."""
+    global enabled, _path, _file
+    resolved = os.fspath(path)
+    with _lock:
+        if _file is not None:
+            _file.close()
+        _file = open(resolved, "a", encoding="utf-8")
+        _path = resolved
+        enabled = True
+
+
+def disable_tracing() -> None:
+    global enabled, _path, _file
+    with _lock:
+        if _file is not None:
+            _file.close()
+        _file = None
+        _path = None
+        enabled = False
+
+
+def ensure_tracing(path: str | os.PathLike[str]) -> None:
+    """Enable tracing to ``path`` unless already writing there.
+
+    Worker processes call this with the path carried in an exported
+    context, so forked workers (which inherit the parent's open file)
+    do not re-open it and spawned workers do.
+    """
+    resolved = os.fspath(path)
+    if enabled and _path == resolved:
+        return
+    enable_tracing(resolved)
+
+
+def trace_path() -> str | None:
+    """The active trace file path, or ``None`` when tracing is off."""
+    return _path
+
+
+def current_context() -> dict[str, str] | None:
+    """Ids of the innermost live span, for in-band propagation."""
+    current = _CURRENT.get()
+    if current is None:
+        return None
+    return {"trace_id": current[0], "span_id": current[1]}
+
+
+def export_context() -> dict[str, str] | None:
+    """Current ids plus the trace-file path, for crossing processes.
+
+    Returns ``None`` when tracing is disabled — callers ship nothing and
+    the far side stays quiet.
+    """
+    if not enabled or _path is None:
+        return None
+    context: dict[str, str] = {"file": _path}
+    current = _CURRENT.get()
+    if current is not None:
+        context["trace_id"] = current[0]
+        context["parent_id"] = current[1]
+    return context
+
+
+def _write(record: dict[str, object]) -> None:
+    line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+    with _lock:
+        if _file is not None:
+            _file.write(line)
+            _file.flush()
+
+
+class Span:
+    """Handle yielded by :func:`span`; collects attributes for the record."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "attrs")
+
+    def __init__(
+        self, trace_id: str, span_id: str, parent_id: str | None, attrs: dict[str, object]
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+
+    def set(self, **attrs: object) -> None:
+        self.attrs.update(attrs)
+
+
+class _NoopSpan:
+    __slots__ = ()
+    trace_id = span_id = parent_id = None
+    attrs: dict[str, object] = {}
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def _resolve_parent(parent: dict[str, str] | None) -> tuple[str, str | None]:
+    """(trace_id, parent span id) from an explicit context or the contextvar."""
+    if parent is not None:
+        trace_id = str(parent.get("trace_id") or _new_id())
+        parent_id = parent.get("span_id") or parent.get("parent_id")
+        return trace_id, (str(parent_id) if parent_id else None)
+    current = _CURRENT.get()
+    if current is not None:
+        return current[0], current[1]
+    return _new_id(), None
+
+
+@contextmanager
+def span(
+    name: str, parent: dict[str, str] | None = None, **attrs: object
+) -> Iterator[Span | _NoopSpan]:
+    """Time a block and write one JSON-lines record when it exits.
+
+    ``parent`` overrides the ambient context — pass a dict from
+    :func:`current_context` / :func:`export_context` (or a wire payload)
+    to stitch into a remote trace.  Without it, nesting follows the
+    enclosing ``span`` in this thread/task.
+    """
+    if not enabled:
+        yield _NOOP
+        return
+    trace_id, parent_id = _resolve_parent(parent)
+    span_id = _new_id()
+    handle = Span(trace_id, span_id, parent_id, dict(attrs))
+    token = _CURRENT.set((trace_id, span_id))
+    error: str | None = None
+    start = perf_counter()
+    try:
+        yield handle
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        duration = perf_counter() - start
+        _CURRENT.reset(token)
+        record: dict[str, object] = {
+            "kind": "span",
+            "name": name,
+            "trace_id": handle.trace_id,
+            "span_id": handle.span_id,
+            "parent_id": handle.parent_id,
+            "pid": os.getpid(),
+            "start_s": start,
+            "duration_s": duration,
+            "attrs": handle.attrs,
+        }
+        if error is not None:
+            record["error"] = error
+        _write(record)
+
+
+def event(name: str, parent: dict[str, str] | None = None, **attrs: object) -> None:
+    """Write a zero-duration point event (e.g. an inferred worker death)."""
+    if not enabled:
+        return
+    trace_id, parent_id = _resolve_parent(parent)
+    _write(
+        {
+            "kind": "event",
+            "name": name,
+            "trace_id": trace_id,
+            "span_id": _new_id(),
+            "parent_id": parent_id,
+            "pid": os.getpid(),
+            "start_s": perf_counter(),
+            "duration_s": 0.0,
+            "attrs": dict(attrs),
+        }
+    )

@@ -20,6 +20,7 @@ import http.client
 import json
 
 from repro.errors import ServeError, ServerOverloadedError
+from repro.obs import trace as _obs_trace
 from repro.serve.wire import decode_result
 from repro.spec import JobSpec
 
@@ -122,27 +123,60 @@ class ServeClient:
         )
         return int(document.get("invalidated", 0))
 
-    def _submit_request(self, spec: JobSpec, stream: bool):
-        """POST a spec, fingerprint-first when the server should know it."""
-        fast = spec.to_wire_fingerprint()
-        fingerprint = None if fast is None else fast["model"]["fingerprint"]
-        if fingerprint is not None and fingerprint in self._known_models:
-            try:
-                return self._request(
-                    "POST", "/v1/jobs", {"spec": fast, "stream": stream},
-                    stream=stream,
-                )
-            except _UnknownFingerprintError:
-                # The server restarted or evicted the model: fall through
-                # to a full submission, which re-registers it.
-                self._known_models.discard(fingerprint)
-        outcome = self._request(
-            "POST", "/v1/jobs", {"spec": spec.to_wire(), "stream": stream},
-            stream=stream,
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` — the Prometheus text-format exposition."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
         )
-        if fingerprint is not None:
-            self._known_models.add(fingerprint)
-        return outcome
+        try:
+            connection.request("GET", "/v1/metrics")
+            response = connection.getresponse()
+            data = response.read()
+        except OSError as error:
+            raise ServeError(f"request to {self.host}:{self.port} failed: {error}")
+        finally:
+            connection.close()
+        if response.status != 200:
+            raise ServeError(f"HTTP {response.status} from /v1/metrics")
+        return data.decode("utf-8")
+
+    def _submit_request(self, spec: JobSpec, stream: bool):
+        """POST a spec, fingerprint-first when the server should know it.
+
+        When tracing is enabled (:func:`repro.obs.enable_tracing`), the
+        whole submission is wrapped in a ``client.request`` span whose ids
+        ride in the request body's ``"trace"`` key, so the server's
+        ``serve.request`` span — and everything below it — parents on this
+        client call.
+        """
+        with _obs_trace.span(
+            "client.request", kind=spec.kind, label=spec.label, stream=bool(stream)
+        ):
+            trace_context = _obs_trace.current_context()
+
+            def body(spec_payload) -> dict:
+                payload = {"spec": spec_payload, "stream": stream}
+                if trace_context is not None:
+                    payload["trace"] = trace_context
+                return payload
+
+            fast = spec.to_wire_fingerprint()
+            fingerprint = None if fast is None else fast["model"]["fingerprint"]
+            if fingerprint is not None and fingerprint in self._known_models:
+                try:
+                    return self._request(
+                        "POST", "/v1/jobs", body(fast), stream=stream
+                    )
+                except _UnknownFingerprintError:
+                    # The server restarted or evicted the model: fall through
+                    # to a full submission, which re-registers it.
+                    self._known_models.discard(fingerprint)
+            outcome = self._request(
+                "POST", "/v1/jobs", body(spec.to_wire()), stream=stream
+            )
+            if fingerprint is not None:
+                self._known_models.add(fingerprint)
+            return outcome
 
     def submit(self, spec: JobSpec) -> dict:
         """Submit a spec and block for the full response document.

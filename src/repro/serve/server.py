@@ -32,13 +32,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import re
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.errors import ModelError, ReproError, ServeError
 from repro.exec.jobs import JobRunner
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.serve.cache import ResultCache
 from repro.serve.wire import encode_result
 from repro.spec import JobSpec
@@ -62,6 +66,18 @@ _REASONS = {
 }
 
 _CANCEL_ROUTE = re.compile(r"^/v1/jobs/(\d+)/cancel$")
+
+#: Request latencies kept for the /v1/stats percentiles (a rolling window;
+#: 1024 requests is plenty to stabilise a p99 without unbounded growth).
+_LATENCY_WINDOW = 1024
+
+
+def _percentile(sorted_values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of an ascending-sorted list (None when empty)."""
+    if not sorted_values:
+        return None
+    rank = math.ceil(q * len(sorted_values)) - 1
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
 
 #: Bound on the fingerprint -> wire-model registry behind the submission
 #: fast path (LRU).  An evicted fingerprint simply costs one 409 round
@@ -135,6 +151,12 @@ class ReproServer:
         self._failed = 0
         self._rejected = 0
         self._invalidations = 0
+        # Jobs dispatched to the pool whose (model, method) pair has no
+        # batched kernel — the FallbackEngineWarning fires in a worker
+        # process where nobody sees it, so the server counts it here.
+        self._fallbacks = 0
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._latency_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -370,6 +392,17 @@ class ReproServer:
         writer.write(head + body)
         await writer.drain()
 
+    async def _respond_text(self, writer, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
     async def _try_respond(self, writer, status: int, payload: dict) -> None:
         try:
             await self._respond(writer, status, payload)
@@ -385,8 +418,20 @@ class ReproServer:
         if method == "GET" and path == "/v1/stats":
             await self._respond(writer, 200, self.stats())
             return
+        if method == "GET" and path == "/v1/metrics":
+            await self._respond_text(writer, 200, self.render_metrics())
+            return
         if method == "POST" and path == "/v1/jobs":
-            await self._handle_submit(body, writer)
+            started = perf_counter()
+            try:
+                await self._handle_submit(body, writer)
+            finally:
+                elapsed = perf_counter() - started
+                with self._latency_lock:
+                    self._latencies.append(elapsed)
+                _obs_metrics.observe(
+                    "repro_serve_request_seconds", elapsed, route="/v1/jobs"
+                )
             return
         if method == "POST" and path == "/v1/invalidate":
             await self._handle_invalidate(body, writer)
@@ -461,6 +506,20 @@ class ReproServer:
             await self._respond(writer, 400, {"error": str(error)})
             return
 
+        # An optional trace context rides beside the spec in the body (it
+        # is not part of the JobSpec wire format and never touches cache
+        # keys): the server-side span parents on the client's span, and
+        # runner.submit exports the nested context to the worker — one
+        # stitched trace from client to engine.
+        trace_parent = payload.get("trace")
+        if not isinstance(trace_parent, dict):
+            trace_parent = None
+        with _obs_trace.span(
+            "serve.request", parent=trace_parent, kind=spec.kind, stream=stream
+        ):
+            await self._submit_parsed(spec, spec_payload, stream, writer)
+
+    async def _submit_parsed(self, spec: JobSpec, spec_payload, stream: bool, writer) -> None:
         fingerprint = self._register_model(spec, spec_payload)
         key = spec.cache_key()
         if key is not None:
@@ -516,6 +575,11 @@ class ReproServer:
         ctx.job_id = job_id
         self._contexts[job_id] = ctx
         self._submitted += 1
+        from repro.api import is_fallback_pair
+
+        if is_fallback_pair(spec.model, spec.method):
+            self._fallbacks += 1
+            _obs_metrics.inc("repro_serve_fallback_jobs_total", kind=spec.kind)
 
         if not stream:
             outcome = await ctx.future
@@ -591,6 +655,8 @@ class ReproServer:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Job and cache counters as one JSON-able dict."""
+        with self._latency_lock:
+            latencies = sorted(self._latencies)
         return {
             "workers": self.workers,
             "max_pending": self.max_pending,
@@ -600,11 +666,62 @@ class ReproServer:
                 "completed": self._completed,
                 "failed": self._failed,
                 "rejected": self._rejected,
+                "fallback": self._fallbacks,
+            },
+            "latency": {
+                "count": len(latencies),
+                "p50_s": _percentile(latencies, 0.50),
+                "p90_s": _percentile(latencies, 0.90),
+                "p99_s": _percentile(latencies, 0.99),
             },
             "invalidations": self._invalidations,
             "models": len(self._models),
             "cache": self.cache.stats(),
         }
+
+    def render_metrics(self) -> str:
+        """``GET /v1/metrics`` body: Prometheus text exposition format.
+
+        Server-derived series (job counters, pending gauge, cache counters,
+        request-latency percentiles) are rendered directly from
+        :meth:`stats`, then the process-wide ``repro.obs`` registry —
+        request-latency histograms and, when ``repro.obs.enable()`` is on,
+        the engine probes of everything running in this process — is
+        appended.
+        """
+        stats = self.stats()
+        lines = ["# TYPE repro_serve_jobs_total counter"]
+        for state in ("submitted", "completed", "failed", "rejected", "fallback"):
+            lines.append(f'repro_serve_jobs_total{{state="{state}"}} {stats["jobs"][state]}')
+        lines.append("# TYPE repro_serve_pending_jobs gauge")
+        lines.append(f"repro_serve_pending_jobs {stats['pending']}")
+        lines.append("# TYPE repro_serve_workers gauge")
+        lines.append(f"repro_serve_workers {stats['workers']}")
+        lines.append("# TYPE repro_serve_invalidations_total counter")
+        lines.append(f"repro_serve_invalidations_total {stats['invalidations']}")
+        lines.append("# TYPE repro_serve_registered_models gauge")
+        lines.append(f"repro_serve_registered_models {stats['models']}")
+        cache = stats["cache"]
+        lines.append("# TYPE repro_serve_cache_events_total counter")
+        for event in ("hits", "misses", "evictions", "invalidated"):
+            lines.append(
+                f'repro_serve_cache_events_total{{event="{event}"}} {cache[event]}'
+            )
+        lines.append("# TYPE repro_serve_cache_entries gauge")
+        lines.append(f"repro_serve_cache_entries {cache['size']}")
+        lines.append("# TYPE repro_serve_cache_bytes gauge")
+        lines.append(f"repro_serve_cache_bytes {cache['bytes']}")
+        latency = stats["latency"]
+        lines.append("# TYPE repro_serve_request_latency_seconds gauge")
+        for quantile in ("p50", "p90", "p99"):
+            value = latency[f"{quantile}_s"]
+            if value is not None:
+                lines.append(
+                    "repro_serve_request_latency_seconds"
+                    f'{{quantile="{quantile}"}} {value!r}'
+                )
+        body = "\n".join(lines) + "\n"
+        return body + _obs_metrics.render_prometheus()
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else (

@@ -58,9 +58,11 @@ class SweepResult:
 
     @property
     def counts(self) -> dict:
-        tally = {"total": len(self.rows), "ok": 0, "error": 0, "dedup": 0}
+        tally = {"total": len(self.rows), "ok": 0, "error": 0, "dedup": 0, "fallback": 0}
         for row in self.rows:
             tally[row["status"]] += 1
+            if row.get("fallback"):
+                tally["fallback"] += 1
         return tally
 
     @property
@@ -169,11 +171,20 @@ def _execute_local(cells) -> list[tuple[object, str | None, float | None]]:
 def _execute_jobs(cells, workers: int) -> list[tuple[object, str | None, float | None]]:
     from repro.exec import JobRunner
 
+    # Result events carry the worker-side wall clock (JobUpdate.elapsed),
+    # so jobs-mode cells get real per-cell timings like the other modes.
     with JobRunner(workers=workers) as runner:
-        pairs = runner.run_all([cell.spec for cell in cells])
-    # Worker wall-clock is not attributable per cell from here; elapsed
-    # stays None rather than pretending.
-    return [(result, error, None) for result, error in pairs]
+        job_ids = [runner.submit(cell.spec) for cell in cells]
+        for _ in runner.stream():
+            pass
+        return [
+            (
+                runner.results.get(job_id),
+                runner.errors.get(job_id),
+                runner.elapsed.get(job_id),
+            )
+            for job_id in job_ids
+        ]
 
 
 def _execute_serve(cells, server: str) -> list[tuple[object, str | None, float | None]]:
@@ -239,6 +250,8 @@ def run_sweep(
     by_index = {
         cell.index: outcome for cell, outcome in zip(to_run, outcomes)
     }
+    from repro.api import is_fallback_pair
+
     for cell in grid.cells:
         row = {
             "index": cell.index,
@@ -246,6 +259,10 @@ def run_sweep(
             "cache_key": cell.spec.cache_key(),
             "status": "ok",
             "elapsed_s": None,
+            # Deterministic from the (model, method) pair: True marks cells
+            # served by the sequential fallback engine, whose warning is
+            # invisible in jobs/serve modes.
+            "fallback": is_fallback_pair(cell.spec.model, cell.spec.method),
             "summary": None,
             "checks": {},
             "error": None,

@@ -502,7 +502,7 @@ class TestSweepCli:
         captured = capsys.readouterr()
         table = json.loads(captured.out)
         assert table["schema"] == "repro.sweep/v1"
-        assert table["counts"] == {"total": 2, "ok": 2, "error": 0, "dedup": 0}
+        assert table["counts"] == {"total": 2, "ok": 2, "error": 0, "dedup": 0, "fallback": 0}
         for row in table["cells"]:
             assert row["checks"]["stationarity"]["passed"]
         assert "sweep tiny: 2 cells" in captured.err
@@ -529,7 +529,7 @@ class TestSweepCli:
         assert code == 0
         table = json.loads(capsys.readouterr().out)
         assert table["name"] == "smoke"
-        assert table["counts"] == {"total": 16, "ok": 16, "error": 0, "dedup": 0}
+        assert table["counts"] == {"total": 16, "ok": 16, "error": 0, "dedup": 0, "fallback": 0}
 
     def test_sweep_jobs_and_server_mutually_exclusive(self, capsys, tmp_path):
         code = main([

@@ -395,6 +395,51 @@ class TestJobs:
             assert "died" in runner.errors[slow_id]
             assert fine_id in runner.results
 
+    def test_dead_worker_inference_traced_and_pool_survives(self, tmp_path):
+        """Quiet-time dead-worker inference: the killed worker's job fails
+        with an error JobUpdate, surviving jobs complete, and the
+        inference leaves a ``runner.job_lost`` event in the trace file."""
+        import json
+
+        from repro.obs import trace as obs_trace
+
+        trace_file = tmp_path / "exec.jsonl"
+        model = proper_coloring_mrf(path_graph(3), 3)
+        slow = SamplingJob.mixing_time(model, eps=1e-9, replicas=4096,
+                                       stride=1_000_000, max_rounds=1_000_000,
+                                       seed=1, name="slow")
+        obs_trace.enable_tracing(trace_file)
+        try:
+            with JobRunner(workers=2) as runner:
+                slow_id = runner.submit(slow)
+                stream = runner.stream()
+                started = next(e for e in stream if e.kind == "started")
+                assert started.job_id == slow_id
+                victim = next(
+                    p for p in runner._processes if p.pid == started.payload
+                )
+                victim.terminate()
+                victim.join()
+                fine_id = runner.submit(
+                    SamplingJob.sample_many(model, 4, rounds=2, seed=2,
+                                            name="fine")
+                )
+                events = list(stream)
+                assert any(
+                    e.kind == "error" and e.job_id == slow_id for e in events
+                )
+                assert "died" in runner.errors[slow_id]
+                assert fine_id in runner.results
+        finally:
+            obs_trace.disable_tracing()
+        with open(trace_file, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        lost = [r for r in records if r["name"] == "runner.job_lost"]
+        assert len(lost) == 1
+        assert lost[0]["kind"] == "event"
+        assert lost[0]["attrs"]["job_id"] == slow_id
+        assert lost[0]["attrs"]["worker_pid"] == started.payload
+
     def test_idle_worker_death_never_hangs_the_runner(self):
         """Killing an idle worker must leave every job settled, never hung.
 

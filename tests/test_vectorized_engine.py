@@ -262,6 +262,44 @@ class TestCollectStats:
         assert fast.messages_per_round == []
         assert full.max_message_atoms == 2
 
+    def test_run_vectorized_docstring_contract_matches_run_protocol(self):
+        """``run_vectorized(collect_stats=...)`` honours its documented
+        contract: rounds/messages always counted, per-round breakdown and
+        atom sizing only under the flag — identical to ``run_protocol``."""
+        from repro.local.vectorized import run_vectorized
+
+        mrf = proper_coloring_mrf(cycle_graph(5), 4)
+        inputs = make_private_inputs(mrf, np.arange(5) % 2)
+        results = {}
+        for flag in (True, False):
+            _, ref = run_protocol(
+                LubyGlauberProtocol(),
+                Network(mrf.graph),
+                rounds=6,
+                seed=0,
+                private_inputs=inputs,
+                collect_stats=flag,
+            )
+            _, vec = run_vectorized(
+                VectorizedLubyGlauber(),
+                Network(mrf.graph),
+                rounds=6,
+                seed=0,
+                private_inputs=inputs,
+                collect_stats=flag,
+            )
+            assert (vec.rounds, vec.messages) == (ref.rounds, ref.messages)
+            results[flag] = (ref, vec)
+        on_ref, on_vec = results[True]
+        off_ref, off_vec = results[False]
+        # The flag never changes the analytic totals...
+        assert (off_vec.rounds, off_vec.messages) == (on_vec.rounds, on_vec.messages)
+        # ...only the collected breakdown, which mirrors the reference.
+        assert len(on_vec.messages_per_round) == 6
+        assert on_vec.max_message_atoms == on_ref.max_message_atoms > 0
+        assert off_vec.messages_per_round == off_ref.messages_per_round == []
+        assert off_vec.max_message_atoms == off_ref.max_message_atoms == 0
+
     def test_engines_report_identical_stats_without_collection(self):
         mrf = proper_coloring_mrf(cycle_graph(6), 4)
         _, ref = run_luby_glauber_protocol(
